@@ -1,0 +1,35 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md's experiment index) at the "small" scale and registers the
+resulting table so it is printed after the pytest-benchmark summary —
+that printout is the reproduction artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_TABLES: list = []
+
+
+@pytest.fixture
+def table_sink():
+    """Collects result tables for the terminal summary."""
+    def record(table):
+        _TABLES.append(table)
+        return table
+    return record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("reproduced tables / figures")
+    terminalreporter.write_line("=" * 70)
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.render().splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,10 @@
+"""Benchmark A1: regenerates the 'a1_combining_window' table/figure (small scale)."""
+
+from repro.experiments import a1_combining_window
+
+
+def test_a1_combining_window(benchmark, table_sink):
+    table = benchmark.pedantic(a1_combining_window.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

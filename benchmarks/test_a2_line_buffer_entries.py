@@ -1,0 +1,10 @@
+"""Benchmark A2: regenerates the 'a2_line_buffer_entries' table/figure (small scale)."""
+
+from repro.experiments import a2_line_buffer_entries
+
+
+def test_a2_line_buffer_entries(benchmark, table_sink):
+    table = benchmark.pedantic(a2_line_buffer_entries.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Benchmark A3: regenerates the 'a3_locality_sweep' table/figure (small scale)."""
+
+from repro.experiments import a3_locality_sweep
+
+
+def test_a3_locality_sweep(benchmark, table_sink):
+    table = benchmark.pedantic(a3_locality_sweep.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

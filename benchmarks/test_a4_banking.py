@@ -1,0 +1,10 @@
+"""Benchmark A4: regenerates the 'a4_banking' table/figure (small scale)."""
+
+from repro.experiments import a4_banking
+
+
+def test_a4_banking(benchmark, table_sink):
+    table = benchmark.pedantic(a4_banking.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Benchmark A5: regenerates the 'a5_prefetch' table/figure (small scale)."""
+
+from repro.experiments import a5_prefetch
+
+
+def test_a5_prefetch(benchmark, table_sink):
+    table = benchmark.pedantic(a5_prefetch.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Benchmark A6: regenerates the 'a6_victim_cache' table/figure (small scale)."""
+
+from repro.experiments import a6_victim_cache
+
+
+def test_a6_victim_cache(benchmark, table_sink):
+    table = benchmark.pedantic(a6_victim_cache.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

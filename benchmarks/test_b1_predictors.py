@@ -1,0 +1,10 @@
+"""Benchmark B1: regenerates the 'b1_predictors' table/figure (small scale)."""
+
+from repro.experiments import b1_predictors
+
+
+def test_b1_predictors(benchmark, table_sink):
+    table = benchmark.pedantic(b1_predictors.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

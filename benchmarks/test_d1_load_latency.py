@@ -1,0 +1,10 @@
+"""Benchmark D1: regenerates the 'd1_load_latency' table/figure (small scale)."""
+
+from repro.experiments import d1_load_latency
+
+
+def test_d1_load_latency(benchmark, table_sink):
+    table = benchmark.pedantic(d1_load_latency.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Benchmark F1: regenerates the 'f1_ipc_configs' table/figure (small scale)."""
+
+from repro.experiments import f1_ipc_configs
+
+
+def test_f1_ipc_configs(benchmark, table_sink):
+    table = benchmark.pedantic(f1_ipc_configs.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

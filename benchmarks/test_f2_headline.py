@@ -1,0 +1,19 @@
+"""Benchmark F2: the headline result.
+
+Regenerates the relative-performance table and checks the paper-shaped
+relations: the all-techniques single port recovers (at least) the
+paper's 91% of dual-port performance, and clearly beats the plain
+single port.
+"""
+
+from repro.experiments import f2_headline
+
+
+def test_f2_headline(benchmark, table_sink):
+    table = benchmark.pedantic(f2_headline.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    tech = float(table.cell("MEAN (all)", "tech/2P+SC"))
+    single = float(table.cell("MEAN (all)", "1P/2P+SC"))
+    assert tech >= 0.91, "techniques must reach the paper's 91% headline"
+    assert tech > single, "techniques must beat the plain single port"

@@ -1,0 +1,10 @@
+"""Benchmark F3: regenerates the 'f3_line_buffer' table/figure (small scale)."""
+
+from repro.experiments import f3_line_buffer
+
+
+def test_f3_line_buffer(benchmark, table_sink):
+    table = benchmark.pedantic(f3_line_buffer.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

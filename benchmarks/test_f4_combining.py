@@ -1,0 +1,10 @@
+"""Benchmark F4: regenerates the 'f4_combining' table/figure (small scale)."""
+
+from repro.experiments import f4_combining
+
+
+def test_f4_combining(benchmark, table_sink):
+    table = benchmark.pedantic(f4_combining.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Benchmark F5: regenerates the 'f5_write_buffer' table/figure (small scale)."""
+
+from repro.experiments import f5_write_buffer
+
+
+def test_f5_write_buffer(benchmark, table_sink):
+    table = benchmark.pedantic(f5_write_buffer.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Benchmark F6: regenerates the 'f6_issue_width' table/figure (small scale)."""
+
+from repro.experiments import f6_issue_width
+
+
+def test_f6_issue_width(benchmark, table_sink):
+    table = benchmark.pedantic(f6_issue_width.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

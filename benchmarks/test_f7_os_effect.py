@@ -1,0 +1,10 @@
+"""Benchmark F7: regenerates the 'f7_os_effect' table/figure (small scale)."""
+
+from repro.experiments import f7_os_effect
+
+
+def test_f7_os_effect(benchmark, table_sink):
+    table = benchmark.pedantic(f7_os_effect.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

@@ -1,0 +1,54 @@
+"""Simulator-throughput benchmarks (the only multi-round benchmarks).
+
+These measure the infrastructure itself — functional simulation rate,
+timing-core rate, assembler speed — so performance regressions in the
+simulator show up in CI.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import OoOCore, simulate
+from repro.func import run_bare
+from repro.presets import machine
+from repro.trace import SyntheticConfig, generate
+from repro.workloads import WORKLOADS, build_trace
+
+
+def test_functional_simulator_rate(benchmark):
+    spec = WORKLOADS["stream"]
+    program = assemble(spec.source(**spec.params("tiny")))
+
+    result = benchmark.pedantic(
+        lambda: run_bare(program), rounds=3, iterations=1)
+    assert result.exit_code == spec.expected_exit(**spec.params("tiny"))
+
+
+def test_timing_core_rate_single_port(benchmark):
+    trace = build_trace("stream", "tiny")
+    result = benchmark.pedantic(
+        lambda: simulate(trace, machine("1P")), rounds=3, iterations=1)
+    assert result.instructions == len(trace)
+
+
+def test_timing_core_rate_all_techniques(benchmark):
+    trace = build_trace("stream", "tiny")
+    result = benchmark.pedantic(
+        lambda: simulate(trace, machine("1P-wide+LB+SC")), rounds=3,
+        iterations=1)
+    assert result.instructions == len(trace)
+
+
+def test_assembler_rate(benchmark):
+    spec = WORKLOADS["compress"]
+    source = spec.source(**spec.params("small"))
+    program = benchmark.pedantic(lambda: assemble(source), rounds=3,
+                                 iterations=1)
+    assert program.text
+
+
+def test_synthetic_generator_rate(benchmark):
+    config = SyntheticConfig(instructions=20_000, seed=2)
+    trace = benchmark.pedantic(lambda: generate(config), rounds=3,
+                               iterations=1)
+    assert len(trace) == 20_000

@@ -1,0 +1,10 @@
+"""Benchmark T1: regenerates the 't1_characteristics' table/figure (small scale)."""
+
+from repro.experiments import t1_characteristics
+
+
+def test_t1_characteristics(benchmark, table_sink):
+    table = benchmark.pedantic(t1_characteristics.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

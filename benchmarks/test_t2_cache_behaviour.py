@@ -1,0 +1,10 @@
+"""Benchmark T2: regenerates the 't2_cache_behaviour' table/figure (small scale)."""
+
+from repro.experiments import t2_cache_behaviour
+
+
+def test_t2_cache_behaviour(benchmark, table_sink):
+    table = benchmark.pedantic(t2_cache_behaviour.run, args=("small",), rounds=1,
+                               iterations=1)
+    table_sink(table)
+    assert table.rows

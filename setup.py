@@ -1,0 +1,4 @@
+"""Setup shim so legacy (non-PEP-660) editable installs work offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Reproduction of *Increasing Cache Port Efficiency for Dynamic
+Superscalar Microprocessors* (Wilson, Olukotun, Rosenblum — ISCA 1996).
+
+The package builds the full stack the paper's evaluation needs, from
+scratch: a mini RISC ISA and assembler, a functional simulator with a
+small operating system (so kernel activity appears in the traces), a
+cycle-level dynamic superscalar core, and — the paper's contribution —
+a configurable L1 data-cache **port subsystem**: line buffer, write
+buffer with store combining, and wide-port access combining.
+
+Quick start::
+
+    from repro import build_trace, machine, simulate
+
+    trace = build_trace("stream", "small")        # functional run
+    single = simulate(trace, machine("1P"))       # plain single port
+    tech = simulate(trace, machine("1P-wide+LB+SC"))
+    dual = simulate(trace, machine("2P"))         # dual-ported cache
+    print(single.ipc, tech.ipc, dual.ipc)
+
+See ``examples/`` for runnable scenarios and ``repro.experiments`` for
+the harness regenerating every table and figure.
+"""
+
+from .asm import AsmError, assemble
+from .core import CoreConfig, CoreResult, MachineConfig, OoOCore, simulate
+from .func import RunResult, SimError, SimHalted, run_bare
+from .kernel import assemble_user, build_system, run_system
+from .presets import (
+    BEST_SINGLE_PORT,
+    CONFIG_NAMES,
+    DUAL_PORT,
+    STRONG_DUAL_PORT,
+    machine,
+    paper_machines,
+)
+from .trace import SyntheticConfig, TraceRecord, generate, load_trace, save_trace
+from .workloads import SUITE_NAMES, WORKLOADS, build_os_mix_trace, build_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsmError",
+    "assemble",
+    "CoreConfig",
+    "CoreResult",
+    "MachineConfig",
+    "OoOCore",
+    "simulate",
+    "RunResult",
+    "SimError",
+    "SimHalted",
+    "run_bare",
+    "assemble_user",
+    "build_system",
+    "run_system",
+    "BEST_SINGLE_PORT",
+    "CONFIG_NAMES",
+    "DUAL_PORT",
+    "STRONG_DUAL_PORT",
+    "machine",
+    "paper_machines",
+    "SyntheticConfig",
+    "TraceRecord",
+    "generate",
+    "load_trace",
+    "save_trace",
+    "SUITE_NAMES",
+    "WORKLOADS",
+    "build_os_mix_trace",
+    "build_trace",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Syscall ABI shared by user programs, the mini-OS and the host.
+
+Calling convention: syscall number in ``a7``, arguments in ``a0``-``a2``,
+return value in ``a0``.
+"""
+
+from __future__ import annotations
+
+SYS_EXIT = 1      # a0 = exit code
+SYS_WRITE = 2     # a0 = buffer address, a1 = length; returns length
+SYS_BRK = 3       # a0 = new break (0 queries); returns current break
+SYS_YIELD = 4     # give up the CPU
+SYS_GETPID = 5    # returns process id
+SYS_TIME = 6      # returns retired-instruction count
+
+SYSCALL_NAMES = {
+    SYS_EXIT: "exit",
+    SYS_WRITE: "write",
+    SYS_BRK: "brk",
+    SYS_YIELD: "yield",
+    SYS_GETPID: "getpid",
+    SYS_TIME: "time",
+}

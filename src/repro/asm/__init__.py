@@ -1,0 +1,20 @@
+"""Two-pass assembler for the mini RISC ISA."""
+
+from .assembler import Assembler, LUI_SHIFT, assemble, li_expansion_length, split_hi_lo
+from .errors import AsmError
+from .expressions import UndefinedSymbol, evaluate
+from .lexer import Statement, tokenize, tokenize_line
+
+__all__ = [
+    "Assembler",
+    "LUI_SHIFT",
+    "assemble",
+    "li_expansion_length",
+    "split_hi_lo",
+    "AsmError",
+    "UndefinedSymbol",
+    "evaluate",
+    "Statement",
+    "tokenize",
+    "tokenize_line",
+]

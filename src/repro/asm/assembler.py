@@ -1,0 +1,674 @@
+"""Two-pass assembler producing :class:`repro.isa.Program` images.
+
+Pass 1 lays out both sections and assigns every label an absolute byte
+address.  Pass 2 evaluates operand expressions against the full symbol
+table and emits instructions and data bytes.
+
+Supported directives::
+
+    .text / .data          switch section
+    .equ NAME, expr        define a constant (evaluated immediately)
+    .align N               pad current section to an N-byte boundary
+    .byte/.half/.word/.dword expr, ...
+    .double 3.5, ...       IEEE-754 float64 data
+    .ascii "s" / .asciiz "s"
+    .space N               N zero bytes
+    .globl NAME            accepted and ignored
+
+Pseudo-instructions: ``li``, ``la``, ``mv``, ``not``, ``neg``, ``nop``,
+``ret``, ``call``, ``b``, ``beqz``/``bnez``/``bltz``/``bgez``/``bgtz``/
+``blez``, ``bgt``/``ble``/``bgtu``/``bleu``, ``seqz``/``snez``,
+``fmv.d``, ``subi``.
+
+``LUI rd, imm`` places ``imm << 15`` in ``rd`` so that a LUI/ADDI pair
+covers 35-bit constants (and all addresses used in this repo).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..isa import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    Opcode,
+    Program,
+    SysReg,
+    parse_register,
+)
+from ..isa.opcodes import MNEMONICS, OPCODE_INFO, Bank, Format
+from .errors import AsmError
+from .expressions import UndefinedSymbol, evaluate
+from .lexer import Statement, tokenize
+
+#: Number of bits LUI shifts its immediate by.
+LUI_SHIFT = 15
+
+_IMM15_MIN, _IMM15_MAX = -(1 << 14), (1 << 14) - 1
+_IMM20_MIN, _IMM20_MAX = -(1 << 19), (1 << 19) - 1
+
+_SYSREG_NAMES = {name.lower(): int(reg) for name, reg in
+                 SysReg.__members__.items()}
+
+_TEXT, _DATA = "text", "data"
+
+
+def split_hi_lo(value: int) -> tuple[int, int]:
+    """Split *value* into (hi20, lo15) with ``(hi << 15) + lo == value``.
+
+    ``lo`` is the signed low 15 bits; ``hi`` absorbs the carry.  Values
+    must fit in 35 bits signed.
+    """
+    lo = ((value + (1 << 14)) & 0x7FFF) - (1 << 14)
+    hi = (value - lo) >> LUI_SHIFT
+    if not _IMM20_MIN <= hi <= _IMM20_MAX:
+        raise ValueError(f"value {value:#x} does not fit lui/addi")
+    return hi, lo
+
+
+def li_expansion_length(value: int) -> int:
+    """Number of instructions ``li`` needs for *value*."""
+    if _IMM15_MIN <= value <= _IMM15_MAX:
+        return 1
+    try:
+        split_hi_lo(value)
+        return 2
+    except ValueError:
+        pass
+    # General 64-bit: lui+addi for the top, then shift/addi chunks.
+    return len(_li64_chunks(value)[1]) * 2 + 2
+
+
+def _li64_chunks(value: int) -> tuple[int, list[int]]:
+    """Decompose a 64-bit value for the general li sequence.
+
+    Returns (top, [chunk...]) such that
+    ``((top << 15 + c0) << 15 + c1) ...`` reconstructs the value, where
+    each chunk is a signed 15-bit integer and ``top`` fits lui/addi.
+    """
+    # Interpret as signed 64-bit.
+    value &= (1 << 64) - 1
+    if value >= 1 << 63:
+        value -= 1 << 64
+    chunks: list[int] = []
+    remaining = value
+    while True:
+        try:
+            split_hi_lo(remaining)
+            break
+        except ValueError:
+            lo = ((remaining + (1 << 14)) & 0x7FFF) - (1 << 14)
+            chunks.append(lo)
+            remaining = (remaining - lo) >> 15
+    chunks.reverse()
+    return remaining, chunks
+
+
+@dataclass
+class _PendingInstr:
+    """An instruction slot reserved in pass 1, emitted in pass 2."""
+
+    stmt: Statement
+    address: int
+    count: int  # number of machine instructions this statement expands to
+
+
+class Assembler:
+    """Two-pass assembler for the mini RISC ISA."""
+
+    def __init__(self, text_base: int = 0x1000, data_base: int = 0x100000,
+                 source_name: str = "<asm>") -> None:
+        if text_base % INSTRUCTION_BYTES:
+            raise ValueError("text_base must be 4-byte aligned")
+        self.text_base = text_base
+        self.data_base = data_base
+        self.source_name = source_name
+        self.symbols: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def assemble(self, source: str, entry: str | int | None = None) -> Program:
+        """Assemble *source* and return the program image."""
+        statements = tokenize(source, self.source_name)
+        pending, data_plan = self._pass1(statements)
+        text = self._pass2_text(pending)
+        data = self._pass2_data(data_plan)
+        entry_addr = self._resolve_entry(entry)
+        return Program(text=tuple(text), data=bytes(data),
+                       text_base=self.text_base, data_base=self.data_base,
+                       entry=entry_addr, symbols=dict(self.symbols))
+
+    def _resolve_entry(self, entry: str | int | None) -> int:
+        if isinstance(entry, int):
+            return entry
+        if isinstance(entry, str):
+            try:
+                return self.symbols[entry]
+            except KeyError:
+                raise AsmError(f"entry symbol {entry!r} not defined",
+                               source_name=self.source_name) from None
+        for candidate in ("_start", "main"):
+            if candidate in self.symbols:
+                return self.symbols[candidate]
+        return self.text_base
+
+    # ------------------------------------------------------------------
+    # Pass 1: layout
+    # ------------------------------------------------------------------
+    def _pass1(self, statements: list[Statement]) -> tuple[
+            list[_PendingInstr], list[tuple[Statement, int]]]:
+        section = _TEXT
+        text_off = 0
+        data_off = 0
+        pending: list[_PendingInstr] = []
+        data_plan: list[tuple[Statement, int]] = []
+        for stmt in statements:
+            address = (self.text_base + text_off if section == _TEXT
+                       else self.data_base + data_off)
+            for label in stmt.labels:
+                if label in self.symbols:
+                    raise self._err(f"duplicate label {label!r}", stmt)
+                self.symbols[label] = address
+            if stmt.mnemonic is None:
+                continue
+            if stmt.is_directive:
+                section, text_off, data_off = self._pass1_directive(
+                    stmt, section, text_off, data_off, data_plan)
+                continue
+            if section != _TEXT:
+                raise self._err("instruction outside .text", stmt)
+            count = self._instruction_count(stmt)
+            pending.append(_PendingInstr(stmt, self.text_base + text_off,
+                                         count))
+            text_off += count * INSTRUCTION_BYTES
+        return pending, data_plan
+
+    def _pass1_directive(self, stmt: Statement, section: str, text_off: int,
+                         data_off: int,
+                         data_plan: list[tuple[Statement, int]]
+                         ) -> tuple[str, int, int]:
+        name = stmt.mnemonic
+        if name == ".text":
+            return _TEXT, text_off, data_off
+        if name == ".data":
+            return _DATA, text_off, data_off
+        if name == ".globl":
+            return section, text_off, data_off
+        if name == ".equ":
+            if len(stmt.operands) != 2:
+                raise self._err(".equ needs NAME, expr", stmt)
+            name_op = stmt.operands[0]
+            value = self._eval(stmt.operands[1], stmt)
+            if name_op in self.symbols:
+                raise self._err(f"duplicate symbol {name_op!r}", stmt)
+            self.symbols[name_op] = value
+            return section, text_off, data_off
+        size = self._data_directive_size(stmt, section, text_off, data_off)
+        if section == _TEXT:
+            if name != ".align":
+                raise self._err(f"{name} not allowed in .text", stmt)
+            return section, text_off + size, data_off
+        data_plan.append((stmt, data_off))
+        return section, text_off, data_off + size
+
+    def _data_directive_size(self, stmt: Statement, section: str,
+                             text_off: int, data_off: int) -> int:
+        name = stmt.mnemonic
+        operands = stmt.operands
+        unit = {".byte": 1, ".half": 2, ".word": 4, ".dword": 8,
+                ".double": 8}.get(name)
+        if unit is not None:
+            if not operands:
+                raise self._err(f"{name} needs at least one value", stmt)
+            return unit * len(operands)
+        if name == ".space":
+            if len(operands) != 1:
+                raise self._err(".space needs a size", stmt)
+            size = self._eval(operands[0], stmt)
+            if size < 0:
+                raise self._err(".space size must be non-negative", stmt)
+            return size
+        if name in (".ascii", ".asciiz"):
+            if len(operands) != 1:
+                raise self._err(f"{name} needs one string", stmt)
+            return len(self._parse_string(operands[0], stmt)) + (
+                1 if name == ".asciiz" else 0)
+        if name == ".align":
+            if len(operands) != 1:
+                raise self._err(".align needs a boundary", stmt)
+            boundary = self._eval(operands[0], stmt)
+            if boundary <= 0 or boundary & (boundary - 1):
+                raise self._err(".align boundary must be a power of two",
+                                stmt)
+            offset = text_off if section == _TEXT else data_off
+            pad = (-offset) % boundary
+            if section == _TEXT and pad % INSTRUCTION_BYTES:
+                raise self._err(".align in .text must be 4-byte aligned",
+                                stmt)
+            return pad
+        raise self._err(f"unknown directive {name}", stmt)
+
+    def _instruction_count(self, stmt: Statement) -> int:
+        """How many machine instructions this statement expands into."""
+        name = stmt.mnemonic
+        assert name is not None
+        if name == "li":
+            if len(stmt.operands) != 2:
+                raise self._err("li needs rd, value", stmt)
+            try:
+                value = self._eval(stmt.operands[1], stmt)
+            except UndefinedSymbol:
+                return 2  # forward reference: assume address-sized (lui+addi)
+            return li_expansion_length(value)
+        if name == "la":
+            return 2
+        return 1
+
+    # ------------------------------------------------------------------
+    # Pass 2: emission
+    # ------------------------------------------------------------------
+    def _pass2_text(self, pending: list[_PendingInstr]) -> list[Instruction]:
+        text: list[Instruction] = []
+        for item in pending:
+            instrs = self._expand(item.stmt, item.address, item.count)
+            if len(instrs) != item.count:
+                raise self._err(
+                    "internal: expansion size changed between passes "
+                    f"({item.count} -> {len(instrs)})", item.stmt)
+            text.extend(instrs)
+        return text
+
+    def _pass2_data(self, plan: list[tuple[Statement, int]]) -> bytearray:
+        if not plan:
+            return bytearray()
+        last_stmt, last_off = plan[-1]
+        total = last_off + self._data_directive_size(last_stmt, _DATA, 0,
+                                                     last_off)
+        data = bytearray(total)
+        for stmt, offset in plan:
+            blob = self._data_bytes(stmt)
+            data[offset:offset + len(blob)] = blob
+        return data
+
+    def _data_bytes(self, stmt: Statement) -> bytes:
+        name = stmt.mnemonic
+        unit = {".byte": 1, ".half": 2, ".word": 4, ".dword": 8}.get(name)
+        if unit is not None:
+            out = bytearray()
+            for operand in stmt.operands:
+                value = self._eval(operand, stmt) & ((1 << (unit * 8)) - 1)
+                out += value.to_bytes(unit, "little")
+            return bytes(out)
+        if name == ".double":
+            out = bytearray()
+            for operand in stmt.operands:
+                try:
+                    out += struct.pack("<d", float(operand))
+                except ValueError:
+                    raise self._err(f"bad double literal {operand!r}",
+                                    stmt) from None
+            return bytes(out)
+        if name in (".ascii", ".asciiz"):
+            blob = self._parse_string(stmt.operands[0], stmt)
+            return blob + (b"\0" if name == ".asciiz" else b"")
+        if name == ".space":
+            return bytes(self._eval(stmt.operands[0], stmt))
+        if name == ".align":
+            return b""  # the zero padding is already in the bytearray
+        raise self._err(f"unknown data directive {name}", stmt)
+
+    # ------------------------------------------------------------------
+    # Instruction expansion
+    # ------------------------------------------------------------------
+    def _expand(self, stmt: Statement, address: int,
+                count: int | None = None) -> list[Instruction]:
+        name = stmt.mnemonic
+        assert name is not None
+        if name == "li":
+            return self._pseudo_li(stmt, address, count)
+        pseudo = getattr(self, f"_pseudo_{name.replace('.', '_')}", None)
+        if pseudo is not None:
+            return pseudo(stmt, address)
+        opcode = MNEMONICS.get(name)
+        if opcode is None:
+            raise self._err(f"unknown mnemonic {name!r}", stmt)
+        return [self._encode_real(opcode, stmt, address)]
+
+    def _encode_real(self, opcode: Opcode, stmt: Statement,
+                     address: int) -> Instruction:
+        info = OPCODE_INFO[opcode]
+        ops = stmt.operands
+        if opcode is Opcode.NOP or opcode is Opcode.HALT or \
+                opcode is Opcode.ERET:
+            self._arity(stmt, 0)
+            return Instruction(opcode)
+        if opcode is Opcode.SYSCALL:
+            self._arity(stmt, 1)
+            return Instruction(opcode, imm=self._imm15(ops[0], stmt))
+        if opcode is Opcode.MFSR:
+            self._arity(stmt, 2)
+            return Instruction(opcode, rd=self._reg(ops[0], stmt),
+                               imm=self._sysreg(ops[1], stmt))
+        if opcode is Opcode.MTSR:
+            self._arity(stmt, 2)
+            return Instruction(opcode, imm=self._sysreg(ops[0], stmt),
+                               rs1=self._reg(ops[1], stmt))
+        if opcode in (Opcode.J, Opcode.JAL):
+            if opcode is Opcode.JAL and len(ops) == 2:
+                rd = self._reg(ops[0], stmt)
+                target_text = ops[1]
+            elif opcode is Opcode.JAL:
+                self._arity(stmt, 1)
+                rd = parse_register("ra")
+                target_text = ops[0]
+            else:
+                self._arity(stmt, 1)
+                rd = 0
+                target_text = ops[0]
+            offset = self._branch_offset(target_text, address, stmt,
+                                         _IMM20_MIN, _IMM20_MAX)
+            return Instruction(opcode, rd=rd, imm=offset)
+        if opcode is Opcode.JR:
+            self._arity(stmt, 1)
+            return Instruction(opcode, rs1=self._reg(ops[0], stmt))
+        if opcode is Opcode.JALR:
+            if len(ops) == 1:
+                return Instruction(opcode, rd=parse_register("ra"),
+                                   rs1=self._reg(ops[0], stmt))
+            self._arity(stmt, 2)
+            return Instruction(opcode, rd=self._reg(ops[0], stmt),
+                               rs1=self._reg(ops[1], stmt))
+        if opcode is Opcode.LUI:
+            self._arity(stmt, 2)
+            imm = self._eval(ops[1], stmt)
+            if not _IMM20_MIN <= imm <= _IMM20_MAX:
+                raise self._err(f"lui immediate {imm} out of range", stmt)
+            return Instruction(opcode, rd=self._reg(ops[0], stmt), imm=imm)
+        if info.fmt is Format.B:
+            self._arity(stmt, 3)
+            offset = self._branch_offset(ops[2], address, stmt,
+                                         _IMM15_MIN, _IMM15_MAX)
+            return Instruction(opcode, rs1=self._reg(ops[0], stmt),
+                               rs2=self._reg(ops[1], stmt), imm=offset)
+        if info.fmt is Format.MEM:
+            self._arity(stmt, 2)
+            base, disp = self._memref(ops[1], stmt)
+            if info.is_store:
+                return Instruction(opcode, rs1=base,
+                                   rs2=self._reg(ops[0], stmt), imm=disp)
+            return Instruction(opcode, rd=self._reg(ops[0], stmt),
+                               rs1=base, imm=disp)
+        if info.fmt is Format.I:
+            self._arity(stmt, 3)
+            return Instruction(opcode, rd=self._reg(ops[0], stmt),
+                               rs1=self._reg(ops[1], stmt),
+                               imm=self._imm15(ops[2], stmt))
+        if info.fmt is Format.R:
+            fields = [bank for bank in (info.rd_bank, info.rs1_bank,
+                                        info.rs2_bank) if bank is not Bank.NONE]
+            self._arity(stmt, len(fields))
+            regs = [self._reg(op, stmt) for op in ops]
+            kwargs = {}
+            names = []
+            if info.rd_bank is not Bank.NONE:
+                names.append("rd")
+            if info.rs1_bank is not Bank.NONE:
+                names.append("rs1")
+            if info.rs2_bank is not Bank.NONE:
+                names.append("rs2")
+            for field_name, reg in zip(names, regs):
+                kwargs[field_name] = reg
+            return Instruction(opcode, **kwargs)
+        raise self._err(f"cannot encode {opcode}", stmt)  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Pseudo-instruction expansions (called via getattr in _expand)
+    # ------------------------------------------------------------------
+    def _pseudo_li(self, stmt: Statement, address: int,
+                   count: int | None = None) -> list[Instruction]:
+        self._arity(stmt, 2)
+        rd = self._reg(stmt.operands[0], stmt)
+        value = self._eval(stmt.operands[1], stmt)
+        instrs = self._li_sequence(rd, value, stmt)
+        if count is not None and len(instrs) != count:
+            # Pass 1 saw a forward reference and reserved the address-sized
+            # 2-instruction slot; pad or fail accordingly.
+            if count == 2 and len(instrs) == 1:
+                instrs.append(Instruction(Opcode.NOP))
+            else:
+                raise self._err(
+                    "li with forward reference needs a 35-bit value; use a "
+                    "constant defined before use for wider values", stmt)
+        return instrs
+
+    def _li_sequence(self, rd: int, value: int,
+                     stmt: Statement) -> list[Instruction]:
+        if _IMM15_MIN <= value <= _IMM15_MAX:
+            return [Instruction(Opcode.ADDI, rd=rd, rs1=0, imm=value)]
+        try:
+            hi, lo = split_hi_lo(value)
+        except ValueError:
+            pass
+        else:
+            out = [Instruction(Opcode.LUI, rd=rd, imm=hi)]
+            if lo:
+                out.append(Instruction(Opcode.ADDI, rd=rd, rs1=rd, imm=lo))
+            else:
+                out.append(Instruction(Opcode.NOP))
+            return out
+        top, chunks = _li64_chunks(value)
+        hi, lo = split_hi_lo(top)
+        out = [Instruction(Opcode.LUI, rd=rd, imm=hi),
+               Instruction(Opcode.ADDI, rd=rd, rs1=rd, imm=lo)]
+        for chunk in chunks:
+            out.append(Instruction(Opcode.SLLI, rd=rd, rs1=rd, imm=15))
+            out.append(Instruction(Opcode.ADDI, rd=rd, rs1=rd, imm=chunk))
+        return out
+
+    def _pseudo_la(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 2)
+        rd = self._reg(stmt.operands[0], stmt)
+        value = self._eval(stmt.operands[1], stmt)
+        try:
+            hi, lo = split_hi_lo(value)
+        except ValueError:
+            raise self._err(f"la target {value:#x} out of range", stmt) \
+                from None
+        second = (Instruction(Opcode.ADDI, rd=rd, rs1=rd, imm=lo)
+                  if lo else Instruction(Opcode.NOP))
+        return [Instruction(Opcode.LUI, rd=rd, imm=hi), second]
+
+    def _pseudo_mv(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 2)
+        return [Instruction(Opcode.ADDI, rd=self._reg(stmt.operands[0], stmt),
+                            rs1=self._reg(stmt.operands[1], stmt), imm=0)]
+
+    def _pseudo_not(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 2)
+        return [Instruction(Opcode.NOR, rd=self._reg(stmt.operands[0], stmt),
+                            rs1=self._reg(stmt.operands[1], stmt), rs2=0)]
+
+    def _pseudo_neg(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 2)
+        return [Instruction(Opcode.SUB, rd=self._reg(stmt.operands[0], stmt),
+                            rs1=0, rs2=self._reg(stmt.operands[1], stmt))]
+
+    def _pseudo_subi(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 3)
+        return [Instruction(Opcode.ADDI,
+                            rd=self._reg(stmt.operands[0], stmt),
+                            rs1=self._reg(stmt.operands[1], stmt),
+                            imm=-self._imm15(stmt.operands[2], stmt))]
+
+    def _pseudo_ret(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 0)
+        return [Instruction(Opcode.JR, rs1=parse_register("ra"))]
+
+    def _pseudo_call(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 1)
+        offset = self._branch_offset(stmt.operands[0], address, stmt,
+                                     _IMM20_MIN, _IMM20_MAX)
+        return [Instruction(Opcode.JAL, rd=parse_register("ra"), imm=offset)]
+
+    def _pseudo_b(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 1)
+        offset = self._branch_offset(stmt.operands[0], address, stmt,
+                                     _IMM20_MIN, _IMM20_MAX)
+        return [Instruction(Opcode.J, imm=offset)]
+
+    def _zero_branch(self, stmt: Statement, address: int, opcode: Opcode,
+                     reg_side: str) -> list[Instruction]:
+        self._arity(stmt, 2)
+        reg = self._reg(stmt.operands[0], stmt)
+        offset = self._branch_offset(stmt.operands[1], address, stmt,
+                                     _IMM15_MIN, _IMM15_MAX)
+        if reg_side == "rs1":
+            return [Instruction(opcode, rs1=reg, rs2=0, imm=offset)]
+        return [Instruction(opcode, rs1=0, rs2=reg, imm=offset)]
+
+    def _pseudo_beqz(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._zero_branch(stmt, address, Opcode.BEQ, "rs1")
+
+    def _pseudo_bnez(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._zero_branch(stmt, address, Opcode.BNE, "rs1")
+
+    def _pseudo_bltz(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._zero_branch(stmt, address, Opcode.BLT, "rs1")
+
+    def _pseudo_bgez(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._zero_branch(stmt, address, Opcode.BGE, "rs1")
+
+    def _pseudo_bgtz(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._zero_branch(stmt, address, Opcode.BLT, "rs2")
+
+    def _pseudo_blez(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._zero_branch(stmt, address, Opcode.BGE, "rs2")
+
+    def _swapped_branch(self, stmt: Statement, address: int,
+                        opcode: Opcode) -> list[Instruction]:
+        self._arity(stmt, 3)
+        offset = self._branch_offset(stmt.operands[2], address, stmt,
+                                     _IMM15_MIN, _IMM15_MAX)
+        return [Instruction(opcode, rs1=self._reg(stmt.operands[1], stmt),
+                            rs2=self._reg(stmt.operands[0], stmt),
+                            imm=offset)]
+
+    def _pseudo_bgt(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._swapped_branch(stmt, address, Opcode.BLT)
+
+    def _pseudo_ble(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._swapped_branch(stmt, address, Opcode.BGE)
+
+    def _pseudo_bgtu(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._swapped_branch(stmt, address, Opcode.BLTU)
+
+    def _pseudo_bleu(self, stmt: Statement, address: int) -> list[Instruction]:
+        return self._swapped_branch(stmt, address, Opcode.BGEU)
+
+    def _pseudo_seqz(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 2)
+        return [Instruction(Opcode.SLTIU,
+                            rd=self._reg(stmt.operands[0], stmt),
+                            rs1=self._reg(stmt.operands[1], stmt), imm=1)]
+
+    def _pseudo_snez(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 2)
+        return [Instruction(Opcode.SLTU,
+                            rd=self._reg(stmt.operands[0], stmt),
+                            rs1=0, rs2=self._reg(stmt.operands[1], stmt))]
+
+    def _pseudo_fmv_d(self, stmt: Statement, address: int) -> list[Instruction]:
+        self._arity(stmt, 2)
+        return [Instruction(Opcode.FMOV,
+                            rd=self._reg(stmt.operands[0], stmt),
+                            rs1=self._reg(stmt.operands[1], stmt))]
+
+    # ------------------------------------------------------------------
+    # Operand helpers
+    # ------------------------------------------------------------------
+    def _err(self, message: str, stmt: Statement) -> AsmError:
+        return AsmError(message, stmt.line, self.source_name)
+
+    def _arity(self, stmt: Statement, expected: int) -> None:
+        if len(stmt.operands) != expected:
+            raise self._err(
+                f"{stmt.mnemonic} expects {expected} operand(s), "
+                f"got {len(stmt.operands)}", stmt)
+
+    def _eval(self, text: str, stmt: Statement) -> int:
+        return evaluate(text, self.symbols, stmt.line, self.source_name)
+
+    def _reg(self, text: str, stmt: Statement) -> int:
+        try:
+            return parse_register(text)
+        except KeyError as exc:
+            raise self._err(str(exc.args[0]), stmt) from None
+
+    def _imm15(self, text: str, stmt: Statement) -> int:
+        value = self._eval(text, stmt)
+        if not _IMM15_MIN <= value <= _IMM15_MAX:
+            raise self._err(f"immediate {value} out of 15-bit range", stmt)
+        return value
+
+    def _sysreg(self, text: str, stmt: Statement) -> int:
+        key = text.strip().lower()
+        if key in _SYSREG_NAMES:
+            return _SYSREG_NAMES[key]
+        return self._imm15(text, stmt)
+
+    def _branch_offset(self, text: str, address: int, stmt: Statement,
+                       lo: int, hi: int) -> int:
+        target = self._eval(text, stmt)
+        delta = target - address
+        if delta % INSTRUCTION_BYTES:
+            raise self._err(f"branch target {target:#x} misaligned", stmt)
+        offset = delta // INSTRUCTION_BYTES
+        if not lo <= offset <= hi:
+            raise self._err(f"branch target out of range ({offset})", stmt)
+        return offset
+
+    def _memref(self, text: str, stmt: Statement) -> tuple[int, int]:
+        """Parse ``disp(base)``, ``(base)`` or bare ``disp`` (base=zero)."""
+        text = text.strip()
+        if text.endswith(")"):
+            open_idx = text.rfind("(")
+            if open_idx < 0:
+                raise self._err(f"bad memory operand {text!r}", stmt)
+            base = self._reg(text[open_idx + 1:-1], stmt)
+            disp_text = text[:open_idx].strip()
+            disp = self._imm15(disp_text, stmt) if disp_text else 0
+            return base, disp
+        return 0, self._imm15(text, stmt)
+
+    def _parse_string(self, text: str, stmt: Statement) -> bytes:
+        text = text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise self._err(f"expected string literal, got {text!r}", stmt)
+        body = text[1:-1]
+        out = bytearray()
+        i = 0
+        escapes = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, '"': 34,
+                   "'": 39}
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\":
+                if i + 1 >= len(body):
+                    raise self._err("dangling escape in string", stmt)
+                try:
+                    out.append(escapes[body[i + 1]])
+                except KeyError:
+                    raise self._err(f"unknown escape \\{body[i + 1]}",
+                                    stmt) from None
+                i += 2
+            else:
+                out.append(ord(ch))
+                i += 1
+        return bytes(out)
+
+
+def assemble(source: str, text_base: int = 0x1000, data_base: int = 0x100000,
+             entry: str | int | None = None,
+             source_name: str = "<asm>") -> Program:
+    """Assemble *source* into a :class:`Program` (convenience wrapper)."""
+    return Assembler(text_base=text_base, data_base=data_base,
+                     source_name=source_name).assemble(source, entry=entry)

@@ -1,0 +1,15 @@
+"""Assembler error type carrying source location."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """An error in assembly source, with 1-based line information."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 source_name: str = "<asm>") -> None:
+        self.message = message
+        self.line = line
+        self.source_name = source_name
+        location = f"{source_name}:{line}: " if line is not None else ""
+        super().__init__(f"{location}{message}")

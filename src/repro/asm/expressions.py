@@ -1,0 +1,167 @@
+"""A small integer expression evaluator for assembler operands.
+
+Supports decimal / hex / octal / binary literals, character literals,
+symbol references, unary ``+ - ~``, binary ``+ - * / % << >> & | ^``,
+and parentheses.  Division is floor division on integers.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from .errors import AsmError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|0[oO][0-7]+|\d+)"
+    r"|(?P<char>'(?:\\.|[^'\\])')"
+    r"|(?P<sym>[A-Za-z_.$][\w.$]*)"
+    r"|(?P<op><<|>>|[-+*/%&|^~()])"
+    r")"
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'",
+            '"': '"'}
+
+
+class UndefinedSymbol(AsmError):
+    """A symbol used in an expression has no definition."""
+
+    def __init__(self, name: str, line: int | None = None,
+                 source_name: str = "<asm>") -> None:
+        self.name = name
+        super().__init__(f"undefined symbol {name!r}", line, source_name)
+
+
+def _lex(text: str, line: int | None, source_name: str) -> list[str | int]:
+    tokens: list[str | int] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            if text[pos:].strip():
+                raise AsmError(f"bad expression near {text[pos:]!r}",
+                               line, source_name)
+            break
+        pos = match.end()
+        if match.group("num"):
+            tokens.append(int(match.group("num"), 0))
+        elif match.group("char"):
+            body = match.group("char")[1:-1]
+            if body.startswith("\\"):
+                try:
+                    tokens.append(ord(_ESCAPES[body[1]]))
+                except KeyError:
+                    raise AsmError(f"unknown escape {body!r}", line,
+                                   source_name) from None
+            else:
+                tokens.append(ord(body))
+        elif match.group("sym"):
+            tokens.append(match.group("sym"))
+        else:
+            tokens.append(match.group("op"))
+    return tokens
+
+
+class _Parser:
+    """Precedence-climbing parser over the token list."""
+
+    _PRECEDENCE = {"|": 1, "^": 2, "&": 3, "<<": 4, ">>": 4,
+                   "+": 5, "-": 5, "*": 6, "/": 6, "%": 6}
+
+    def __init__(self, tokens: list[str | int], symbols: Mapping[str, int],
+                 line: int | None, source_name: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.symbols = symbols
+        self.line = line
+        self.source_name = source_name
+
+    def _peek(self) -> str | int | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str | int:
+        token = self._peek()
+        if token is None:
+            raise AsmError("unexpected end of expression", self.line,
+                           self.source_name)
+        self.pos += 1
+        return token
+
+    def parse(self) -> int:
+        value = self._expr(0)
+        if self._peek() is not None:
+            raise AsmError(f"trailing tokens in expression: {self._peek()!r}",
+                           self.line, self.source_name)
+        return value
+
+    def _expr(self, min_prec: int) -> int:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if not isinstance(token, str) or token not in self._PRECEDENCE:
+                return left
+            prec = self._PRECEDENCE[token]
+            if prec < min_prec:
+                return left
+            self._next()
+            right = self._expr(prec + 1)
+            left = self._apply(token, left, right)
+
+    def _apply(self, op: str, left: int, right: int) -> int:
+        if op in ("/", "%") and right == 0:
+            raise AsmError("division by zero in expression", self.line,
+                           self.source_name)
+        return {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: left // right,
+            "%": lambda: left % right,
+            "&": lambda: left & right,
+            "|": lambda: left | right,
+            "^": lambda: left ^ right,
+            "<<": lambda: left << right,
+            ">>": lambda: left >> right,
+        }[op]()
+
+    def _unary(self) -> int:
+        token = self._next()
+        if token == "-":
+            return -self._unary()
+        if token == "+":
+            return self._unary()
+        if token == "~":
+            return ~self._unary()
+        if token == "(":
+            value = self._expr(0)
+            closing = self._next()
+            if closing != ")":
+                raise AsmError("expected ')'", self.line, self.source_name)
+            return value
+        if isinstance(token, int):
+            return token
+        if isinstance(token, str):
+            try:
+                return self.symbols[token]
+            except KeyError:
+                raise UndefinedSymbol(token, self.line,
+                                      self.source_name) from None
+        raise AsmError(f"unexpected token {token!r}", self.line,
+                       self.source_name)  # pragma: no cover
+
+
+def evaluate(text: str, symbols: Mapping[str, int] | None = None,
+             line: int | None = None, source_name: str = "<asm>") -> int:
+    """Evaluate an assembler integer expression."""
+    tokens = _lex(text, line, source_name)
+    if not tokens:
+        raise AsmError("empty expression", line, source_name)
+    return _Parser(tokens, symbols or {}, line, source_name).parse()
+
+
+def references(text: str) -> set[str]:
+    """Return the set of symbol names an expression mentions."""
+    return {tok for tok in _lex(text, None, "<asm>") if isinstance(tok, str)
+            and tok not in _Parser._PRECEDENCE and tok not in "()~+-"}

@@ -1,0 +1,135 @@
+"""Line-oriented tokenizer for the mini assembler.
+
+Each source line is split into a :class:`Statement`: zero or more
+labels, an optional mnemonic or directive, and its raw operand strings.
+Operands are split on top-level commas (commas inside parentheses or
+string literals do not split).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .errors import AsmError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*")
+_MNEMONIC_RE = re.compile(r"^(\.?[A-Za-z_][\w.]*)\s*")
+
+
+@dataclass
+class Statement:
+    """One logical source line after tokenization."""
+
+    line: int
+    labels: list[str] = field(default_factory=list)
+    mnemonic: str | None = None
+    operands: list[str] = field(default_factory=list)
+
+    @property
+    def is_directive(self) -> bool:
+        return self.mnemonic is not None and self.mnemonic.startswith(".")
+
+
+def _strip_comment(text: str) -> str:
+    """Remove ``#`` / ``;`` comments, respecting string and char literals."""
+    out = []
+    quote: str | None = None
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if quote:
+            out.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+        elif ch in "#;":
+            break
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _split_operands(text: str, line: int, source_name: str) -> list[str]:
+    """Split operand text on top-level commas."""
+    operands: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if quote:
+            current.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                current.append(text[i + 1])
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+            current.append(ch)
+        elif ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise AsmError("unbalanced ')'", line, source_name)
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if quote:
+        raise AsmError("unterminated string literal", line, source_name)
+    if depth:
+        raise AsmError("unbalanced '('", line, source_name)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    if any(not op for op in operands):
+        raise AsmError("empty operand", line, source_name)
+    return operands
+
+
+def tokenize_line(text: str, line: int, source_name: str = "<asm>") -> Statement:
+    """Tokenize one source line into a :class:`Statement`."""
+    stmt = Statement(line=line)
+    body = _strip_comment(text).strip()
+    while True:
+        match = _LABEL_RE.match(body)
+        if not match:
+            break
+        stmt.labels.append(match.group(1))
+        body = body[match.end():]
+    if not body:
+        return stmt
+    match = _MNEMONIC_RE.match(body)
+    if not match:
+        raise AsmError(f"cannot parse statement: {body!r}", line, source_name)
+    stmt.mnemonic = match.group(1).lower()
+    rest = body[match.end():].strip()
+    if rest:
+        stmt.operands = _split_operands(rest, line, source_name)
+    return stmt
+
+
+def tokenize(source: str, source_name: str = "<asm>") -> list[Statement]:
+    """Tokenize a full source file, dropping empty statements."""
+    statements = []
+    for number, text in enumerate(source.splitlines(), start=1):
+        stmt = tokenize_line(text, number, source_name)
+        if stmt.labels or stmt.mnemonic:
+            statements.append(stmt)
+    return statements

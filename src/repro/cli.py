@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+::
+
+    repro workloads                 list registered workloads
+    repro configs                   list machine configurations
+    repro asm prog.s --list         assemble and show a listing
+    repro run prog.s                assemble + run on the functional sim
+    repro trace stream out.npz      build and save a workload trace
+    repro simulate --workload stream --config 1P-wide+LB+SC
+    repro experiment F2 --scale small
+    repro experiment all
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .asm import AsmError, assemble
+from .core import simulate as core_simulate
+from .func import RunResult, SimError, run_bare
+from .isa import INSTRUCTION_BYTES
+from .presets import CONFIG_NAMES, EXTENDED_CONFIG_NAMES, machine
+from .trace import load_trace, save_trace
+from .workloads import SUITE_NAMES, WORKLOADS, build_os_mix_trace, build_trace
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(f"  {'name':<10} {'tags':<36} description")
+    for name, spec in sorted(WORKLOADS.items()):
+        marker = "*" if name in SUITE_NAMES else " "
+        print(f"{marker} {name:<10} {', '.join(spec.tags):<36} "
+              f"{spec.description}")
+    print("\n* = in the default evaluation suite; plus 'os-mix' (the "
+          "multiprogrammed mix under the mini-OS)")
+    return 0
+
+
+def _cmd_configs(args: argparse.Namespace) -> int:
+    print("paper configurations:")
+    for name in CONFIG_NAMES:
+        dcache = machine(name).mem.dcache
+        lb = f"LB({dcache.line_buffer_entries})" if dcache.has_line_buffer \
+            else "-"
+        print(f"  {name:<14} ports={dcache.ports} width={dcache.port_width}B"
+              f" line_buffer={lb} combine_loads="
+              f"{'y' if dcache.combine_loads else 'n'} combine_stores="
+              f"{'y' if dcache.combine_stores else 'n'}")
+    print("extended (banking ablation):")
+    for name in EXTENDED_CONFIG_NAMES:
+        dcache = machine(name).mem.dcache
+        print(f"  {name:<14} ports={dcache.ports} banks={dcache.banks}")
+    return 0
+
+
+def _read_source(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    program = assemble(_read_source(args.source), source_name=args.source)
+    print(f"text: {len(program.text)} instructions at "
+          f"{program.text_base:#x}; data: {len(program.data)} bytes at "
+          f"{program.data_base:#x}; entry {program.entry:#x}")
+    if args.list:
+        from .isa import encode
+        for index, instr in enumerate(program.text):
+            address = program.text_base + index * INSTRUCTION_BYTES
+            word = encode(instr)
+            print(f"{address:#08x}  {word:08x}  {instr}")
+    return 0
+
+
+def _print_run_result(result: RunResult) -> None:
+    if result.console:
+        print(result.console, end="" if result.console.endswith("\n")
+              else "\n")
+    print(f"exit code {result.exit_code}; {result.retired} instructions "
+          f"retired ({result.loads} loads, {result.stores} stores, "
+          f"{result.kernel_retired} kernel)")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = assemble(_read_source(args.source), source_name=args.source)
+    result = run_bare(program, max_instructions=args.max_instructions,
+                      collect_trace=args.trace is not None,
+                      user_mode=not args.bare_metal)
+    _print_run_result(result)
+    if args.trace is not None:
+        save_trace(args.trace, result.trace)
+        print(f"trace ({len(result.trace)} records) written to {args.trace}")
+    return 0
+
+
+def _build_named_trace(name: str, scale: str):
+    if name == "os-mix":
+        return build_os_mix_trace(scale)
+    if name not in WORKLOADS:
+        raise SystemExit(f"unknown workload {name!r}; see 'repro workloads'")
+    return build_trace(name, scale)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = _build_named_trace(args.workload, args.scale)
+    save_trace(args.output, trace)
+    print(f"{args.workload} ({args.scale}): {len(trace)} records -> "
+          f"{args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.trace_file:
+        trace = load_trace(args.trace_file)
+        label = args.trace_file
+    else:
+        trace = _build_named_trace(args.workload, args.scale)
+        label = f"{args.workload} ({args.scale})"
+    config = machine(args.config, issue_width=args.issue_width)
+    result = core_simulate(trace, config)
+    stats = result.stats
+    print(f"{label} on {args.config} (issue width {args.issue_width}):")
+    print(f"  {result.instructions} instructions, {result.cycles} cycles, "
+          f"IPC {result.ipc:.3f}")
+    print(f"  D-cache port uses {int(stats['dcache.port_uses'])}, "
+          f"line-buffer loads {int(stats['lsq.lb_loads'])}, "
+          f"combined loads {int(stats['lsq.combined_loads'])}, "
+          f"combined stores {int(stats['wb.combined'])}")
+    branches = stats["bpred.branches"]
+    if branches:
+        print(f"  branch accuracy "
+              f"{stats['bpred.correct'] / branches:.3f} "
+              f"({int(branches)} branches)")
+    if args.stats:
+        print(stats.format(indent="  "))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import os
+
+    from .experiments import ALL_EXPERIMENTS
+    if args.id == "all":
+        ids = list(ALL_EXPERIMENTS)
+    else:
+        if args.id not in ALL_EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {args.id!r}; "
+                f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'")
+        ids = [args.id]
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+    for exp_id in ids:
+        table = ALL_EXPERIMENTS[exp_id](args.scale)
+        print(table.render())
+        print()
+        if args.output:
+            extension = "csv" if args.csv else "txt"
+            path = os.path.join(args.output,
+                                f"{exp_id.lower()}_{args.scale}.{extension}")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(table.to_csv() if args.csv
+                             else table.render() + "\n")
+            print(f"written to {path}\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cache-port-efficiency reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list registered workloads") \
+        .set_defaults(func=_cmd_workloads)
+    sub.add_parser("configs", help="list machine configurations") \
+        .set_defaults(func=_cmd_configs)
+
+    asm = sub.add_parser("asm", help="assemble a source file")
+    asm.add_argument("source")
+    asm.add_argument("--list", action="store_true",
+                     help="print an address/word/disassembly listing")
+    asm.set_defaults(func=_cmd_asm)
+
+    run = sub.add_parser("run", help="assemble and run on the "
+                                     "functional simulator")
+    run.add_argument("source")
+    run.add_argument("--max-instructions", type=int, default=5_000_000)
+    run.add_argument("--trace", help="save the dynamic trace to this .npz")
+    run.add_argument("--bare-metal", action="store_true",
+                     help="start in kernel mode (allows MFSR/MTSR/HALT)")
+    run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser("trace", help="build and save a workload trace")
+    trace.add_argument("workload")
+    trace.add_argument("output")
+    trace.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "full"))
+    trace.set_defaults(func=_cmd_trace)
+
+    simulate = sub.add_parser("simulate", help="run the timing core")
+    simulate.add_argument("--workload", default="stream")
+    simulate.add_argument("--scale", default="small",
+                          choices=("tiny", "small", "full"))
+    simulate.add_argument("--trace-file",
+                          help="simulate a saved .npz trace instead")
+    simulate.add_argument("--config", default="1P",
+                          choices=CONFIG_NAMES + EXTENDED_CONFIG_NAMES)
+    simulate.add_argument("--issue-width", type=int, default=4)
+    simulate.add_argument("--stats", action="store_true",
+                          help="dump every counter")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a table/figure")
+    experiment.add_argument("id", help="experiment id (T1, F1..F7, T2, "
+                                       "A1..A6, B1, D1) or 'all'")
+    experiment.add_argument("--scale", default="small",
+                            choices=("tiny", "small", "full"))
+    experiment.add_argument("--output",
+                            help="also write each table into this directory")
+    experiment.add_argument("--csv", action="store_true",
+                            help="write CSV instead of plain text")
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (AsmError, SimError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Functional unit pool with pipelined and unpipelined units."""
+
+from __future__ import annotations
+
+from ..isa import OpClass
+from ..stats.counters import Stats
+from .config import FUSpec
+
+
+class FUPool:
+    """Tracks per-cycle functional unit availability.
+
+    Pipelined classes accept up to ``count`` new operations per cycle.
+    Unpipelined classes (divides) hold a unit for the full latency.
+    """
+
+    def __init__(self, specs: dict[OpClass, FUSpec],
+                 stats: Stats | None = None) -> None:
+        self.specs = specs
+        self.stats = stats if stats is not None else Stats()
+        self._issued_this_cycle: dict[OpClass, int] = {}
+        self._busy_until: dict[OpClass, list[int]] = {
+            opclass: [] for opclass, spec in specs.items()
+            if not spec.pipelined}
+
+    def begin_cycle(self, cycle: int) -> None:
+        self._issued_this_cycle.clear()
+
+    def try_issue(self, opclass: OpClass, cycle: int) -> int | None:
+        """Claim a unit; returns the completion cycle, or None if busy."""
+        spec = self.specs[opclass]
+        used = self._issued_this_cycle.get(opclass, 0)
+        if used >= spec.count:
+            self.stats.inc(f"fu.{opclass.value}.structural_stalls")
+            return None
+        if not spec.pipelined:
+            busy = self._busy_until[opclass]
+            busy[:] = [t for t in busy if t > cycle]
+            if len(busy) >= spec.count:
+                self.stats.inc(f"fu.{opclass.value}.structural_stalls")
+                return None
+            busy.append(cycle + spec.latency)
+        self._issued_this_cycle[opclass] = used + 1
+        self.stats.inc(f"fu.{opclass.value}.ops")
+        return cycle + spec.latency

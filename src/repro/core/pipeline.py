@@ -1,0 +1,434 @@
+"""The dynamic superscalar timing core.
+
+Trace-driven, cycle-accurate where it matters for the paper: every data
+cache access arbitrates for a physical port each cycle, and the
+line-buffer / write-buffer / wide-port-combining techniques remove or
+merge port uses.  Control flow is modelled with real branch prediction:
+a mispredicted branch stalls fetch until it resolves (wrong-path fetch
+is not simulated — the standard trace-driven approximation, noted in
+EXPERIMENTS.md).
+
+Stage order within a cycle (classic reverse-pipeline order so an
+instruction advances at most one stage per cycle):
+
+1. events (FU completions, AGU address resolution)
+2. commit (stores enter the write buffer here)
+3. memory (LSQ port scheduling, then write buffer drain)
+4. issue (wakeup/select, functional unit allocation)
+5. dispatch (rename: dependence wiring, ROB/IQ/LSQ allocation)
+6. fetch (I-cache, branch prediction, redirect tracking)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..func.exceptions import SimError
+from ..isa import Opcode, OpClass
+from ..isa.opcodes import Bank
+from ..mem.hierarchy import MemorySystem
+from ..stats.counters import Stats
+from ..stats.histogram import Histogram
+from ..trace.record import TraceRecord
+from .bpred import BranchPredictor
+from .config import CoreConfig, MachineConfig
+from .fu import FUPool
+from .lsq import LoadStoreQueue
+from .uop import Uop
+
+_WATCHDOG_CYCLES = 50_000
+
+
+@dataclass
+class CoreResult:
+    """Outcome of one timing simulation."""
+
+    name: str
+    cycles: int
+    instructions: int
+    stats: Stats
+    #: Distribution of load service latency (address-ready to data-ready
+    #: cycles) — how the port techniques reshape the common case.
+    load_latency: Histogram | None = None
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CoreResult({self.name!r}, cycles={self.cycles}, "
+                f"instructions={self.instructions}, ipc={self.ipc:.3f})")
+
+
+class OoOCore:
+    """One configured machine instance; :meth:`run` consumes a trace."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.cfg: CoreConfig = machine.core
+        self.stats = Stats()
+        self.mem = MemorySystem(machine.mem, stats=self.stats)
+        self.bpred = BranchPredictor(self.cfg.bpred, stats=self.stats)
+        self.fu = FUPool(self.cfg.fu_specs, stats=self.stats)
+        self.lsq = LoadStoreQueue(self.cfg, self.mem.dcache,
+                                  stats=self.stats)
+        # Pipeline state.
+        self._fetch_queue: deque[Uop] = deque()
+        self._rob: deque[Uop] = deque()
+        self._iq: list[Uop] = []
+        self._scoreboard: dict[int, Uop] = {}
+        self._events_complete: dict[int, list[Uop]] = {}
+        self._events_addr: dict[int, list[Uop]] = {}
+        self._trace: Sequence[TraceRecord] = ()
+        self._trace_pos = 0
+        self._seq = 0
+        self._cycle = 0
+        self._fetch_blocked_until = 0
+        self._waiting_branch: Uop | None = None
+        self._waiting_serialize: Uop | None = None
+        self._fetch_memo: tuple[int, int] | None = None
+        self._committed = 0
+        self._last_activity = 0
+        self.load_latency = Histogram("load_latency")
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[TraceRecord]) -> CoreResult:
+        """Simulate the machine over *trace*; returns timing results."""
+        if not trace:
+            raise ValueError("empty trace")
+        self._trace = trace
+        total = len(trace)
+        cycle = 0
+        while self._trace_pos < total or self._rob or self._fetch_queue:
+            self._cycle = cycle
+            self.mem.begin_cycle(cycle)
+            self.fu.begin_cycle(cycle)
+            self._process_events(cycle)
+            self._commit_stage(cycle)
+            self.lsq.schedule(cycle, self._schedule_load_completion)
+            self.mem.end_cycle()
+            self._issue_stage(cycle)
+            self._dispatch_stage(cycle)
+            self._fetch_stage(cycle)
+            if cycle - self._last_activity > _WATCHDOG_CYCLES:
+                raise SimError(self._deadlock_report(cycle))
+            cycle += 1
+        self.stats.set("core.cycles", cycle)
+        self.stats.set("core.committed", self._committed)
+        return CoreResult(name=self.machine.name, cycles=cycle,
+                          instructions=self._committed, stats=self.stats,
+                          load_latency=self.load_latency)
+
+    # ------------------------------------------------------------------
+    # 1. events
+    # ------------------------------------------------------------------
+    def _process_events(self, cycle: int) -> None:
+        for uop in self._events_addr.pop(cycle, ()):
+            self._resolve_address(uop, cycle)
+        for uop in self._events_complete.pop(cycle, ()):
+            self._complete(uop, cycle)
+
+    def _resolve_address(self, uop: Uop, cycle: int) -> None:
+        self.lsq.resolve_address(uop)
+        uop.addr_cycle = cycle
+        if uop.is_store:
+            self._maybe_complete_store(uop, cycle)
+
+    def _maybe_complete_store(self, uop: Uop, cycle: int) -> None:
+        if uop.addr_known and uop.data_waiting == 0 and not uop.completed:
+            uop.completed = True
+            uop.complete_cycle = max(cycle, uop.data_ready_cycle)
+
+    def _schedule_load_completion(self, uop: Uop, ready: int) -> None:
+        assert ready > self._cycle, "load data cannot be ready in the past"
+        self.load_latency.record(ready - uop.addr_cycle)
+        self._events_complete.setdefault(ready, []).append(uop)
+
+    def _complete(self, uop: Uop, cycle: int) -> None:
+        uop.completed = True
+        uop.complete_cycle = cycle
+        for consumer, is_data in uop.consumers:
+            if is_data:
+                consumer.data_waiting -= 1
+                if cycle > consumer.data_ready_cycle:
+                    consumer.data_ready_cycle = cycle
+                self._maybe_complete_store(consumer, cycle)
+            else:
+                consumer.num_waiting -= 1
+                if cycle > consumer.operands_ready:
+                    consumer.operands_ready = cycle
+        record = uop.record
+        if uop.opclass is OpClass.BRANCH:
+            self.bpred.resolve_branch(record.pc, record.taken,
+                                      record.next_pc, uop.predicted_taken,
+                                      not uop.mispredicted)
+        elif uop.opclass is OpClass.JUMP:
+            self.bpred.resolve_jump(record.pc, record.next_pc,
+                                    not uop.mispredicted)
+        if uop is self._waiting_branch:
+            self._waiting_branch = None
+            resume = cycle + self.cfg.bpred.mispredict_redirect
+            if resume > self._fetch_blocked_until:
+                self._fetch_blocked_until = resume
+
+    # ------------------------------------------------------------------
+    # 2. commit
+    # ------------------------------------------------------------------
+    def _commit_stage(self, cycle: int) -> None:
+        rob = self._rob
+        dcache = self.mem.dcache
+        direct_stores = self.machine.mem.dcache.write_buffer_depth == 0
+        commits = 0
+        while rob and commits < self.cfg.commit_width:
+            uop = rob[0]
+            if not uop.completed or uop.complete_cycle > cycle:
+                break
+            if uop.is_store:
+                if direct_stores:
+                    result = dcache.store_access(uop.line)
+                    if not result.ok:
+                        self.stats.inc("core.commit_store_port_stalls")
+                        break
+                elif not dcache.buffer_store(uop.line, uop.byte_mask):
+                    self.stats.inc("core.commit_wb_full_stalls")
+                    break
+                self.lsq.retire_store(uop)
+            elif uop.is_load:
+                self.lsq.retire_load(uop)
+            rob.popleft()
+            commits += 1
+            self._committed += 1
+            if uop is self._waiting_serialize:
+                self._waiting_serialize = None
+                resume = cycle + 1
+                if resume > self._fetch_blocked_until:
+                    self._fetch_blocked_until = resume
+        if commits:
+            self._last_activity = cycle
+            self.stats.inc("core.commits", commits)
+
+    # ------------------------------------------------------------------
+    # 4. issue
+    # ------------------------------------------------------------------
+    def _issue_stage(self, cycle: int) -> None:
+        issued = 0
+        width = self.cfg.issue_width
+        keep: list[Uop] = []
+        for uop in self._iq:
+            if issued >= width or uop.num_waiting > 0 or \
+                    uop.operands_ready > cycle:
+                keep.append(uop)
+                continue
+            done_at = self.fu.try_issue(uop.opclass, cycle)
+            if done_at is None:
+                keep.append(uop)
+                continue
+            uop.issued = True
+            uop.issue_cycle = cycle
+            issued += 1
+            if uop.is_load or uop.is_store:
+                self._events_addr.setdefault(done_at, []).append(uop)
+            else:
+                self._events_complete.setdefault(done_at, []).append(uop)
+        self._iq = keep
+        if issued:
+            self.stats.inc("core.issued", issued)
+
+    # ------------------------------------------------------------------
+    # 5. dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_stage(self, cycle: int) -> None:
+        fq = self._fetch_queue
+        cfg = self.cfg
+        dispatched = 0
+        while fq and dispatched < cfg.dispatch_width:
+            uop = fq[0]
+            if uop.fetch_cycle + cfg.decode_latency > cycle:
+                break
+            if len(self._rob) >= cfg.rob_size:
+                self.stats.inc("core.dispatch_rob_full")
+                break
+            if len(self._iq) >= cfg.iq_size:
+                self.stats.inc("core.dispatch_iq_full")
+                break
+            if uop.is_load and self.lsq.lq_full:
+                self.stats.inc("core.dispatch_lq_full")
+                break
+            if uop.is_store and self.lsq.sq_full:
+                self.stats.inc("core.dispatch_sq_full")
+                break
+            fq.popleft()
+            self._wire_dependences(uop)
+            uop.dispatch_cycle = cycle
+            self._rob.append(uop)
+            self._iq.append(uop)
+            if uop.is_load:
+                self.lsq.add_load(uop)
+            elif uop.is_store:
+                self.lsq.add_store(uop)
+            dispatched += 1
+        if dispatched:
+            self._last_activity = cycle
+            self.stats.inc("core.dispatched", dispatched)
+
+    def _wire_dependences(self, uop: Uop) -> None:
+        record = uop.record
+        scoreboard = self._scoreboard
+        if uop.is_store:
+            instr = record.instr
+            if instr is not None:
+                if instr.rs1 != 0:
+                    self._add_dep(uop, instr.rs1, is_data=False)
+                info = instr.info
+                if not (info.rs2_bank is Bank.INT and instr.rs2 == 0):
+                    self._add_dep(uop, instr.rs2, is_data=True)
+            else:
+                # Instruction-less records (synthetic / deserialised
+                # traces): first source is the address base, the rest
+                # feed the store data.
+                for position, reg in enumerate(record.sources):
+                    self._add_dep(uop, reg, is_data=position > 0)
+        else:
+            for reg in record.sources:
+                self._add_dep(uop, reg, is_data=False)
+        if record.dest is not None:
+            scoreboard[record.dest] = uop
+
+    def _add_dep(self, uop: Uop, reg: int, is_data: bool) -> None:
+        producer = self._scoreboard.get(reg)
+        if producer is None:
+            return
+        if producer.completed:
+            when = producer.complete_cycle
+            if is_data:
+                if when > uop.data_ready_cycle:
+                    uop.data_ready_cycle = when
+            elif when > uop.operands_ready:
+                uop.operands_ready = when
+            return
+        producer.consumers.append((uop, is_data))
+        if is_data:
+            uop.data_waiting += 1
+        else:
+            uop.num_waiting += 1
+
+    # ------------------------------------------------------------------
+    # 6. fetch
+    # ------------------------------------------------------------------
+    def _fetch_stage(self, cycle: int) -> None:
+        if self._waiting_branch is not None:
+            self.stats.inc("fetch.stall_branch_cycles")
+            return
+        if self._waiting_serialize is not None:
+            self.stats.inc("fetch.stall_serialize_cycles")
+            return
+        if cycle < self._fetch_blocked_until:
+            self.stats.inc("fetch.stall_redirect_cycles")
+            return
+        trace = self._trace
+        total = len(trace)
+        if self._trace_pos >= total:
+            return
+        fq = self._fetch_queue
+        cfg = self.cfg
+        if len(fq) >= cfg.fetch_queue_size:
+            self.stats.inc("fetch.stall_queue_cycles")
+            return
+        icache = self.mem.icache
+        first = trace[self._trace_pos]
+        block = icache.block_of(first.pc)
+        if self._fetch_memo is not None and self._fetch_memo[0] == block:
+            ready = self._fetch_memo[1]
+        else:
+            ready = icache.fetch(first.pc, cycle)
+            self._fetch_memo = (block, ready)
+        if ready > cycle:
+            self._fetch_blocked_until = ready
+            self.stats.inc("fetch.icache_stall_cycles", ready - cycle)
+            return
+        fetched = 0
+        while (self._trace_pos < total and fetched < cfg.fetch_width
+               and len(fq) < cfg.fetch_queue_size):
+            record = trace[self._trace_pos]
+            if icache.block_of(record.pc) != block:
+                break
+            uop = Uop(record, self._seq)
+            self._seq += 1
+            uop.fetch_cycle = cycle
+            fq.append(uop)
+            fetched += 1
+            self._trace_pos += 1
+            if record.is_control:
+                if self._handle_control_fetch(uop, cycle):
+                    break
+            elif record.next_pc != record.pc + 4 or \
+                    record.opclass is OpClass.SYSTEM and \
+                    self._serializes(record):
+                # A non-branch redirect: trap, interrupt or eret.  The
+                # pipeline flushes; fetch resumes after the instruction
+                # commits.
+                uop.serialize = True
+                self._waiting_serialize = uop
+                self.stats.inc("fetch.serialize_redirects")
+                break
+        if fetched:
+            self._last_activity = cycle
+            self.stats.inc("fetch.fetched", fetched)
+
+    @staticmethod
+    def _serializes(record: TraceRecord) -> bool:
+        instr = record.instr
+        return instr is not None and instr.opcode in (Opcode.SYSCALL,
+                                                      Opcode.ERET)
+
+    def _handle_control_fetch(self, uop: Uop, cycle: int) -> bool:
+        """Predict a control transfer at fetch; returns True to stop
+        fetching this cycle."""
+        record = uop.record
+        cfg = self.cfg.bpred
+        if uop.opclass is OpClass.BRANCH:
+            predicted_taken, predicted_target = \
+                self.bpred.predict_branch(record.pc)
+            uop.predicted_taken = predicted_taken
+            correct = predicted_taken == record.taken and (
+                not record.taken or predicted_target == record.next_pc)
+            if not correct:
+                uop.mispredicted = True
+                self._waiting_branch = uop
+                return True
+            return record.taken  # a taken branch ends the fetch block
+        # Unconditional transfers.
+        instr = record.instr
+        opcode = instr.opcode if instr is not None else None
+        predicted_target = self.bpred.predict_jump(record.pc)
+        if predicted_target == record.next_pc:
+            return True  # correctly predicted taken: block ends
+        if opcode in (Opcode.J, Opcode.JAL):
+            # Target is in the instruction word: redirect at decode.
+            self._fetch_blocked_until = cycle + 1 + cfg.btb_miss_redirect
+            self.stats.inc("fetch.jump_decode_redirects")
+            return True
+        # Register-indirect target: wait for execute.
+        uop.mispredicted = True
+        self._waiting_branch = uop
+        return True
+
+    # ------------------------------------------------------------------
+    def _deadlock_report(self, cycle: int) -> str:
+        head = self._rob[0] if self._rob else None
+        return (f"timing core made no progress for {_WATCHDOG_CYCLES} cycles "
+                f"(cycle={cycle}, committed={self._committed}, "
+                f"rob={len(self._rob)}, iq={len(self._iq)}, "
+                f"fq={len(self._fetch_queue)}, head={head!r})")
+
+
+def simulate(trace: Sequence[TraceRecord],
+             machine: MachineConfig) -> CoreResult:
+    """Convenience: run *trace* through a fresh machine instance."""
+    return OoOCore(machine).run(trace)

@@ -1,0 +1,65 @@
+"""In-flight instruction state for the timing core."""
+
+from __future__ import annotations
+
+from ..isa import OpClass
+from ..trace.record import TraceRecord
+
+#: Sentinel "not yet" cycle.
+NEVER = -1
+
+
+class Uop:
+    """One instruction travelling through the out-of-order machine.
+
+    Plain attribute bag with ``__slots__``; the pipeline touches these
+    millions of times per run.
+    """
+
+    __slots__ = (
+        "record", "seq", "opclass",
+        "fetch_cycle", "dispatch_cycle", "issue_cycle", "addr_cycle",
+        "completed", "complete_cycle",
+        "num_waiting", "operands_ready", "consumers",
+        "is_load", "is_store", "addr_known", "line", "chunk", "byte_mask",
+        "data_waiting", "data_ready_cycle",
+        "mem_done",
+        "mispredicted", "predicted_taken", "serialize", "issued",
+    )
+
+    def __init__(self, record: TraceRecord, seq: int) -> None:
+        self.record = record
+        self.seq = seq
+        self.opclass: OpClass = record.opclass
+        self.fetch_cycle = NEVER
+        self.dispatch_cycle = NEVER
+        self.issue_cycle = NEVER
+        self.addr_cycle = NEVER
+        self.completed = False
+        self.complete_cycle = NEVER
+        # Operand (issue-gating) dependences.
+        self.num_waiting = 0
+        self.operands_ready = 0
+        self.consumers: list[tuple["Uop", bool]] = []  # (consumer, is_data)
+        # Memory state.
+        self.is_load = record.is_load
+        self.is_store = record.is_store
+        self.addr_known = False
+        self.line = 0
+        self.chunk = 0
+        self.byte_mask = 0
+        # Store-data dependence (tracked separately from the AGU operand).
+        self.data_waiting = 0
+        self.data_ready_cycle = 0
+        self.mem_done = False   # load: cache/forward satisfied
+        # Fetch/branch state.
+        self.mispredicted = False
+        self.predicted_taken = False
+        self.serialize = False
+        self.issued = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "L" if self.is_load else "S" if self.is_store else \
+            self.opclass.name
+        return (f"Uop#{self.seq}({kind} pc={self.record.pc:#x} "
+                f"completed={self.completed})")

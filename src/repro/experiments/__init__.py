@@ -1,0 +1,59 @@
+"""The experiment harness: one module per reproduced table/figure.
+
+``ALL_EXPERIMENTS`` maps experiment ids to their ``run(scale)``
+callables; ``run_all`` regenerates the whole evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..stats.report import Table
+from . import (
+    a1_combining_window,
+    a2_line_buffer_entries,
+    a3_locality_sweep,
+    a4_banking,
+    a5_prefetch,
+    a6_victim_cache,
+    b1_predictors,
+    d1_load_latency,
+    f1_ipc_configs,
+    f2_headline,
+    f3_line_buffer,
+    f4_combining,
+    f5_write_buffer,
+    f6_issue_width,
+    f7_os_effect,
+    t1_characteristics,
+    t2_cache_behaviour,
+)
+
+ALL_EXPERIMENTS: dict[str, Callable[..., Table]] = {
+    "T1": t1_characteristics.run,
+    "F1": f1_ipc_configs.run,
+    "F2": f2_headline.run,
+    "F3": f3_line_buffer.run,
+    "F4": f4_combining.run,
+    "F5": f5_write_buffer.run,
+    "F6": f6_issue_width.run,
+    "T2": t2_cache_behaviour.run,
+    "F7": f7_os_effect.run,
+    "A1": a1_combining_window.run,
+    "A2": a2_line_buffer_entries.run,
+    "A3": a3_locality_sweep.run,
+    "A4": a4_banking.run,
+    "A5": a5_prefetch.run,
+    "A6": a6_victim_cache.run,
+    "B1": b1_predictors.run,
+    "D1": d1_load_latency.run,
+}
+
+
+def run_all(scale: str = "small") -> dict[str, Table]:
+    """Regenerate every table/figure; returns them keyed by id."""
+    return {exp_id: runner(scale) for exp_id, runner
+            in ALL_EXPERIMENTS.items()}
+
+
+__all__ = ["ALL_EXPERIMENTS", "run_all"]

@@ -1,0 +1,34 @@
+"""A1 — ablation: how many loads may share one wide-port access.
+
+Sweeps ``max_combine`` (1 disables combining entirely) on the wide
+single-port configuration over the memory-intensive workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..presets import machine
+from ..stats.report import Table
+from .runner import MEMORY_INTENSIVE, run_one, suite_traces
+
+_LIMITS = (1, 2, 4, 8)
+
+
+def run(scale: str = "small") -> Table:
+    table = Table(
+        title=f"A1: loads combined per wide-port access ({scale})",
+        columns=["workload"] + [f"max_{n}" for n in _LIMITS],
+    )
+    traces = suite_traces(scale, names=MEMORY_INTENSIVE)
+    for name in MEMORY_INTENSIVE:
+        cells: list[object] = [name]
+        for limit in _LIMITS:
+            base = machine("1P-wide+LB+SC")
+            config = replace(base, core=replace(base.core,
+                                                max_combine=limit))
+            cells.append(round(run_one(traces[name], config).ipc, 3))
+        table.add_row(*cells)
+    table.add_note("max_1 keeps the wide port but allows no sharing; the "
+                   "line buffer read cap follows the same limit")
+    return table

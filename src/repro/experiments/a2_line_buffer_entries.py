@@ -1,0 +1,37 @@
+"""A2 — ablation: line buffer capacity.
+
+One entry (the paper's proposal) already captures spatial reuse within
+the most recent line; this sweep measures what 2, 4 or 8 entries add,
+and reports the line-buffer service fraction alongside IPC.
+"""
+
+from __future__ import annotations
+
+from ..presets import machine
+from ..stats.report import Table
+from .runner import MEMORY_INTENSIVE, run_one, suite_traces
+
+_ENTRIES = (1, 2, 4, 8)
+
+
+def run(scale: str = "small") -> Table:
+    columns = ["workload"]
+    for count in _ENTRIES:
+        columns += [f"ipc_e{count}", f"lbfrac_e{count}"]
+    table = Table(
+        title=f"A2: line buffer entries ({scale})",
+        columns=columns,
+    )
+    traces = suite_traces(scale, names=MEMORY_INTENSIVE)
+    for name in MEMORY_INTENSIVE:
+        cells: list[object] = [name]
+        for count in _ENTRIES:
+            result = run_one(traces[name],
+                             machine("1P+LB", line_buffer_entries=count))
+            stats = result.stats
+            loads = stats["lsq.lb_loads"] + stats["lsq.port_loads"] + \
+                stats["lsq.sq_forwards"] + stats["lsq.wb_forwards"]
+            fraction = stats["lsq.lb_loads"] / loads if loads else 0.0
+            cells += [round(result.ipc, 3), round(fraction, 3)]
+        table.add_row(*cells)
+    return table

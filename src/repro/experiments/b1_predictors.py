@@ -1,0 +1,47 @@
+"""B1 — extension: branch predictors on user vs full-system streams.
+
+A companion study in the spirit of the ISCA'96 session: the same
+machine with a per-branch 2-bit table vs gshare, on the user-only view
+and on the kernel-inclusive trace.  Kernel interleaving perturbs global
+history and aliases tables, so the gshare advantage shrinks (or
+reverses) once the OS is included — the effect the user-only
+methodology hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..presets import DUAL_PORT, machine
+from ..stats.report import Table
+from ..workloads.suite import build_os_mix_trace
+from .runner import run_one
+
+
+def _with_predictor(kind: str):
+    base = machine(DUAL_PORT)
+    return replace(base, core=replace(
+        base.core, bpred=replace(base.core.bpred, kind=kind)))
+
+
+def run(scale: str = "small") -> Table:
+    table = Table(
+        title=f"B1: predictor accuracy, user-only vs full-system ({scale})",
+        columns=["trace", "twobit_acc", "gshare_acc", "twobit_ipc",
+                 "gshare_ipc"],
+    )
+    full = build_os_mix_trace(scale)
+    user_only = [record for record in full if not record.kernel]
+    for label, trace in (("with-kernel", full), ("user-only", user_only)):
+        row: list[object] = [label]
+        ipcs = []
+        for kind in ("twobit", "gshare"):
+            result = run_one(trace, _with_predictor(kind))
+            stats = result.stats
+            branches = stats["bpred.branches"]
+            row.append(round(stats["bpred.correct"] / branches
+                             if branches else 1.0, 4))
+            ipcs.append(round(result.ipc, 3))
+        row += ipcs
+        table.add_row(*row)
+    return table

@@ -1,0 +1,24 @@
+"""F1 — IPC of every port configuration, per workload.
+
+The evaluation's main figure: one IPC bar per (workload, configuration)
+over the full suite plus the multiprogrammed OS mix.
+"""
+
+from __future__ import annotations
+
+from ..presets import CONFIG_NAMES
+from ..stats.report import Table
+from .runner import ROW_NAMES, run_configs, suite_traces
+
+
+def run(scale: str = "small") -> Table:
+    table = Table(
+        title=f"F1: IPC by port configuration ({scale})",
+        columns=["workload", *CONFIG_NAMES],
+    )
+    traces = suite_traces(scale)
+    for name in ROW_NAMES:
+        results = run_configs(traces[name], CONFIG_NAMES)
+        table.add_row(name, *(round(results[c].ipc, 3)
+                              for c in CONFIG_NAMES))
+    return table

@@ -1,0 +1,66 @@
+"""F2 — the headline: single-port techniques vs the dual-ported cache.
+
+The abstract's claim: *"Our techniques using a single-ported cache
+achieve 91% of the performance of a dual-ported cache."*  This
+experiment reports, per workload and as suite means, the performance of
+the plain single port and of the all-techniques single port relative to
+the dual-ported references (plain ``2P`` and the conservative
+``2P+SC``).
+"""
+
+from __future__ import annotations
+
+from ..presets import BEST_SINGLE_PORT, DUAL_PORT, STRONG_DUAL_PORT
+from ..stats.report import Table
+from .runner import (
+    MEMORY_INTENSIVE,
+    ROW_NAMES,
+    mean,
+    run_configs,
+    suite_traces,
+)
+
+_CONFIGS = ("1P", BEST_SINGLE_PORT, DUAL_PORT, STRONG_DUAL_PORT)
+
+
+def run(scale: str = "small") -> Table:
+    table = Table(
+        title=f"F2: performance relative to the dual-ported cache ({scale})",
+        columns=["workload", "1P/2P", "tech/2P", "1P/2P+SC", "tech/2P+SC"],
+    )
+    traces = suite_traces(scale)
+    rows: dict[str, tuple[float, float, float, float]] = {}
+    for name in ROW_NAMES:
+        results = run_configs(traces[name], _CONFIGS)
+        base = results[DUAL_PORT].ipc
+        strong = results[STRONG_DUAL_PORT].ipc
+        single = results["1P"].ipc
+        tech = results[BEST_SINGLE_PORT].ipc
+        rows[name] = (single / base, tech / base,
+                      single / strong, tech / strong)
+        table.add_row(name, *(round(v, 3) for v in rows[name]))
+    for label, names in (("MEAN (all)", ROW_NAMES),
+                         ("MEAN (memory-intensive)", MEMORY_INTENSIVE)):
+        columns = zip(*(rows[name] for name in names))
+        table.add_row(label, *(round(mean(list(col)), 3)
+                               for col in columns))
+    table.add_note(f"'tech' = {BEST_SINGLE_PORT} (wide port + line buffer "
+                   "+ store combining on one port)")
+    table.add_note("paper headline: tech reaches 91% of dual-port; see "
+                   "EXPERIMENTS.md for the measured relation")
+    return table
+
+
+def headline_ratios(scale: str = "small") -> dict[str, float]:
+    """Machine-readable headline numbers (used by tests/benches)."""
+    table = run(scale)
+    return {
+        "tech_vs_2p": float(table.cell("MEAN (all)", "tech/2P")),
+        "tech_vs_2p_sc": float(table.cell("MEAN (all)", "tech/2P+SC")),
+        "single_vs_2p": float(table.cell("MEAN (all)", "1P/2P")),
+        "single_vs_2p_sc": float(table.cell("MEAN (all)", "1P/2P+SC")),
+        "tech_vs_2p_memint": float(
+            table.cell("MEAN (memory-intensive)", "tech/2P")),
+        "single_vs_2p_memint": float(
+            table.cell("MEAN (memory-intensive)", "1P/2P")),
+    }

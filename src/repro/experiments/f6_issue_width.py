@@ -1,0 +1,44 @@
+"""F6 — sensitivity to issue width.
+
+Port bandwidth matters more as the core gets wider: this sweep runs
+2-, 4- and 8-wide cores over the single-port baseline, the
+all-techniques single port and the dual-ported cache, and reports the
+relative performance at each width.
+"""
+
+from __future__ import annotations
+
+from ..presets import BEST_SINGLE_PORT, DUAL_PORT
+from ..stats.report import Table
+from .runner import MEMORY_INTENSIVE, mean, run_configs, suite_traces
+
+_WIDTHS = (2, 4, 8)
+_CONFIGS = ("1P", BEST_SINGLE_PORT, DUAL_PORT)
+
+
+def run(scale: str = "small") -> Table:
+    columns = ["width"]
+    for config in _CONFIGS:
+        columns.append(f"ipc_{config}")
+    columns += ["1P/2P", "tech/2P"]
+    table = Table(
+        title=f"F6: issue width sensitivity, memory-intensive mean ({scale})",
+        columns=columns,
+    )
+    traces = suite_traces(scale, names=MEMORY_INTENSIVE)
+    for width in _WIDTHS:
+        per_config: dict[str, list[float]] = {c: [] for c in _CONFIGS}
+        for name in MEMORY_INTENSIVE:
+            results = run_configs(traces[name], _CONFIGS,
+                                  issue_width=width)
+            for config in _CONFIGS:
+                per_config[config].append(results[config].ipc)
+        means = {c: mean(per_config[c]) for c in _CONFIGS}
+        table.add_row(
+            width,
+            *(round(means[c], 3) for c in _CONFIGS),
+            round(means["1P"] / means[DUAL_PORT], 3),
+            round(means[BEST_SINGLE_PORT] / means[DUAL_PORT], 3),
+        )
+    table.add_note(f"rows are means over {MEMORY_INTENSIVE}")
+    return table

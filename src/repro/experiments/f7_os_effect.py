@@ -1,0 +1,47 @@
+"""F7 — the effect of including the operating system.
+
+The paper's evaluation pointedly uses "realistic applications that
+include the operating system".  This experiment quantifies why that
+matters for port studies: it compares the multiprogrammed mix traced
+*with* kernel activity against the user-only view of the same
+execution (kernel records filtered out — the classic user-only-trace
+methodology), for branch behaviour and for the port-technique benefit.
+"""
+
+from __future__ import annotations
+
+from ..presets import BEST_SINGLE_PORT, DUAL_PORT
+from ..stats.report import Table
+from ..workloads.suite import build_os_mix_trace
+from .runner import run_configs
+
+_CONFIGS = ("1P", BEST_SINGLE_PORT, DUAL_PORT)
+
+
+def run(scale: str = "small") -> Table:
+    table = Table(
+        title=f"F7: OS inclusion vs user-only tracing ({scale})",
+        columns=["trace", "instructions", "bpred_acc", "ipc_1P",
+                 "ipc_tech", "ipc_2P", "1P/2P", "tech/2P"],
+    )
+    full = build_os_mix_trace(scale)
+    user_only = [record for record in full if not record.kernel]
+    for label, trace in (("with-kernel", full), ("user-only", user_only)):
+        results = run_configs(trace, _CONFIGS)
+        stats = results[DUAL_PORT].stats
+        branches = stats["bpred.branches"]
+        accuracy = stats["bpred.correct"] / branches if branches else 1.0
+        base = results[DUAL_PORT].ipc
+        table.add_row(
+            label,
+            len(trace),
+            round(accuracy, 3),
+            round(results["1P"].ipc, 3),
+            round(results[BEST_SINGLE_PORT].ipc, 3),
+            round(base, 3),
+            round(results["1P"].ipc / base, 3),
+            round(results[BEST_SINGLE_PORT].ipc / base, 3),
+        )
+    table.add_note("user-only = kernel records filtered from the same "
+                   "execution (the methodology the paper improves on)")
+    return table

@@ -1,0 +1,61 @@
+"""Shared infrastructure for the experiment harness.
+
+Each experiment module in this package regenerates one table or figure
+of the evaluation (see ``DESIGN.md``'s experiment index) and exposes::
+
+    run(scale="small") -> repro.stats.report.Table
+
+Traces are produced once per (workload, scale) by the workload suite's
+cache, so a grid of machine configurations only pays for functional
+simulation once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..core.config import MachineConfig
+from ..core.pipeline import CoreResult, OoOCore
+from ..presets import machine as preset_machine
+from ..trace.record import TraceRecord
+from ..workloads.suite import SUITE_NAMES, build_os_mix_trace, build_trace
+
+#: Workload row order used by most experiments (suite + the OS mix).
+ROW_NAMES = SUITE_NAMES + ("os-mix",)
+
+#: The memory-intensive subset where port bandwidth is first-order.
+MEMORY_INTENSIVE = ("linked", "stream", "memops", "os-mix")
+
+
+def suite_traces(scale: str = "small",
+                 names: Sequence[str] = ROW_NAMES,
+                 ) -> dict[str, list[TraceRecord]]:
+    """Build (or fetch cached) traces for the requested workloads."""
+    traces: dict[str, list[TraceRecord]] = {}
+    for name in names:
+        if name == "os-mix":
+            traces[name] = build_os_mix_trace(scale)
+        else:
+            traces[name] = build_trace(name, scale)
+    return traces
+
+
+def run_one(trace: Sequence[TraceRecord],
+            machine: MachineConfig) -> CoreResult:
+    """Simulate one trace on one machine."""
+    return OoOCore(machine).run(trace)
+
+
+def run_configs(trace: Sequence[TraceRecord],
+                config_names: Iterable[str],
+                issue_width: int = 4,
+                **dcache_overrides: object) -> dict[str, CoreResult]:
+    """Simulate one trace across several preset configurations."""
+    return {name: run_one(trace, preset_machine(name, issue_width,
+                                                **dcache_overrides))
+            for name in config_names}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,42 @@
+"""Functional (ISA-level) simulation: memory, state, interpreter."""
+
+from .exceptions import SimError, SimHalted, TrapCause
+from .interp import ARG_REG, SYSCALL_REG, Interpreter, load_program
+from .memory import (
+    NULL_GUARD,
+    PAGE_SIZE,
+    ConsoleDevice,
+    Device,
+    Memory,
+    MemoryFault,
+    make_console_memory,
+)
+from .run import DEFAULT_STACK_TOP, RunResult, run_bare
+from .state import ArchState, bits_to_float, float_to_bits, to_signed, to_unsigned
+from .syscalls import HostSyscalls
+
+__all__ = [
+    "SimError",
+    "SimHalted",
+    "TrapCause",
+    "ARG_REG",
+    "SYSCALL_REG",
+    "Interpreter",
+    "load_program",
+    "NULL_GUARD",
+    "PAGE_SIZE",
+    "ConsoleDevice",
+    "Device",
+    "Memory",
+    "MemoryFault",
+    "make_console_memory",
+    "DEFAULT_STACK_TOP",
+    "RunResult",
+    "run_bare",
+    "ArchState",
+    "bits_to_float",
+    "float_to_bits",
+    "to_signed",
+    "to_unsigned",
+    "HostSyscalls",
+]

@@ -1,0 +1,27 @@
+"""Trap causes and simulator control-flow exceptions."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TrapCause(enum.IntEnum):
+    """Values written to the CAUSE system register on a trap."""
+
+    SYSCALL = 1
+    TIMER = 2
+    ILLEGAL = 3
+    MISALIGNED = 4
+    BADADDR = 5
+
+
+class SimHalted(Exception):
+    """The simulated machine executed HALT."""
+
+    def __init__(self, exit_code: int = 0) -> None:
+        self.exit_code = exit_code
+        super().__init__(f"machine halted (exit code {exit_code})")
+
+
+class SimError(Exception):
+    """An unrecoverable simulation error (bad program, bad config)."""

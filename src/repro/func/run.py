@@ -1,0 +1,70 @@
+"""Convenience runners that wire memory, console and interpreter together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import Program
+from ..trace.record import TraceRecord
+from .interp import Interpreter, load_program
+from .memory import ConsoleDevice, Memory
+from .syscalls import HostSyscalls
+
+#: Default stack placement for bare runs (grows down).
+DEFAULT_STACK_TOP = 0x400000
+_SP = 2  # stack pointer register index
+
+
+@dataclass
+class RunResult:
+    """Outcome of a functional run."""
+
+    exit_code: int
+    console: str
+    retired: int
+    kernel_retired: int
+    loads: int
+    stores: int
+    traps_taken: int = 0
+    timer_interrupts: int = 0
+    trace: list[TraceRecord] = field(default_factory=list)
+
+    @property
+    def user_retired(self) -> int:
+        return self.retired - self.kernel_retired
+
+
+def run_bare(program: Program, max_instructions: int = 5_000_000,
+             collect_trace: bool = False,
+             stack_top: int = DEFAULT_STACK_TOP,
+             user_mode: bool = True) -> RunResult:
+    """Run a single program without the mini-OS.
+
+    Syscalls are serviced by the host; the trace (if collected) contains
+    only user-mode instructions.  Pass ``user_mode=False`` for bare-metal
+    programs that use privileged instructions (MFSR/MTSR/HALT).
+    """
+    memory = Memory()
+    console = ConsoleDevice()
+    memory.add_device(console)
+    load_program(memory, program)
+    trace: list[TraceRecord] = []
+    sink = trace.append if collect_trace else None
+    interp = Interpreter(memory, entry=program.entry,
+                         syscall_handler=HostSyscalls(console),
+                         trace_sink=sink)
+    if user_mode:
+        interp.state.status = 0
+    interp.state.write_reg(_SP, stack_top)
+    exit_code = interp.run(max_instructions)
+    return RunResult(
+        exit_code=exit_code,
+        console=console.text(),
+        retired=interp.retired,
+        kernel_retired=interp.kernel_retired,
+        loads=interp.loads,
+        stores=interp.stores,
+        traps_taken=interp.traps_taken,
+        timer_interrupts=interp.timer_interrupts,
+        trace=trace,
+    )

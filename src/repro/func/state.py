@@ -1,0 +1,117 @@
+"""Architectural state of the functional machine."""
+
+from __future__ import annotations
+
+import struct
+
+from ..isa import (
+    STATUS_INT_ENABLE,
+    STATUS_KERNEL,
+    TOTAL_REG_COUNT,
+    SysReg,
+)
+
+_MASK64 = (1 << 64) - 1
+
+#: STATUS bits holding the pre-trap (previous) mode, MIPS style.
+STATUS_PREV_KERNEL = 1 << 2
+STATUS_PREV_INT_ENABLE = 1 << 3
+
+SYSREG_COUNT = 16
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as signed."""
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int to a 64-bit unsigned value."""
+    return value & _MASK64
+
+
+def bits_to_float(bits: int) -> float:
+    """Reinterpret a 64-bit pattern as an IEEE-754 double."""
+    return struct.unpack("<d", bits.to_bytes(8, "little"))[0]
+
+
+def float_to_bits(value: float) -> int:
+    """Reinterpret an IEEE-754 double as its 64-bit pattern."""
+    return int.from_bytes(struct.pack("<d", value), "little")
+
+
+class ArchState:
+    """Registers, pc and system registers.
+
+    All 64 architectural registers (integer bank 0..31, fp bank 32..63)
+    hold raw 64-bit unsigned patterns; floating point helpers reinterpret
+    the pattern.  Register 0 is hardwired to zero — writes to it are
+    dropped by :meth:`write_reg`.
+    """
+
+    __slots__ = ("regs", "pc", "sysregs")
+
+    def __init__(self, pc: int = 0) -> None:
+        self.regs: list[int] = [0] * TOTAL_REG_COUNT
+        self.pc = pc
+        self.sysregs: list[int] = [0] * SYSREG_COUNT
+        # Bare machines boot in kernel mode with interrupts off.
+        self.sysregs[SysReg.STATUS] = STATUS_KERNEL
+
+    # -- general registers ---------------------------------------------------
+    def read_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index == 0:
+            return
+        self.regs[index] = value & _MASK64
+
+    def read_float(self, index: int) -> float:
+        return bits_to_float(self.regs[index])
+
+    def write_float(self, index: int, value: float) -> None:
+        self.regs[index] = float_to_bits(value)
+
+    # -- system registers -----------------------------------------------------
+    def read_sysreg(self, index: int) -> int:
+        if not 0 <= index < SYSREG_COUNT:
+            raise IndexError(f"system register {index} out of range")
+        return self.sysregs[index]
+
+    def write_sysreg(self, index: int, value: int) -> None:
+        if not 0 <= index < SYSREG_COUNT:
+            raise IndexError(f"system register {index} out of range")
+        self.sysregs[index] = value & _MASK64
+
+    # -- mode bits ---------------------------------------------------------
+    @property
+    def status(self) -> int:
+        return self.sysregs[SysReg.STATUS]
+
+    @status.setter
+    def status(self, value: int) -> None:
+        self.sysregs[SysReg.STATUS] = value
+
+    @property
+    def kernel_mode(self) -> bool:
+        return bool(self.status & STATUS_KERNEL)
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return bool(self.status & STATUS_INT_ENABLE)
+
+    def enter_trap(self) -> None:
+        """Shift current mode bits to the 'previous' slots; enter kernel
+        with interrupts disabled (MIPS-style two-level status stack)."""
+        status = self.status
+        prev = (status & (STATUS_KERNEL | STATUS_INT_ENABLE)) << 2
+        self.status = (status & ~(STATUS_PREV_KERNEL | STATUS_PREV_INT_ENABLE
+                                  | STATUS_KERNEL | STATUS_INT_ENABLE)
+                       ) | prev | STATUS_KERNEL
+
+    def leave_trap(self) -> None:
+        """Restore the pre-trap mode bits (ERET)."""
+        status = self.status
+        prev = (status & (STATUS_PREV_KERNEL | STATUS_PREV_INT_ENABLE)) >> 2
+        self.status = (status & ~(STATUS_KERNEL | STATUS_INT_ENABLE)) | prev

@@ -1,0 +1,55 @@
+"""Host-side syscall handling for *bare mode* (no kernel image).
+
+When a program runs without the mini-OS, SYSCALL instructions are
+serviced directly by the host via :class:`HostSyscalls` — handy for unit
+tests and for generating user-only traces (the paper's "without OS"
+comparison point).
+"""
+
+from __future__ import annotations
+
+from .. import abi
+from .exceptions import SimError, SimHalted
+from .interp import ARG_REG, SYSCALL_REG, Interpreter
+from .memory import ConsoleDevice
+from .state import to_signed
+
+_PAGE = 4096
+
+
+class HostSyscalls:
+    """Implements the syscall ABI on the host, for single-program runs."""
+
+    def __init__(self, console: ConsoleDevice | None = None,
+                 initial_break: int = 0x200000) -> None:
+        self.console = console
+        self.brk = initial_break
+
+    def __call__(self, interp: Interpreter) -> None:
+        state = interp.state
+        number = state.regs[SYSCALL_REG]
+        a0 = state.regs[ARG_REG]
+        a1 = state.regs[ARG_REG + 1]
+        if number == abi.SYS_EXIT:
+            raise SimHalted(to_signed(a0))
+        if number == abi.SYS_WRITE:
+            blob = interp.memory.read_bytes(a0, a1)
+            if self.console is not None:
+                self.console.output += blob
+            state.write_reg(ARG_REG, a1)
+            return
+        if number == abi.SYS_BRK:
+            if a0:
+                self.brk = (a0 + _PAGE - 1) & ~(_PAGE - 1)
+            state.write_reg(ARG_REG, self.brk)
+            return
+        if number == abi.SYS_YIELD:
+            state.write_reg(ARG_REG, 0)  # single program: nothing to do
+            return
+        if number == abi.SYS_GETPID:
+            state.write_reg(ARG_REG, 1)
+            return
+        if number == abi.SYS_TIME:
+            state.write_reg(ARG_REG, interp.retired)
+            return
+        raise SimError(f"unknown syscall {number}")

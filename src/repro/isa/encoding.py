@@ -1,0 +1,152 @@
+"""Binary encoding of the mini RISC ISA.
+
+Instructions encode into fixed 32-bit words:
+
+===========  =======================================================
+Format       Bit layout (msb first)
+===========  =======================================================
+R            opcode[7] rd[5] rs1[5] rs2[5] zero[10]
+I / MEM /    opcode[7] rd[5] rs1[5] imm[15 signed]
+SYS          (stores put their value register in the rd field)
+B            opcode[7] rs1[5] rs2[5] imm[15 signed]
+U            opcode[7] rd[5] imm[20 signed]
+===========  =======================================================
+
+Register fields hold 5-bit *bank-local* indices; the opcode's operand
+bank metadata (:class:`repro.isa.opcodes.Bank`) determines whether a
+field refers to the integer bank (unified 0..31) or the floating point
+bank (unified 32..63).
+"""
+
+from __future__ import annotations
+
+from .instructions import Instruction
+from .opcodes import OPCODE_INFO, Bank, Format, Opcode
+from .registers import INT_REG_COUNT
+
+#: Stable opcode numbering used in the binary encoding.
+OPCODE_NUMBERS: dict[Opcode, int] = {op: idx for idx, op in enumerate(Opcode)}
+_NUMBER_TO_OPCODE: dict[int, Opcode] = {v: k for k, v in OPCODE_NUMBERS.items()}
+
+IMM15_MIN, IMM15_MAX = -(1 << 14), (1 << 14) - 1
+IMM20_MIN, IMM20_MAX = -(1 << 19), (1 << 19) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _encode_reg(unified: int, bank: Bank, what: str) -> int:
+    if bank is Bank.NONE:
+        if unified:
+            raise EncodingError(f"{what}: register set on unused field")
+        return 0
+    if bank is Bank.INT:
+        if not 0 <= unified < INT_REG_COUNT:
+            raise EncodingError(f"{what}: {unified} is not an integer register")
+        return unified
+    local = unified - INT_REG_COUNT
+    if not 0 <= local < INT_REG_COUNT:
+        raise EncodingError(f"{what}: {unified} is not a fp register")
+    return local
+
+
+def _decode_reg(local: int, bank: Bank) -> int:
+    if bank is Bank.NONE:
+        return 0
+    if bank is Bank.INT:
+        return local
+    return local + INT_REG_COUNT
+
+
+def _check_imm(value: int, lo: int, hi: int, what: str) -> int:
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what}: immediate {value} outside [{lo}, {hi}]")
+    return value
+
+
+def encode(instr: Instruction) -> int:
+    """Encode *instr* into its 32-bit word."""
+    info = OPCODE_INFO[instr.opcode]
+    opnum = OPCODE_NUMBERS[instr.opcode] << 25
+    what = instr.opcode.value
+    if info.fmt is Format.R:
+        rd = _encode_reg(instr.rd, info.rd_bank, what)
+        rs1 = _encode_reg(instr.rs1, info.rs1_bank, what)
+        rs2 = _encode_reg(instr.rs2, info.rs2_bank, what)
+        return opnum | (rd << 20) | (rs1 << 15) | (rs2 << 10)
+    if info.fmt in (Format.I, Format.MEM, Format.SYS):
+        if info.is_store:
+            first = _encode_reg(instr.rs2, info.rs2_bank, what)
+        else:
+            first = _encode_reg(instr.rd, info.rd_bank, what)
+        rs1 = _encode_reg(instr.rs1, info.rs1_bank, what)
+        imm = _check_imm(instr.imm, IMM15_MIN, IMM15_MAX, what) & 0x7FFF
+        return opnum | (first << 20) | (rs1 << 15) | imm
+    if info.fmt is Format.B:
+        rs1 = _encode_reg(instr.rs1, info.rs1_bank, what)
+        rs2 = _encode_reg(instr.rs2, info.rs2_bank, what)
+        imm = _check_imm(instr.imm, IMM15_MIN, IMM15_MAX, what) & 0x7FFF
+        return opnum | (rs1 << 20) | (rs2 << 15) | imm
+    if info.fmt is Format.U:
+        rd = _encode_reg(instr.rd, info.rd_bank, what)
+        imm = _check_imm(instr.imm, IMM20_MIN, IMM20_MAX, what) & 0xFFFFF
+        return opnum | (rd << 20) | imm
+    raise AssertionError(f"unhandled format {info.fmt}")  # pragma: no cover
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    opnum = word >> 25
+    try:
+        opcode = _NUMBER_TO_OPCODE[opnum]
+    except KeyError:
+        raise EncodingError(f"unknown opcode number {opnum}") from None
+    info = OPCODE_INFO[opcode]
+    if info.fmt is Format.R:
+        rd = _decode_reg((word >> 20) & 0x1F, info.rd_bank)
+        rs1 = _decode_reg((word >> 15) & 0x1F, info.rs1_bank)
+        rs2 = _decode_reg((word >> 10) & 0x1F, info.rs2_bank)
+        return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2)
+    if info.fmt in (Format.I, Format.MEM, Format.SYS):
+        first = (word >> 20) & 0x1F
+        rs1 = _decode_reg((word >> 15) & 0x1F, info.rs1_bank)
+        imm = _sign_extend(word & 0x7FFF, 15)
+        if info.is_store:
+            return Instruction(opcode, rs1=rs1,
+                               rs2=_decode_reg(first, info.rs2_bank), imm=imm)
+        return Instruction(opcode, rd=_decode_reg(first, info.rd_bank),
+                           rs1=rs1, imm=imm)
+    if info.fmt is Format.B:
+        rs1 = _decode_reg((word >> 20) & 0x1F, info.rs1_bank)
+        rs2 = _decode_reg((word >> 15) & 0x1F, info.rs2_bank)
+        return Instruction(opcode, rs1=rs1, rs2=rs2,
+                           imm=_sign_extend(word & 0x7FFF, 15))
+    if info.fmt is Format.U:
+        rd = _decode_reg((word >> 20) & 0x1F, info.rd_bank)
+        return Instruction(opcode, rd=rd,
+                           imm=_sign_extend(word & 0xFFFFF, 20))
+    raise AssertionError(f"unhandled format {info.fmt}")  # pragma: no cover
+
+
+def encode_program_text(instructions: list[Instruction] | tuple[Instruction, ...]) -> bytes:
+    """Encode a text section to little-endian bytes."""
+    out = bytearray()
+    for instr in instructions:
+        out += encode(instr).to_bytes(4, "little")
+    return bytes(out)
+
+
+def decode_program_text(blob: bytes) -> list[Instruction]:
+    """Decode a little-endian text section back to instructions."""
+    if len(blob) % 4:
+        raise EncodingError("text section length not a multiple of 4")
+    return [decode(int.from_bytes(blob[i:i + 4], "little"))
+            for i in range(0, len(blob), 4)]

@@ -1,0 +1,166 @@
+"""The :class:`Instruction` record and helpers for inspecting operands.
+
+Instructions hold *unified* register indices (see
+:mod:`repro.isa.registers`): integer registers are 0..31 and floating
+point registers 32..63.  Register fields that an opcode does not use are
+kept at 0 so that instructions round-trip exactly through the binary
+encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .opcodes import OPCODE_INFO, Bank, Format, Opcode, OpInfo
+from .registers import ZERO, reg_name
+
+#: Size of one encoded instruction in bytes.
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``imm`` means different things per format: an arithmetic immediate
+    (I), a memory displacement in bytes (MEM), a pc-relative offset in
+    *instructions* (B and U-format jumps), the LUI immediate (shifted
+    left by 15 at execution), a syscall/system-register number (SYS).
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def info(self) -> OpInfo:
+        return OPCODE_INFO[self.opcode]
+
+    # -- operand views ---------------------------------------------------
+    @property
+    def dest(self) -> int | None:
+        """Unified index of the written register, or None.
+
+        Writes to the hardwired zero register are reported as None: they
+        have no architectural effect and the timing core must not create
+        a dependence on them.
+        """
+        info = self.info
+        if not info.writes_rd or self.rd == ZERO and info.rd_bank is Bank.INT:
+            return None
+        return self.rd
+
+    @property
+    def sources(self) -> tuple[int, ...]:
+        """Unified indices of the registers this instruction reads."""
+        info = self.info
+        srcs = []
+        if info.rs1_bank is not Bank.NONE and not (
+                info.rs1_bank is Bank.INT and self.rs1 == ZERO):
+            srcs.append(self.rs1)
+        if info.rs2_bank is not Bank.NONE and not (
+                info.rs2_bank is Bank.INT and self.rs2 == ZERO):
+            srcs.append(self.rs2)
+        return tuple(srcs)
+
+    # -- classification shortcuts ----------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.info.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.info.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.info.is_mem
+
+    @property
+    def is_control(self) -> bool:
+        return self.info.is_control
+
+    # -- rendering --------------------------------------------------------
+    def disassemble(self) -> str:
+        """Render the instruction as canonical assembly text."""
+        op = self.opcode
+        info = self.info
+        mnem = op.value
+        if op in (Opcode.NOP, Opcode.HALT, Opcode.ERET):
+            return mnem
+        if op is Opcode.SYSCALL:
+            return f"{mnem} {self.imm}"
+        if op is Opcode.MFSR:
+            return f"{mnem} {reg_name(self.rd)}, {self.imm}"
+        if op is Opcode.MTSR:
+            return f"{mnem} {self.imm}, {reg_name(self.rs1)}"
+        if info.fmt is Format.R:
+            parts = []
+            if info.rd_bank is not Bank.NONE:
+                parts.append(reg_name(self.rd))
+            if info.rs1_bank is not Bank.NONE:
+                parts.append(reg_name(self.rs1))
+            if info.rs2_bank is not Bank.NONE:
+                parts.append(reg_name(self.rs2))
+            return f"{mnem} " + ", ".join(parts)
+        if info.fmt is Format.MEM:
+            if info.is_load:
+                return f"{mnem} {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+            return f"{mnem} {reg_name(self.rs2)}, {self.imm}({reg_name(self.rs1)})"
+        if info.fmt is Format.I:
+            return f"{mnem} {reg_name(self.rd)}, {reg_name(self.rs1)}, {self.imm}"
+        if info.fmt is Format.B:
+            return f"{mnem} {reg_name(self.rs1)}, {reg_name(self.rs2)}, {self.imm}"
+        if info.fmt is Format.U:
+            if op is Opcode.LUI:
+                return f"{mnem} {reg_name(self.rd)}, {self.imm}"
+            if op is Opcode.JAL:
+                return f"{mnem} {reg_name(self.rd)}, {self.imm}"
+            return f"{mnem} {self.imm}"
+        raise AssertionError(f"unhandled format for {op}")  # pragma: no cover
+
+    def __str__(self) -> str:
+        return self.disassemble()
+
+
+def nop() -> Instruction:
+    """A canonical NOP instruction."""
+    return Instruction(Opcode.NOP)
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program image.
+
+    ``text`` is the instruction list laid out from ``text_base``;
+    ``data`` is the initialised data image laid out from ``data_base``;
+    ``symbols`` maps labels to absolute byte addresses; ``entry`` is the
+    address execution starts at.
+    """
+
+    text: tuple[Instruction, ...]
+    data: bytes = b""
+    text_base: int = 0x1000
+    data_base: int = 0x100000
+    entry: int = 0x1000
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def text_end(self) -> int:
+        return self.text_base + len(self.text) * INSTRUCTION_BYTES
+
+    @property
+    def data_end(self) -> int:
+        return self.data_base + len(self.data)
+
+    def instruction_at(self, address: int) -> Instruction:
+        """Fetch the instruction stored at byte *address*."""
+        offset = address - self.text_base
+        if offset % INSTRUCTION_BYTES:
+            raise ValueError(f"misaligned instruction address {address:#x}")
+        index = offset // INSTRUCTION_BYTES
+        if not 0 <= index < len(self.text):
+            raise ValueError(f"instruction address out of range: {address:#x}")
+        return self.text[index]

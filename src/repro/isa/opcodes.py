@@ -1,0 +1,289 @@
+"""Opcode definitions and static metadata for the mini RISC ISA.
+
+Every opcode carries an :class:`OpInfo` record describing its encoding
+format, which execution class it belongs to (used by the timing core to
+pick a functional unit and latency), and — for memory operations — the
+access size and signedness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    """Mnemonics of the mini RISC ISA."""
+
+    # --- integer ALU, register-register -------------------------------
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLTU = "sltu"
+    # --- integer ALU, register-immediate ------------------------------
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    SLTI = "slti"
+    SLTIU = "sltiu"
+    LUI = "lui"
+    # --- integer multiply / divide -------------------------------------
+    MUL = "mul"
+    MULH = "mulh"
+    DIV = "div"
+    REM = "rem"
+    # --- loads ----------------------------------------------------------
+    LB = "lb"
+    LBU = "lbu"
+    LH = "lh"
+    LHU = "lhu"
+    LW = "lw"
+    LWU = "lwu"
+    LD = "ld"
+    FLD = "fld"
+    # --- stores ----------------------------------------------------------
+    SB = "sb"
+    SH = "sh"
+    SW = "sw"
+    SD = "sd"
+    FSD = "fsd"
+    # --- floating point (double precision) ------------------------------
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FABS = "fabs"
+    FMOV = "fmov"
+    FCVT_D_L = "fcvt.d.l"   # int64 -> double
+    FCVT_L_D = "fcvt.l.d"   # double -> int64 (truncate)
+    FEQ = "feq"
+    FLT = "flt"
+    FLE = "fle"
+    # --- control flow -----------------------------------------------------
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    JALR = "jalr"
+    # --- system ------------------------------------------------------------
+    SYSCALL = "syscall"
+    ERET = "eret"
+    MFSR = "mfsr"
+    MTSR = "mtsr"
+    NOP = "nop"
+    HALT = "halt"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Opcode.{self.name}"
+
+
+class OpClass(enum.Enum):
+    """Execution class, used to select a functional unit and latency."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYSTEM = "system"
+
+
+class Format(enum.Enum):
+    """Binary encoding format (see :mod:`repro.isa.encoding`)."""
+
+    R = "r"        # opcode rd rs1 rs2
+    I = "i"        # opcode rd rs1 imm15
+    MEM = "mem"    # opcode rd rs1 imm15 (loads) / rs2 rs1 imm15 (stores)
+    B = "b"        # opcode rs1 rs2 imm15 (pc-relative, in instruction units)
+    U = "u"        # opcode rd imm20
+    SYS = "sys"    # opcode rd rs1 imm15 (system register number in imm)
+
+
+class Bank(enum.Enum):
+    """Which register bank an operand field addresses."""
+
+    INT = "int"
+    FP = "fp"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata about one opcode."""
+
+    opclass: OpClass
+    fmt: Format
+    rd_bank: Bank = Bank.NONE
+    rs1_bank: Bank = Bank.NONE
+    rs2_bank: Bank = Bank.NONE
+    mem_size: int = 0          # bytes accessed; 0 for non-memory ops
+    mem_signed: bool = False   # sign-extend loaded value
+    has_imm: bool = False
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.mem_size > 0
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass in (OpClass.BRANCH, OpClass.JUMP)
+
+    @property
+    def writes_rd(self) -> bool:
+        return self.rd_bank is not Bank.NONE
+
+
+_I = Bank.INT
+_F = Bank.FP
+_N = Bank.NONE
+
+
+def _alu_rr() -> OpInfo:
+    return OpInfo(OpClass.ALU, Format.R, _I, _I, _I)
+
+
+def _alu_imm() -> OpInfo:
+    return OpInfo(OpClass.ALU, Format.I, _I, _I, has_imm=True)
+
+
+def _load(size: int, signed: bool, bank: Bank = _I) -> OpInfo:
+    return OpInfo(OpClass.LOAD, Format.MEM, bank, _I,
+                  mem_size=size, mem_signed=signed, has_imm=True)
+
+
+def _store(size: int, bank: Bank = _I) -> OpInfo:
+    return OpInfo(OpClass.STORE, Format.MEM, Bank.NONE, _I, bank,
+                  mem_size=size, has_imm=True)
+
+
+def _branch() -> OpInfo:
+    return OpInfo(OpClass.BRANCH, Format.B, Bank.NONE, _I, _I, has_imm=True)
+
+
+OPCODE_INFO: dict[Opcode, OpInfo] = {
+    Opcode.ADD: _alu_rr(),
+    Opcode.SUB: _alu_rr(),
+    Opcode.AND: _alu_rr(),
+    Opcode.OR: _alu_rr(),
+    Opcode.XOR: _alu_rr(),
+    Opcode.NOR: _alu_rr(),
+    Opcode.SLL: _alu_rr(),
+    Opcode.SRL: _alu_rr(),
+    Opcode.SRA: _alu_rr(),
+    Opcode.SLT: _alu_rr(),
+    Opcode.SLTU: _alu_rr(),
+    Opcode.ADDI: _alu_imm(),
+    Opcode.ANDI: _alu_imm(),
+    Opcode.ORI: _alu_imm(),
+    Opcode.XORI: _alu_imm(),
+    Opcode.SLLI: _alu_imm(),
+    Opcode.SRLI: _alu_imm(),
+    Opcode.SRAI: _alu_imm(),
+    Opcode.SLTI: _alu_imm(),
+    Opcode.SLTIU: _alu_imm(),
+    Opcode.LUI: OpInfo(OpClass.ALU, Format.U, _I, has_imm=True),
+    Opcode.MUL: OpInfo(OpClass.MUL, Format.R, _I, _I, _I),
+    Opcode.MULH: OpInfo(OpClass.MUL, Format.R, _I, _I, _I),
+    Opcode.DIV: OpInfo(OpClass.DIV, Format.R, _I, _I, _I),
+    Opcode.REM: OpInfo(OpClass.DIV, Format.R, _I, _I, _I),
+    Opcode.LB: _load(1, True),
+    Opcode.LBU: _load(1, False),
+    Opcode.LH: _load(2, True),
+    Opcode.LHU: _load(2, False),
+    Opcode.LW: _load(4, True),
+    Opcode.LWU: _load(4, False),
+    Opcode.LD: _load(8, False),
+    Opcode.FLD: _load(8, False, bank=_F),
+    Opcode.SB: _store(1),
+    Opcode.SH: _store(2),
+    Opcode.SW: _store(4),
+    Opcode.SD: _store(8),
+    Opcode.FSD: _store(8, bank=_F),
+    Opcode.FADD: OpInfo(OpClass.FP_ADD, Format.R, _F, _F, _F),
+    Opcode.FSUB: OpInfo(OpClass.FP_ADD, Format.R, _F, _F, _F),
+    Opcode.FMUL: OpInfo(OpClass.FP_MUL, Format.R, _F, _F, _F),
+    Opcode.FDIV: OpInfo(OpClass.FP_DIV, Format.R, _F, _F, _F),
+    Opcode.FNEG: OpInfo(OpClass.FP_ADD, Format.R, _F, _F),
+    Opcode.FABS: OpInfo(OpClass.FP_ADD, Format.R, _F, _F),
+    Opcode.FMOV: OpInfo(OpClass.FP_ADD, Format.R, _F, _F),
+    Opcode.FCVT_D_L: OpInfo(OpClass.FP_ADD, Format.R, _F, _I),
+    Opcode.FCVT_L_D: OpInfo(OpClass.FP_ADD, Format.R, _I, _F),
+    Opcode.FEQ: OpInfo(OpClass.FP_ADD, Format.R, _I, _F, _F),
+    Opcode.FLT: OpInfo(OpClass.FP_ADD, Format.R, _I, _F, _F),
+    Opcode.FLE: OpInfo(OpClass.FP_ADD, Format.R, _I, _F, _F),
+    Opcode.BEQ: _branch(),
+    Opcode.BNE: _branch(),
+    Opcode.BLT: _branch(),
+    Opcode.BGE: _branch(),
+    Opcode.BLTU: _branch(),
+    Opcode.BGEU: _branch(),
+    Opcode.J: OpInfo(OpClass.JUMP, Format.U, has_imm=True),
+    Opcode.JAL: OpInfo(OpClass.JUMP, Format.U, _I, has_imm=True),
+    Opcode.JR: OpInfo(OpClass.JUMP, Format.R, Bank.NONE, _I),
+    Opcode.JALR: OpInfo(OpClass.JUMP, Format.R, _I, _I),
+    Opcode.SYSCALL: OpInfo(OpClass.SYSTEM, Format.SYS, has_imm=True),
+    Opcode.ERET: OpInfo(OpClass.SYSTEM, Format.SYS),
+    Opcode.MFSR: OpInfo(OpClass.SYSTEM, Format.SYS, _I, has_imm=True),
+    Opcode.MTSR: OpInfo(OpClass.SYSTEM, Format.SYS, Bank.NONE, _I, has_imm=True),
+    Opcode.NOP: OpInfo(OpClass.ALU, Format.SYS),
+    Opcode.HALT: OpInfo(OpClass.SYSTEM, Format.SYS),
+}
+
+assert set(OPCODE_INFO) == set(Opcode), "every opcode needs an OpInfo entry"
+
+#: Mapping from mnemonic text to opcode, for the assembler.
+MNEMONICS: dict[str, Opcode] = {op.value: op for op in Opcode}
+
+
+class SysReg(enum.IntEnum):
+    """System (privileged) registers, accessed via MFSR/MTSR."""
+
+    EPC = 0        # exception return PC
+    CAUSE = 1      # trap cause (TrapCause value)
+    STATUS = 2     # bit0: kernel mode, bit1: interrupts enabled
+    KSP = 3        # kernel stack pointer save slot
+    SCRATCH = 4    # kernel scratch
+    BADADDR = 5    # faulting address
+    CYCLES = 6     # retired-instruction counter (read-only)
+    TIMER = 7      # timer interval; 0 disables the timer
+    SYSARG = 8     # syscall argument shuttle / kernel use
+    CURRENT = 9    # kernel: current process pointer
+
+
+#: STATUS register bit assignments.
+STATUS_KERNEL = 1 << 0
+STATUS_INT_ENABLE = 1 << 1

@@ -1,0 +1,92 @@
+"""Register file layout of the mini RISC ISA.
+
+The architecture has 32 64-bit integer registers and 32 64-bit floating
+point registers.  Internally (assembler, functional simulator, renamer)
+both banks live in a single unified namespace of 64 architectural
+registers: integer registers occupy indices 0..31 and floating point
+registers occupy indices 32..63.  The unified index is what appears in
+:class:`repro.isa.instructions.Instruction` operand fields.
+"""
+
+from __future__ import annotations
+
+INT_REG_COUNT = 32
+FP_REG_COUNT = 32
+TOTAL_REG_COUNT = INT_REG_COUNT + FP_REG_COUNT
+
+#: Unified index of the hardwired zero register.
+ZERO = 0
+
+# Conventional ABI names for the integer bank (MIPS/RISC-V flavoured).
+_INT_ABI_NAMES = (
+    "zero",  # x0  hardwired zero
+    "ra",    # x1  return address
+    "sp",    # x2  stack pointer
+    "gp",    # x3  global pointer
+    "tp",    # x4  thread pointer
+    "t0", "t1", "t2",            # x5-x7   temporaries
+    "s0", "s1",                  # x8-x9   callee saved
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",  # x10-x17 arguments
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",  # x18-x27
+    "t3", "t4", "t5", "t6",      # x28-x31 temporaries
+)
+
+assert len(_INT_ABI_NAMES) == INT_REG_COUNT
+
+
+def fp_reg(index: int) -> int:
+    """Return the unified register index of floating point register *index*."""
+    if not 0 <= index < FP_REG_COUNT:
+        raise ValueError(f"fp register index out of range: {index}")
+    return INT_REG_COUNT + index
+
+
+def int_reg(index: int) -> int:
+    """Return the unified register index of integer register *index*."""
+    if not 0 <= index < INT_REG_COUNT:
+        raise ValueError(f"int register index out of range: {index}")
+    return index
+
+
+def is_fp_reg(unified: int) -> bool:
+    """True if the unified register index names a floating point register."""
+    return INT_REG_COUNT <= unified < TOTAL_REG_COUNT
+
+
+def reg_name(unified: int) -> str:
+    """Render a unified register index as its canonical assembly name."""
+    if 0 <= unified < INT_REG_COUNT:
+        return _INT_ABI_NAMES[unified]
+    if INT_REG_COUNT <= unified < TOTAL_REG_COUNT:
+        return f"f{unified - INT_REG_COUNT}"
+    raise ValueError(f"register index out of range: {unified}")
+
+
+def _build_name_table() -> dict[str, int]:
+    table: dict[str, int] = {}
+    for idx, name in enumerate(_INT_ABI_NAMES):
+        table[name] = idx
+    for idx in range(INT_REG_COUNT):
+        table[f"x{idx}"] = idx
+        table[f"r{idx}"] = idx
+    for idx in range(FP_REG_COUNT):
+        table[f"f{idx}"] = INT_REG_COUNT + idx
+    # "fp" is the conventional frame pointer alias for s0.
+    table["fp"] = table["s0"]
+    return table
+
+
+#: Mapping from every accepted register spelling to its unified index.
+REGISTER_NAMES: dict[str, int] = _build_name_table()
+
+
+def parse_register(text: str) -> int:
+    """Parse a register name (``t0``, ``x5``, ``f2``...) to its unified index.
+
+    Raises ``KeyError`` with a helpful message for unknown names.
+    """
+    key = text.strip().lower()
+    try:
+        return REGISTER_NAMES[key]
+    except KeyError:
+        raise KeyError(f"unknown register name: {text!r}") from None

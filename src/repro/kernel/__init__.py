@@ -1,0 +1,24 @@
+"""The mini operating system: syscall ABI, layout, kernel image, runner."""
+
+from . import abi, layout
+from .image import (
+    System,
+    SystemRunResult,
+    assemble_user,
+    build_kernel,
+    build_system,
+    run_system,
+)
+from .source import kernel_source
+
+__all__ = [
+    "abi",
+    "layout",
+    "System",
+    "SystemRunResult",
+    "assemble_user",
+    "build_kernel",
+    "build_system",
+    "run_system",
+    "kernel_source",
+]

@@ -1,0 +1,14 @@
+"""Shim: the syscall ABI lives in :mod:`repro.abi` (dependency-free)."""
+
+from ..abi import (  # noqa: F401
+    SYS_BRK,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_TIME,
+    SYS_WRITE,
+    SYS_YIELD,
+    SYSCALL_NAMES,
+)
+
+__all__ = ["SYS_BRK", "SYS_EXIT", "SYS_GETPID", "SYS_TIME", "SYS_WRITE",
+           "SYS_YIELD", "SYSCALL_NAMES"]

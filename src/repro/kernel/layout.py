@@ -1,0 +1,78 @@
+"""Physical memory layout of the mini-OS and its processes."""
+
+from __future__ import annotations
+
+from ..func.memory import ConsoleDevice
+
+#: Kernel text starts here; the trap vector IS the first kernel instruction.
+KERNEL_TEXT_BASE = 0x2000
+#: Kernel data (globals, process table, kernel stack).
+KERNEL_DATA_BASE = 0x80000
+#: The host writes the boot descriptor here before starting the kernel.
+BOOTINFO_ADDR = 0x70000
+#: Console MMIO base (must match the functional simulator's device).
+CONSOLE_ADDR = ConsoleDevice.DEFAULT_BASE
+
+MAX_PROCS = 8
+
+# ---------------------------------------------------------------------------
+# Process control block layout (offsets in bytes).
+# ---------------------------------------------------------------------------
+PCB_STATE = 0     # 0 = free/dead, 1 = runnable
+PCB_PC = 8        # saved program counter
+PCB_PID = 16
+PCB_BRK = 24
+PCB_EXIT = 32     # exit code once dead
+PCB_REGS = 40     # slots for architectural registers 1..63 (reg0 skipped)
+PCB_SIZE = 576    # 40 + 63*8 = 544, rounded up to a multiple of 64
+
+assert PCB_REGS + 63 * 8 <= PCB_SIZE
+
+
+def pcb_reg_slot(unified_reg: int) -> int:
+    """PCB offset where architectural register *unified_reg* is saved."""
+    if not 1 <= unified_reg < 64:
+        raise ValueError(f"register {unified_reg} has no save slot")
+    return PCB_REGS + (unified_reg - 1) * 8
+
+
+# ---------------------------------------------------------------------------
+# Boot descriptor: nproc, timer interval, then per-process records.
+# ---------------------------------------------------------------------------
+BOOT_NPROC = 0
+BOOT_TIMER = 8
+BOOT_PROCS = 16
+BOOT_PROC_ENTRY = 0
+BOOT_PROC_SP = 8
+BOOT_PROC_BRK = 16
+BOOT_PROC_STRIDE = 24
+
+
+# ---------------------------------------------------------------------------
+# Per-process user address-space carving (no virtual memory: each process
+# owns a disjoint 1 MiB window of the physical map).
+# ---------------------------------------------------------------------------
+USER_REGION_BASE = 0x40_0000
+USER_REGION_SIZE = 0x10_0000
+
+
+def user_text_base(slot: int) -> int:
+    _check_slot(slot)
+    return USER_REGION_BASE + slot * USER_REGION_SIZE
+
+
+def user_data_base(slot: int) -> int:
+    return user_text_base(slot) + 0x4_0000
+
+
+def user_brk(slot: int) -> int:
+    return user_text_base(slot) + 0x8_0000
+
+
+def user_stack_top(slot: int) -> int:
+    return user_text_base(slot) + 0xF_0000
+
+
+def _check_slot(slot: int) -> None:
+    if not 0 <= slot < MAX_PROCS:
+        raise ValueError(f"process slot {slot} out of range (max {MAX_PROCS})")

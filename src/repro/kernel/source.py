@@ -1,0 +1,271 @@
+"""The mini-OS, written in mini-RISC assembly.
+
+The kernel provides the pieces the paper's "realistic applications that
+include the operating system" claim needs: a trap/syscall entry path
+that saves and restores full register context (a burst of memory
+traffic), a timer-interrupt-driven round-robin scheduler, and a console
+write path that copies user buffers byte by byte.  All of it executes on
+the functional simulator, so kernel instructions and kernel memory
+references appear in the dynamic trace exactly like user ones.
+
+The context save/restore sequences are generated programmatically to
+keep the PCB slot offsets consistent with :mod:`repro.kernel.layout`.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import reg_name
+from . import abi, layout
+
+#: Register save order: every integer register except zero and t0 (t0 is
+#: parked in the SCRATCH system register by the trap prologue).
+_T0 = 5
+_RA = 1
+_SAVED_INT_REGS = [i for i in range(1, 32) if i != _T0]
+_FP_REGS = list(range(32, 64))
+
+
+def _save_int_regs() -> str:
+    lines = [f"    sd {reg_name(i)}, {layout.pcb_reg_slot(i)}(t0)"
+             for i in _SAVED_INT_REGS]
+    lines += [
+        "    mfsr ra, scratch",
+        f"    sd ra, {layout.pcb_reg_slot(_T0)}(t0)",
+        "    mfsr ra, epc",
+        f"    sd ra, {layout.PCB_PC}(t0)",
+    ]
+    return "\n".join(lines)
+
+
+def _restore_int_regs_and_eret() -> str:
+    lines = [
+        f"    ld ra, {layout.PCB_PC}(t0)",
+        "    mtsr epc, ra",
+        # Resume with: user mode, interrupts off now, previous-IE set so
+        # ERET lands in user mode with interrupts enabled.
+        "    li ra, 9",
+        "    mtsr status, ra",
+    ]
+    lines += [f"    ld {reg_name(i)}, {layout.pcb_reg_slot(i)}(t0)"
+              for i in _SAVED_INT_REGS]
+    lines += [
+        f"    ld t0, {layout.pcb_reg_slot(_T0)}(t0)",
+        "    eret",
+    ]
+    return "\n".join(lines)
+
+
+def _save_fp_regs(base: str) -> str:
+    return "\n".join(f"    fsd {reg_name(i)}, {layout.pcb_reg_slot(i)}({base})"
+                     for i in _FP_REGS)
+
+
+def _restore_fp_regs(base: str) -> str:
+    return "\n".join(f"    fld {reg_name(i)}, {layout.pcb_reg_slot(i)}({base})"
+                     for i in _FP_REGS)
+
+
+def kernel_source() -> str:
+    """Return the complete kernel assembly source."""
+    pcb_shift_hi = 9  # PCB_SIZE = 576 = 512 + 64
+    pcb_shift_lo = 6
+    assert (1 << pcb_shift_hi) + (1 << pcb_shift_lo) == layout.PCB_SIZE
+    a0 = layout.pcb_reg_slot(10)
+    a1 = layout.pcb_reg_slot(11)
+    a7 = layout.pcb_reg_slot(17)
+    return f"""
+# ---------------------------------------------------------------------
+# mini-OS kernel.  The trap vector is the first instruction (_trap).
+# ---------------------------------------------------------------------
+.equ STATE, {layout.PCB_STATE}
+.equ PC, {layout.PCB_PC}
+.equ PID, {layout.PCB_PID}
+.equ BRK, {layout.PCB_BRK}
+.equ EXITC, {layout.PCB_EXIT}
+.equ A0SLOT, {a0}
+.equ A1SLOT, {a1}
+.equ A7SLOT, {a7}
+.equ BOOTINFO, {layout.BOOTINFO_ADDR}
+.equ CONSOLE, {layout.CONSOLE_ADDR}
+
+.text
+_trap:
+    mtsr scratch, t0
+    mfsr t0, current
+{_save_int_regs()}
+    mfsr sp, ksp
+    mfsr t1, cause
+    li   t2, 1                     # TrapCause.SYSCALL
+    beq  t1, t2, handle_syscall
+    li   t2, 2                     # TrapCause.TIMER
+    beq  t1, t2, handle_timer
+    j    handle_fault
+
+# -- syscall dispatch (number saved in the a7 slot) ---------------------
+handle_syscall:
+    ld   t1, A7SLOT(t0)
+    li   t2, {abi.SYS_EXIT}
+    beq  t1, t2, sys_exit
+    li   t2, {abi.SYS_WRITE}
+    beq  t1, t2, sys_write
+    li   t2, {abi.SYS_BRK}
+    beq  t1, t2, sys_brk
+    li   t2, {abi.SYS_YIELD}
+    beq  t1, t2, sys_yield
+    li   t2, {abi.SYS_GETPID}
+    beq  t1, t2, sys_getpid
+    li   t2, {abi.SYS_TIME}
+    beq  t1, t2, sys_time
+    j    handle_fault              # unknown syscall kills the process
+
+sys_exit:
+    ld   t1, A0SLOT(t0)
+    sd   t1, EXITC(t0)
+    sd   zero, STATE(t0)
+    j    schedule
+
+sys_write:
+    ld   t1, A0SLOT(t0)            # user buffer
+    ld   t2, A1SLOT(t0)            # length
+    la   t3, CONSOLE
+    beqz t2, write_done
+write_loop:
+    lbu  t4, 0(t1)
+    sb   t4, 0(t3)
+    addi t1, t1, 1
+    subi t2, t2, 1
+    bnez t2, write_loop
+write_done:
+    ld   t2, A1SLOT(t0)
+    sd   t2, A0SLOT(t0)            # return value = length
+    j    resume
+
+sys_brk:
+    ld   t1, A0SLOT(t0)
+    beqz t1, brk_query
+    sd   t1, BRK(t0)
+brk_query:
+    ld   t1, BRK(t0)
+    sd   t1, A0SLOT(t0)
+    j    resume
+
+sys_yield:
+    sd   zero, A0SLOT(t0)
+    j    schedule
+
+sys_getpid:
+    ld   t1, PID(t0)
+    sd   t1, A0SLOT(t0)
+    j    resume
+
+sys_time:
+    mfsr t1, cycles
+    sd   t1, A0SLOT(t0)
+    j    resume
+
+# -- timer interrupt ------------------------------------------------------
+handle_timer:
+    la   t1, kg_timer
+    ld   t1, 0(t1)
+    mtsr timer, t1                 # restart the interval
+    j    schedule
+
+# -- faults (illegal, misaligned, bad address, unknown syscall) -----------
+handle_fault:
+    mfsr t1, cause
+    addi t1, t1, 128               # exit code = 128 + cause
+    sd   t1, EXITC(t0)
+    sd   zero, STATE(t0)
+    j    schedule
+
+# -- round-robin scheduler ------------------------------------------------
+# t0 = current PCB (context already saved).
+schedule:
+    la   s0, kg_curidx
+    ld   t1, 0(s0)                 # current index
+    la   s1, kg_nproc
+    ld   t2, 0(s1)                 # process count
+    li   t3, 1                     # probe distance
+sched_loop:
+    bgt  t3, t2, sched_none
+    add  t4, t1, t3
+    blt  t4, t2, sched_nowrap
+    sub  t4, t4, t2
+sched_nowrap:
+    slli t5, t4, {pcb_shift_hi}
+    slli t6, t4, {pcb_shift_lo}
+    add  t5, t5, t6
+    la   s2, proctable
+    add  t5, t5, s2
+    ld   s3, STATE(t5)
+    bnez s3, sched_found
+    addi t3, t3, 1
+    j    sched_loop
+sched_found:
+    sd   t4, 0(s0)                 # kg_curidx = new index
+    mtsr current, t5
+    beq  t5, t0, resume            # picked ourselves: no FP switch
+{_save_fp_regs('t0')}
+{_restore_fp_regs('t5')}
+    mv   t0, t5
+    j    resume
+sched_none:
+    ld   s3, STATE(t0)             # nobody else runnable
+    bnez s3, resume                # current still alive: keep running it
+    li   a0, 0                     # every process exited: stop the machine
+    halt
+
+# -- resume the process whose PCB is in t0 --------------------------------
+resume:
+{_restore_int_regs_and_eret()}
+
+# -- boot -------------------------------------------------------------------
+_kstart:
+    la   sp, kstack_top
+    mtsr ksp, sp
+    li   t0, BOOTINFO
+    ld   t1, {layout.BOOT_NPROC}(t0)
+    la   t2, kg_nproc
+    sd   t1, 0(t2)
+    ld   t3, {layout.BOOT_TIMER}(t0)
+    la   t2, kg_timer
+    sd   t3, 0(t2)
+    li   t4, 0                     # slot index
+    la   t5, proctable
+    addi t6, t0, {layout.BOOT_PROCS}
+boot_loop:
+    bge  t4, t1, boot_done
+    li   s0, 1
+    sd   s0, STATE(t5)
+    ld   s0, {layout.BOOT_PROC_ENTRY}(t6)
+    sd   s0, PC(t5)
+    ld   s0, {layout.BOOT_PROC_SP}(t6)
+    sd   s0, {layout.pcb_reg_slot(2)}(t5)
+    ld   s0, {layout.BOOT_PROC_BRK}(t6)
+    sd   s0, BRK(t5)
+    addi s0, t4, 1
+    sd   s0, PID(t5)
+    addi t4, t4, 1
+    addi t5, t5, {layout.PCB_SIZE}
+    addi t6, t6, {layout.BOOT_PROC_STRIDE}
+    j    boot_loop
+boot_done:
+    la   t5, proctable
+    mtsr current, t5
+    la   t2, kg_curidx
+    sd   zero, 0(t2)
+    mtsr timer, t3
+    mv   t0, t5
+    j    resume
+
+# ---------------------------------------------------------------------
+.data
+kg_nproc:  .dword 0
+kg_timer:  .dword 0
+kg_curidx: .dword 0
+.align 64
+proctable: .space {layout.MAX_PROCS * layout.PCB_SIZE}
+.align 64
+kstack:    .space 2048
+kstack_top:
+"""

@@ -1,0 +1,272 @@
+"""The L1 data cache with its port subsystem — the paper's contribution.
+
+Everything the paper varies lives here:
+
+* ``ports`` physical cache ports, each ``port_width`` bytes wide — one
+  port services one aligned ``port_width`` chunk per cycle;
+* the **line buffer** (loads hitting it bypass the ports entirely);
+* the **write buffer** with store combining (stores drain into idle
+  port cycles, merged per line);
+* non-blocking misses through a bounded set of MSHRs with secondary
+  miss merging.
+
+The load/store *selection* (which LSQ entries go to which port, wide
+port access combining) is processor-side logic and lives in
+:mod:`repro.core.lsq`; this module provides the port-accurate cache
+side.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..stats.counters import Stats
+from .cache import SetAssocCache
+from .config import DCacheConfig, LineBufferFill
+from .linebuffer import LineBuffer
+from .nextlevel import NextLevel
+from .victim import VictimCache
+from .writebuffer import WriteBuffer
+
+
+class AccessStatus(enum.Enum):
+    """Outcome of one port access attempt."""
+
+    OK = "ok"
+    NO_PORT = "no_port"      # every port already claimed this cycle
+    MSHR_FULL = "mshr_full"  # tag-checked, missed, no MSHR free (port spent)
+    BANK_CONFLICT = "bank_conflict"  # target bank busy; no port spent
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    status: AccessStatus
+    ready: int = 0           # cycle the data is available (loads)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is AccessStatus.OK
+
+
+class DataCacheSystem:
+    """Port-accurate L1 D-cache front end."""
+
+    def __init__(self, config: DCacheConfig, next_level: NextLevel,
+                 stats: Stats | None = None) -> None:
+        self.config = config
+        self.next_level = next_level
+        self.stats = stats if stats is not None else Stats()
+        self.cache = SetAssocCache(config.geometry, name="dcache",
+                                   stats=self.stats)
+        self.line_size = config.geometry.line_size
+        self.line_shift = self.line_size.bit_length() - 1
+        self.port_width = config.port_width
+        self.chunk_shift = config.port_width.bit_length() - 1
+        self.line_buffer: LineBuffer | None = None
+        if config.has_line_buffer:
+            self.line_buffer = LineBuffer(config.line_buffer_entries,
+                                          config.line_buffer_on_store,
+                                          name="lb", stats=self.stats)
+        self.write_buffer = WriteBuffer(config.write_buffer_depth,
+                                        config.combine_stores,
+                                        self.line_size, name="wb",
+                                        stats=self.stats)
+        self.victim_cache: VictimCache | None = None
+        if config.victim_entries:
+            self.victim_cache = VictimCache(config.victim_entries,
+                                            stats=self.stats)
+        self._pending: dict[int, int] = {}   # line -> fill-ready cycle
+        self._cycle = 0
+        self._ports_used = 0
+        self._bank_mask = config.banks - 1
+        self._banks_used: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def line_of(self, address: int) -> int:
+        return address >> self.line_shift
+
+    def chunk_of(self, address: int) -> int:
+        """Aligned port-width chunk number containing *address*."""
+        return address >> self.chunk_shift
+
+    def byte_mask(self, address: int, size: int) -> int:
+        """Byte mask of an access within its line."""
+        offset = address & (self.line_size - 1)
+        return self.write_buffer.mask_for(offset, size)
+
+    # ------------------------------------------------------------------
+    # Cycle bookkeeping
+    # ------------------------------------------------------------------
+    def bank_of(self, line: int) -> int:
+        """Line-interleaved bank index."""
+        return line & self._bank_mask
+
+    def bank_free(self, line: int) -> bool:
+        """Would an access to *line* hit a free bank this cycle?"""
+        return self._bank_mask == 0 or self.bank_of(line) not in \
+            self._banks_used
+
+    def begin_cycle(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._ports_used = 0
+        self._banks_used.clear()
+        if len(self._pending) > 2 * self.config.mshrs:
+            self._pending = {line: ready for line, ready
+                             in self._pending.items() if ready > cycle}
+
+    def ports_free(self) -> int:
+        return self.config.ports - self._ports_used
+
+    def _mshrs_busy(self) -> int:
+        cycle = self._cycle
+        return sum(1 for ready in self._pending.values() if ready > cycle)
+
+    def _claim_port(self, line: int) -> AccessStatus:
+        if self._ports_used >= self.config.ports:
+            return AccessStatus.NO_PORT
+        if not self.bank_free(line):
+            self.stats.inc("dcache.bank_conflicts")
+            return AccessStatus.BANK_CONFLICT
+        self._ports_used += 1
+        if self._bank_mask:
+            self._banks_used.add(self.bank_of(line))
+        self.stats.inc("dcache.port_uses")
+        return AccessStatus.OK
+
+    # ------------------------------------------------------------------
+    # Processor-side probes (consume no port)
+    # ------------------------------------------------------------------
+    def line_buffer_hit(self, line: int) -> bool:
+        """Can a load to *line* be serviced from the line buffer now?"""
+        if self.line_buffer is None:
+            return False
+        if self._pending.get(line, 0) > self._cycle:
+            return False  # captured line is still in flight
+        return self.line_buffer.lookup(line)
+
+    def write_buffer_check(self, line: int, byte_mask: int) -> str:
+        """Forwarding check against buffered retired stores."""
+        return self.write_buffer.load_check(line, byte_mask)
+
+    # ------------------------------------------------------------------
+    # Port-consuming accesses
+    # ------------------------------------------------------------------
+    def load_access(self, line: int) -> AccessResult:
+        """One load port access covering one chunk of *line*."""
+        claim = self._claim_port(line)
+        if claim is not AccessStatus.OK:
+            self.stats.inc("dcache.load_no_port")
+            return AccessResult(claim)
+        cycle = self._cycle
+        pending_ready = self._pending.get(line, 0)
+        if pending_ready > cycle:
+            self.stats.inc("dcache.load_secondary_misses")
+            ready = pending_ready
+        elif self.cache.lookup(line):
+            self.stats.inc("dcache.load_hits")
+            ready = cycle + self.config.hit_latency
+        else:
+            if self._mshrs_busy() >= self.config.mshrs:
+                self.stats.inc("dcache.load_mshr_full")
+                return AccessResult(AccessStatus.MSHR_FULL)
+            self.stats.inc("dcache.load_misses")
+            ready = self._start_fill(line)
+            self._maybe_prefetch(line + 1)
+        if self.config.line_buffer_fill is LineBufferFill.ON_ACCESS and \
+                self.line_buffer is not None:
+            self.line_buffer.insert(line)
+        return AccessResult(AccessStatus.OK, ready)
+
+    def store_access(self, line: int) -> AccessResult:
+        """Write one (possibly combined) line's worth of store data."""
+        claim = self._claim_port(line)
+        if claim is not AccessStatus.OK:
+            self.stats.inc("dcache.store_no_port")
+            return AccessResult(claim)
+        cycle = self._cycle
+        pending_ready = self._pending.get(line, 0)
+        if pending_ready > cycle:
+            # Merge into the in-flight fill; data lands with the line.
+            self.stats.inc("dcache.store_mshr_merges")
+            self.cache.mark_dirty(line)
+        elif self.cache.lookup(line):
+            self.stats.inc("dcache.store_hits")
+            self.cache.mark_dirty(line)
+        else:
+            if self._mshrs_busy() >= self.config.mshrs:
+                self.stats.inc("dcache.store_mshr_full")
+                return AccessResult(AccessStatus.MSHR_FULL)
+            self.stats.inc("dcache.store_misses")
+            self._start_fill(line, dirty=True)
+        if self.line_buffer is not None:
+            self.line_buffer.note_store(line)
+        return AccessResult(AccessStatus.OK, cycle + 1)
+
+    def _maybe_prefetch(self, line: int) -> None:
+        """Next-line prefetch on a demand miss: free, port-less, but it
+        consumes an MSHR and L2 bandwidth (the realistic cost)."""
+        if not self.config.prefetch_next_line:
+            return
+        if self._pending.get(line, 0) > self._cycle:
+            return
+        if self.cache.lookup(line, touch=False):
+            return
+        if self._mshrs_busy() >= self.config.mshrs:
+            return
+        self.stats.inc("dcache.prefetches")
+        self._start_fill(line)
+
+    def _start_fill(self, line: int, dirty: bool = False) -> int:
+        """Source the line (victim cache or L2), install the tag, and
+        dispose of the displaced L1 line."""
+        recovered = None if self.victim_cache is None else \
+            self.victim_cache.extract(line)
+        if recovered is not None:
+            ready = self._cycle + self.config.victim_latency
+            dirty = dirty or recovered
+        else:
+            ready = self.next_level.request(line, self._cycle)
+        self._pending[line] = ready
+        victim = self.cache.fill(line, dirty=dirty)
+        if victim is not None:
+            self._dispose_victim(*victim)
+        if self.config.line_buffer_fill is LineBufferFill.ON_FILL and \
+                self.line_buffer is not None:
+            self.line_buffer.insert(line)
+        return ready
+
+    def _dispose_victim(self, victim_line: int, victim_dirty: bool) -> None:
+        if self.line_buffer is not None:
+            self.line_buffer.invalidate(victim_line)
+        if self.victim_cache is not None:
+            pushed_out = self.victim_cache.insert(victim_line, victim_dirty)
+            if pushed_out is None or not pushed_out[1]:
+                return
+            victim_line, victim_dirty = pushed_out  # overflow writes back
+        if victim_dirty:
+            self.stats.inc("dcache.writebacks")
+            self.next_level.writeback(victim_line, self._cycle)
+
+    # ------------------------------------------------------------------
+    # Write buffer interface
+    # ------------------------------------------------------------------
+    def buffer_store(self, line: int, byte_mask: int) -> bool:
+        """Commit-side: park a retired store; False = stall commit."""
+        return self.write_buffer.add(line, byte_mask)
+
+    def drain_write_buffer(self) -> None:
+        """Spend leftover port cycles emptying the write buffer."""
+        while self.ports_free() > 0:
+            entry = self.write_buffer.head()
+            if entry is None:
+                return
+            result = self.store_access(entry.line)
+            if result.status is AccessStatus.OK:
+                self.write_buffer.pop()
+            else:
+                # MSHR_FULL (port spent) or BANK_CONFLICT (head-of-queue
+                # blocking on a busy bank): retry next cycle.
+                return

@@ -1,0 +1,72 @@
+"""The line buffer — one of the paper's two buffering techniques.
+
+A small fully-associative buffer of recently read cache lines kept in
+the processor, next to the load/store unit.  A load whose line is in the
+buffer is serviced from it *without consuming a cache port* — this is
+the "load all of the line" idea: the data array reads a full line
+internally anyway, so latching that line lets subsequent spatially-local
+loads reuse it for free.
+
+Stores must keep the buffer coherent: depending on configuration they
+either invalidate a matching entry or update it in place (the store's
+data is merged as it is written to the cache).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..stats.counters import Stats
+from .config import LineBufferOnStore
+
+
+class LineBuffer:
+    """Fully-associative LRU buffer of line numbers."""
+
+    def __init__(self, entries: int, on_store: LineBufferOnStore,
+                 name: str = "lb", stats: Stats | None = None) -> None:
+        if entries < 1:
+            raise ValueError("line buffer needs at least one entry")
+        self.entries = entries
+        self.on_store = on_store
+        self.name = name
+        self.stats = stats if stats is not None else Stats()
+        self._lines: OrderedDict[int, None] = OrderedDict()
+
+    def lookup(self, line: int) -> bool:
+        """Probe for *line*; refreshes LRU position on hit."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.stats.inc(f"{self.name}.hits")
+            return True
+        self.stats.inc(f"{self.name}.misses")
+        return False
+
+    def insert(self, line: int) -> None:
+        """Capture *line* (evicting the LRU entry if full)."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            return
+        if len(self._lines) >= self.entries:
+            self._lines.popitem(last=False)
+        self._lines[line] = None
+        self.stats.inc(f"{self.name}.fills")
+
+    def note_store(self, line: int) -> None:
+        """Apply the configured store policy to a matching entry."""
+        if line not in self._lines:
+            return
+        if self.on_store is LineBufferOnStore.INVALIDATE:
+            del self._lines[line]
+            self.stats.inc(f"{self.name}.store_invalidations")
+        else:
+            self._lines.move_to_end(line)
+            self.stats.inc(f"{self.name}.store_updates")
+
+    def invalidate(self, line: int) -> None:
+        """Drop *line* (e.g. because the L1 copy was replaced)."""
+        self._lines.pop(line, None)
+
+    def contents(self) -> list[int]:
+        """Resident lines in LRU order (for tests)."""
+        return list(self._lines)

@@ -1,0 +1,61 @@
+"""Victim cache: a small fully-associative buffer of L1 evictions.
+
+The other classic small-buffer technique of the era (Jouppi, 1990):
+lines evicted from the L1 park here; an L1 miss that hits the victim
+cache swaps the line back at a small latency instead of paying the L2
+round trip.  It attacks *conflict misses* — orthogonal to the paper's
+port-bandwidth techniques, and included as an extension ablation (A6)
+to show the two families compose.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..stats.counters import Stats
+
+
+class VictimCache:
+    """Fully-associative LRU buffer of (line, dirty) victims."""
+
+    def __init__(self, entries: int, name: str = "victim",
+                 stats: Stats | None = None) -> None:
+        if entries < 1:
+            raise ValueError("victim cache needs at least one entry")
+        self.entries = entries
+        self.name = name
+        self.stats = stats if stats is not None else Stats()
+        self._lines: OrderedDict[int, bool] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def insert(self, line: int, dirty: bool) -> tuple[int, bool] | None:
+        """Park an evicted line; returns the pushed-out victim, if any.
+
+        A pushed-out *dirty* line must be written back by the caller.
+        """
+        if line in self._lines:
+            self._lines[line] = self._lines[line] or dirty
+            self._lines.move_to_end(line)
+            return None
+        evicted: tuple[int, bool] | None = None
+        if len(self._lines) >= self.entries:
+            evicted = self._lines.popitem(last=False)
+            self.stats.inc(f"{self.name}.overflows")
+        self._lines[line] = dirty
+        self.stats.inc(f"{self.name}.inserts")
+        return evicted
+
+    def extract(self, line: int) -> bool | None:
+        """Remove *line* if present; returns its dirty flag (None = miss)."""
+        dirty = self._lines.pop(line, None)
+        if dirty is None:
+            self.stats.inc(f"{self.name}.misses")
+            return None
+        self.stats.inc(f"{self.name}.hits")
+        return dirty
+
+    def contents(self) -> list[int]:
+        """Resident lines, LRU first (for tests)."""
+        return list(self._lines)

@@ -1,0 +1,8 @@
+"""Statistics: counters, aggregation helpers, table rendering."""
+
+from .counters import Stats, geometric_mean, weighted_mean
+from .histogram import Histogram
+from .report import Table, format_value
+
+__all__ = ["Stats", "geometric_mean", "weighted_mean", "Histogram",
+           "Table", "format_value"]

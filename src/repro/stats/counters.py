@@ -1,0 +1,97 @@
+"""Flat named counters used throughout the simulators.
+
+A :class:`Stats` object is a dictionary of integer/float counters with
+helpers for incrementing, deriving ratios, and merging.  Counter names
+are dotted strings (``dcache.load_hits``), which keeps reports greppable
+without nested structure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+
+class Stats:
+    """Named counters with dotted-path names."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = defaultdict(float)
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        self._values[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter *name* to *value*."""
+        self._values[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Current value of *name* (or *default* if never touched)."""
+        return self._values.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._values.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator``, or 0.0 when the denominator is 0."""
+        denom = self.get(denominator)
+        return self.get(numerator) / denom if denom else 0.0
+
+    def merge(self, other: "Stats") -> None:
+        """Add all of *other*'s counters into this object."""
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        """Snapshot as a plain dict, optionally filtered by *prefix*."""
+        return {name: value for name, value in sorted(self._values.items())
+                if name.startswith(prefix)}
+
+    def format(self, prefix: str = "", indent: str = "") -> str:
+        """Human-readable ``name value`` lines."""
+        rows = self.as_dict(prefix)
+        if not rows:
+            return f"{indent}(no counters)"
+        width = max(len(name) for name in rows)
+        lines = []
+        for name, value in rows.items():
+            if value == int(value):
+                rendered = f"{int(value)}"
+            else:
+                rendered = f"{value:.4f}"
+            lines.append(f"{indent}{name:<{width}}  {rendered}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stats({dict(self._values)!r})"
+
+
+def weighted_mean(pairs: Iterable[tuple[float, float]]) -> float:
+    """Mean of (value, weight) pairs; 0.0 for empty/zero-weight input."""
+    total = 0.0
+    weight_sum = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        weight_sum += weight
+    return total / weight_sum if weight_sum else 0.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; values must be positive."""
+    product = 1.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= value
+        count += 1
+    if not count:
+        return 0.0
+    return product ** (1.0 / count)

@@ -1,0 +1,79 @@
+"""A simple integer histogram with percentile queries.
+
+Used for latency distributions (load-to-use, fill times).  Values are
+counted exactly in a dict — distributions here have a few dozen
+distinct values, so no bucketing is needed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class Histogram:
+    """Exact counts over integer samples."""
+
+    def __init__(self, name: str = "histogram") -> None:
+        self.name = name
+        self._counts: Counter[int] = Counter()
+        self._total = 0
+
+    def record(self, value: int, count: int = 1) -> None:
+        """Add *count* samples of *value*."""
+        self._counts[value] += count
+        self._total += count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        if not self._total:
+            return 0.0
+        return sum(v * c for v, c in self._counts.items()) / self._total
+
+    @property
+    def min(self) -> int:
+        if not self._counts:
+            raise ValueError("empty histogram")
+        return min(self._counts)
+
+    @property
+    def max(self) -> int:
+        if not self._counts:
+            raise ValueError("empty histogram")
+        return max(self._counts)
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value v with at least *fraction* of samples ≤ v."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self._counts:
+            raise ValueError("empty histogram")
+        threshold = fraction * self._total
+        running = 0
+        for value in sorted(self._counts):
+            running += self._counts[value]
+            if running >= threshold:
+                return value
+        return self.max  # pragma: no cover - numeric safety net
+
+    def fraction_at_most(self, value: int) -> float:
+        """Fraction of samples ≤ *value*."""
+        if not self._total:
+            return 0.0
+        covered = sum(c for v, c in self._counts.items() if v <= value)
+        return covered / self._total
+
+    def as_dict(self) -> dict[int, int]:
+        """Value → count, sorted by value."""
+        return dict(sorted(self._counts.items()))
+
+    def merge(self, other: "Histogram") -> None:
+        for value, count in other._counts.items():
+            self.record(value, count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, n={self._total}, "
+                f"mean={self.mean:.2f})")

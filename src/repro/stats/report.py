@@ -1,0 +1,93 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment produces a :class:`Table`: named columns, one row per
+workload/sweep-point, and a caption tying it back to the paper's
+table/figure identifier.  Rendering is deliberately boring ASCII so the
+benchmark harness output diffs cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value and abs(value) < 10 ** -precision:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A captioned results table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_key: object, column: str) -> object:
+        """Value at (first column == *row_key*, *column*)."""
+        col_index = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[col_index]
+        raise KeyError(f"no row keyed {row_key!r}")
+
+    def to_csv(self) -> str:
+        """Render as CSV (header row + data rows; notes as comments)."""
+        import csv
+        import io
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([format_value(v, self.precision) for v in row])
+        for note in self.notes:
+            buffer.write(f"# {note}\r\n")
+        return buffer.getvalue()
+
+    def render(self) -> str:
+        cells = [[format_value(v, self.precision) for v in row]
+                 for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(f"{name:>{w}}" for name, w
+                           in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(f"{cell:>{w}}" for cell, w
+                                   in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,15 @@
+"""Dynamic instruction traces: records, generators, serialisation."""
+
+from .io import load_trace, save_trace
+from .record import TraceRecord
+from .synthetic import DATA_BASE, TEXT_BASE, SyntheticConfig, generate
+
+__all__ = [
+    "load_trace",
+    "save_trace",
+    "TraceRecord",
+    "DATA_BASE",
+    "TEXT_BASE",
+    "SyntheticConfig",
+    "generate",
+]

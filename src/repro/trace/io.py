@@ -1,0 +1,93 @@
+"""Trace serialisation: save and load dynamic traces as ``.npz`` files.
+
+Functional simulation is the slow half of a study; persisting traces
+lets a parameter sweep rerun the timing core alone.  The format is a
+columnar numpy archive — compact and fast to load.  Instruction
+back-references are not persisted: reloaded traces drive the timing
+core through the instruction-less code paths (positional store-operand
+split, redirect-based serialisation detection).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..isa import OpClass
+from .record import TraceRecord
+
+_OPCLASS_IDS = {opclass: idx for idx, opclass in enumerate(OpClass)}
+_OPCLASS_FROM_ID = {idx: opclass for opclass, idx in _OPCLASS_IDS.items()}
+
+_NO_DEST = 255
+_MAX_SOURCES = 2
+
+FORMAT_VERSION = 1
+
+
+def save_trace(path: str | os.PathLike, trace: list[TraceRecord]) -> None:
+    """Write *trace* to *path* (``.npz``)."""
+    n = len(trace)
+    pc = np.empty(n, dtype=np.uint64)
+    opclass = np.empty(n, dtype=np.uint8)
+    dest = np.empty(n, dtype=np.uint8)
+    src = np.zeros((n, _MAX_SOURCES), dtype=np.uint8)
+    nsrc = np.empty(n, dtype=np.uint8)
+    mem_addr = np.empty(n, dtype=np.uint64)
+    mem_size = np.empty(n, dtype=np.uint8)
+    flags = np.empty(n, dtype=np.uint8)
+    next_pc = np.empty(n, dtype=np.uint64)
+    for i, record in enumerate(trace):
+        pc[i] = record.pc
+        opclass[i] = _OPCLASS_IDS[record.opclass]
+        dest[i] = _NO_DEST if record.dest is None else record.dest
+        sources = record.sources[:_MAX_SOURCES]
+        nsrc[i] = len(sources)
+        for j, reg in enumerate(sources):
+            src[i, j] = reg
+        mem_addr[i] = record.mem_addr
+        mem_size[i] = record.mem_size
+        flags[i] = (record.is_load | (record.is_store << 1)
+                    | (record.is_control << 2) | (record.taken << 3)
+                    | (record.kernel << 4))
+        next_pc[i] = record.next_pc
+    np.savez_compressed(
+        path, version=np.array([FORMAT_VERSION]), pc=pc, opclass=opclass,
+        dest=dest, src=src, nsrc=nsrc, mem_addr=mem_addr, mem_size=mem_size,
+        flags=flags, next_pc=next_pc)
+
+
+def load_trace(path: str | os.PathLike) -> list[TraceRecord]:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path) as archive:
+        version = int(archive["version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        pc = archive["pc"]
+        opclass = archive["opclass"]
+        dest = archive["dest"]
+        src = archive["src"]
+        nsrc = archive["nsrc"]
+        mem_addr = archive["mem_addr"]
+        mem_size = archive["mem_size"]
+        flags = archive["flags"]
+        next_pc = archive["next_pc"]
+    trace: list[TraceRecord] = []
+    for i in range(len(pc)):
+        flag = int(flags[i])
+        trace.append(TraceRecord(
+            pc=int(pc[i]),
+            opclass=_OPCLASS_FROM_ID[int(opclass[i])],
+            dest=None if dest[i] == _NO_DEST else int(dest[i]),
+            sources=tuple(int(src[i, j]) for j in range(int(nsrc[i]))),
+            mem_addr=int(mem_addr[i]),
+            mem_size=int(mem_size[i]),
+            is_load=bool(flag & 1),
+            is_store=bool(flag & 2),
+            is_control=bool(flag & 4),
+            taken=bool(flag & 8),
+            kernel=bool(flag & 16),
+            next_pc=int(next_pc[i]),
+        ))
+    return trace

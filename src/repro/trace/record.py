@@ -1,0 +1,41 @@
+"""Dynamic instruction trace records.
+
+The functional simulator emits one :class:`TraceRecord` per retired
+instruction; the timing core consumes them.  Records are deliberately
+plain and slotted — a simulation produces hundreds of thousands of
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import Instruction, OpClass
+
+
+@dataclass(slots=True)
+class TraceRecord:
+    """One retired instruction on the correct path."""
+
+    pc: int
+    opclass: OpClass
+    dest: int | None = None              # unified register index or None
+    sources: tuple[int, ...] = ()
+    mem_addr: int = 0                    # effective address (mem ops only)
+    mem_size: int = 0                    # access size in bytes; 0 = not mem
+    is_load: bool = False
+    is_store: bool = False
+    is_control: bool = False
+    taken: bool = False                  # control: was the transfer taken
+    next_pc: int = 0                     # address of the next retired instr
+    kernel: bool = False                 # executed in kernel mode
+    instr: Instruction | None = None     # optional back-reference
+
+    @property
+    def is_mem(self) -> bool:
+        return self.mem_size > 0
+
+    @property
+    def line_address(self) -> int:
+        """Effective address, for logging."""
+        return self.mem_addr

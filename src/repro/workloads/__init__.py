@@ -1,0 +1,23 @@
+"""Workload programs and the evaluation suite."""
+
+from .suite import (
+    OS_MIX_MEMBERS,
+    SUITE_NAMES,
+    WORKLOADS,
+    WorkloadSpec,
+    build_os_mix_trace,
+    build_trace,
+    clear_trace_cache,
+    trace_summary,
+)
+
+__all__ = [
+    "OS_MIX_MEMBERS",
+    "SUITE_NAMES",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_os_mix_trace",
+    "build_trace",
+    "clear_trace_cache",
+    "trace_summary",
+]

@@ -1,0 +1,146 @@
+"""``bintree`` — binary search tree insert + search (health-like).
+
+Pointer-linked data structure with data-dependent branching on every
+level: a mix of the ``linked`` workload's dependent loads and real
+compare-and-branch control flow.  Nodes are allocated from a bump
+pointer, so tree layout is allocation-ordered while traversal order is
+key-ordered — the classic locality mismatch.
+"""
+
+from __future__ import annotations
+
+NAME = "bintree"
+DESCRIPTION = "binary search tree build + membership queries"
+TAGS = ("irregular", "branchy", "latency-bound")
+
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+_MASK64 = (1 << 64) - 1
+
+_NODE = 24  # key(8) left(8) right(8)
+
+
+def _keys(count: int, seed: int) -> list[int]:
+    keys = []
+    x = seed
+    for _ in range(count):
+        x = (x * _LCG_MUL + _LCG_ADD) & _MASK64
+        keys.append((x >> 33) & 0xFFFF)
+    return keys
+
+
+def reference_result(n: int, queries: int, seed: int) -> int:
+    """Exact model of the assembly's found-counter checksum."""
+    tree: set[int] = set()
+    for key in _keys(n, seed):
+        tree.add(key)
+    found = 0
+    for key in _keys(queries, seed + 1):
+        if key in tree:
+            found += 1
+    return found
+
+
+def source(n: int = 256, queries: int = 512, seed: int = 17) -> str:
+    """Assembly: insert *n* keys, run *queries* membership probes."""
+    if n < 1 or queries < 1:
+        raise ValueError("n and queries must be positive")
+    return f"""
+.equ SYS_EXIT, 1
+.equ NODE, {_NODE}
+.data
+.align 8
+pool:  .space {(n + 1) * _NODE}
+.text
+main:
+    # s0 = bump pointer, s1 = root (0 until first insert)
+    la   s0, pool
+    li   s1, 0
+    # -- insert phase --------------------------------------------------
+    li   s2, {seed}            # lcg state
+    li   s3, {n}
+    li   s8, {_LCG_MUL}
+    li   s9, {_LCG_ADD}
+    li   s10, 0xffff
+ins_loop:
+    mul  s2, s2, s8
+    add  s2, s2, s9
+    srli t0, s2, 33
+    and  t0, t0, s10           # key
+    jal  insert
+    subi s3, s3, 1
+    bnez s3, ins_loop
+    # -- query phase ----------------------------------------------------
+    li   s2, {seed + 1}
+    li   s3, {queries}
+    li   s4, 0                 # found counter
+qry_loop:
+    mul  s2, s2, s8
+    add  s2, s2, s9
+    srli t0, s2, 33
+    and  t0, t0, s10
+    jal  search
+    add  s4, s4, a0
+    subi s3, s3, 1
+    bnez s3, qry_loop
+    mv   a0, s4
+    li   a7, SYS_EXIT
+    syscall 0
+
+# -- insert(t0 = key); clobbers t1-t4; duplicate keys are dropped --------
+insert:
+    bnez s1, ins_walk
+    mv   s1, s0                # first node becomes the root
+    j    ins_alloc
+ins_walk:
+    mv   t1, s1
+ins_step:
+    ld   t2, 0(t1)             # node key
+    beq  t2, t0, ins_done      # duplicate
+    blt  t0, t2, ins_left
+    ld   t3, 16(t1)            # right child
+    beqz t3, ins_link_right
+    mv   t1, t3
+    j    ins_step
+ins_left:
+    ld   t3, 8(t1)             # left child
+    beqz t3, ins_link_left
+    mv   t1, t3
+    j    ins_step
+ins_link_left:
+    sd   s0, 8(t1)
+    j    ins_alloc
+ins_link_right:
+    sd   s0, 16(t1)
+ins_alloc:
+    sd   t0, 0(s0)             # key
+    sd   zero, 8(s0)
+    sd   zero, 16(s0)
+    addi s0, s0, NODE
+ins_done:
+    ret
+
+# -- search(t0 = key) -> a0 = 1 if present ------------------------------
+search:
+    mv   t1, s1
+sea_step:
+    beqz t1, sea_miss
+    ld   t2, 0(t1)
+    beq  t2, t0, sea_hit
+    blt  t0, t2, sea_left
+    ld   t1, 16(t1)
+    j    sea_step
+sea_left:
+    ld   t1, 8(t1)
+    j    sea_step
+sea_hit:
+    li   a0, 1
+    ret
+sea_miss:
+    li   a0, 0
+    ret
+"""
+
+
+def expected_exit(n: int = 256, queries: int = 512, seed: int = 17) -> int:
+    return reference_result(n, queries, seed)

@@ -1,0 +1,123 @@
+"""``compress`` — LZW-style dictionary compression (hash probing).
+
+The SPEC-compress analogue: byte loads over an input text, hashed
+dictionary probes over a large table (irregular loads), inserts
+(scattered stores).  Spatial locality is poor, so the line buffer has
+little to latch onto — a deliberate contrast to ``stream``/``memops``.
+"""
+
+from __future__ import annotations
+
+NAME = "compress"
+DESCRIPTION = "LZW-style compression with a hashed dictionary"
+TAGS = ("irregular", "byte-oriented")
+
+_TABLE_ENTRIES = 4096
+_HASH_MUL = 2654435761
+_ALPHABET = b"abcdefgh Z\n"
+
+
+def make_input(length: int, seed: int) -> bytes:
+    """Deterministic pseudo-text with runs (so LZW finds matches)."""
+    out = bytearray()
+    x = seed & 0xFFFFFFFF
+    while len(out) < length:
+        x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+        symbol = _ALPHABET[(x >> 16) % len(_ALPHABET)]
+        run = 1 + ((x >> 8) & 3)
+        out += bytes([symbol]) * run
+    return bytes(out[:length])
+
+
+def reference_compress(data: bytes) -> int:
+    """Bit-exact Python model of the assembly algorithm's checksum."""
+    if not data:
+        raise ValueError("empty input")
+    table: dict[int, tuple[int, int]] = {}  # slot -> (key, value)
+    mask = _TABLE_ENTRIES - 1
+    code = data[0]
+    next_code = 256
+    checksum = 0
+    for byte in data[1:]:
+        key = (code << 8) | byte
+        slot = ((key * _HASH_MUL) >> 16) & mask
+        while True:
+            entry = table.get(slot)
+            if entry is None:
+                table[slot] = (key, next_code)
+                next_code += 1
+                checksum += code
+                code = byte
+                break
+            if entry[0] == key:
+                code = entry[1]
+                break
+            slot = (slot + 1) & mask
+    checksum += code
+    return checksum & 0x3FFFFFFF
+
+
+def source(length: int = 1500, seed: int = 99) -> str:
+    """Assembly: LZW-compress an embedded pseudo-text."""
+    data = make_input(length, seed)
+    if len(data) >= _TABLE_ENTRIES - 64:
+        raise ValueError("input too long for the dictionary table")
+    input_bytes = ", ".join(str(b) for b in data)
+    return f"""
+.equ SYS_EXIT, 1
+.equ LEN, {len(data)}
+.equ TAB_MASK, {_TABLE_ENTRIES - 1}
+.data
+.align 8
+table: .space {_TABLE_ENTRIES * 16}
+input: .byte {input_bytes}
+.text
+main:
+    la   s0, input
+    lbu  s1, 0(s0)             # code = first byte
+    addi s0, s0, 1
+    li   s2, 256               # next dictionary code
+    li   s3, 0                 # checksum of emitted codes
+    li   s4, LEN - 1           # bytes remaining
+    li   s5, {_HASH_MUL}
+    la   s6, table
+loop:
+    beqz s4, done
+    lbu  t0, 0(s0)             # c
+    addi s0, s0, 1
+    subi s4, s4, 1
+    slli t1, s1, 8
+    or   t1, t1, t0            # key = code<<8 | c
+    mul  t3, t1, s5
+    srli t3, t3, 16
+    andi t3, t3, TAB_MASK
+probe:
+    slli t4, t3, 4
+    add  t4, t4, s6
+    ld   t6, 0(t4)
+    beq  t6, t1, found
+    beqz t6, empty
+    addi t3, t3, 1
+    andi t3, t3, TAB_MASK
+    j    probe
+found:
+    ld   s1, 8(t4)
+    j    loop
+empty:
+    sd   t1, 0(t4)
+    sd   s2, 8(t4)
+    addi s2, s2, 1
+    add  s3, s3, s1            # emit current code
+    mv   s1, t0
+    j    loop
+done:
+    add  s3, s3, s1            # emit the final code
+    li   t5, 0x3fffffff
+    and  a0, s3, t5
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def expected_exit(length: int = 1500, seed: int = 99) -> int:
+    return reference_compress(make_input(length, seed))

@@ -1,0 +1,99 @@
+"""``linked`` — pointer chasing over a shuffled linked list.
+
+Serial dependent loads with no spatial locality: the latency-bound
+corner where *none* of the port techniques can help much (each load
+needs the previous one's data before its address is even known).  The
+paper-style contrast case.
+"""
+
+from __future__ import annotations
+
+import random
+
+NAME = "linked"
+DESCRIPTION = "pointer chase over an LCG-shuffled linked list"
+TAGS = ("latency-bound", "irregular")
+
+_NODE_SIZE = 16  # value(8) + next-index(8)
+
+
+def _permutation(n: int, seed: int) -> list[int]:
+    """A single-cycle permutation (Sattolo) so the chase visits all nodes."""
+    order = list(range(n))
+    rng = random.Random(seed)
+    i = n - 1
+    while i > 0:
+        j = rng.randrange(i)
+        order[i], order[j] = order[j], order[i]
+        i -= 1
+    return order
+
+
+def _next_indices(n: int, seed: int) -> list[int]:
+    """next[i] = node after i in chase order; the last points to n (end)."""
+    order = _permutation(n, seed)
+    nxt = [0] * n
+    for pos in range(n - 1):
+        nxt[order[pos]] = order[pos + 1]
+    nxt[order[-1]] = n  # sentinel: one past the last node
+    return nxt, order[0]
+
+
+def source(n: int = 512, rounds: int = 6, seed: int = 7) -> str:
+    """Assembly: build the list from embedded indices, chase it."""
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    nxt, head = _next_indices(n, seed)
+    index_words = ", ".join(str(i) for i in nxt)
+    return f"""
+.equ SYS_EXIT, 1
+.equ N, {n}
+.data
+.align 8
+nodes:   .space {n * _NODE_SIZE}
+nextidx: .dword {index_words}
+.text
+main:
+    # -- build: nodes[i] = (value=i, next=&nodes[nextidx[i]] or 0) ------
+    la   t0, nodes
+    la   t1, nextidx
+    la   t6, nodes
+    li   t2, 0
+    li   t3, N
+build:
+    sd   t2, 0(t0)             # value = i
+    ld   t4, 0(t1)             # next index
+    beq  t4, t3, build_end     # sentinel -> null next
+    slli t5, t4, 4
+    add  t5, t5, t6
+    sd   t5, 8(t0)
+    j    build_next
+build_end:
+    sd   zero, 8(t0)
+build_next:
+    addi t0, t0, {_NODE_SIZE}
+    addi t1, t1, 8
+    addi t2, t2, 1
+    bne  t2, t3, build
+    # -- chase ------------------------------------------------------------
+    li   s3, {rounds}
+    li   s4, 0                 # checksum
+    la   s5, nodes + {head * _NODE_SIZE}
+round:
+    mv   t0, s5
+chase:
+    ld   t1, 0(t0)             # value
+    add  s4, s4, t1
+    ld   t0, 8(t0)             # next pointer (dependent load)
+    bnez t0, chase
+    subi s3, s3, 1
+    bnez s3, round
+    li   t5, 0x3fffffff
+    and  a0, s4, t5
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def expected_exit(n: int = 512, rounds: int = 6, seed: int = 7) -> int:
+    return (rounds * n * (n - 1) // 2) & 0x3FFFFFFF

@@ -1,0 +1,133 @@
+"""``matmul`` — double-precision matrix multiply (FP + mixed strides).
+
+Row-major ``C = A @ B`` with the inner product unrolled by two: the A
+row streams (unit stride, line-buffer friendly) while the B column
+strides a full row (one access per line).  Exercises the FP pipeline
+and the FLD/FSD path.
+"""
+
+from __future__ import annotations
+
+NAME = "matmul"
+DESCRIPTION = "double-precision N x N matrix multiply"
+TAGS = ("fp", "mixed-stride")
+
+
+def _a(i: int, j: int, n: int) -> float:
+    return float((i * n + j) % 23)
+
+
+def _b(i: int, j: int) -> float:
+    return 2.0 if i == j else 1.0
+
+
+def source(n: int = 16) -> str:
+    """Assembly: fill A and B, multiply, checksum C."""
+    if n < 2 or n % 2:
+        raise ValueError("n must be an even integer >= 2")
+    row_bytes = n * 8
+    return f"""
+.equ SYS_EXIT, 1
+.equ N, {n}
+.equ ROW, {row_bytes}
+.data
+.align 8
+A: .space {n * n * 8}
+B: .space {n * n * 8}
+C: .space {n * n * 8}
+.text
+main:
+    # -- fill A[i][j] = (i*N+j) % 23, B = I + ones ----------------------
+    la   t0, A
+    li   t1, 0                 # k = i*N + j
+    li   t2, N * N
+    li   t6, 23
+fill_a:
+    rem  t3, t1, t6
+    fcvt.d.l f0, t3
+    fsd  f0, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, 1
+    bne  t1, t2, fill_a
+    la   t0, B
+    li   t1, 0                 # i
+fill_b_row:
+    li   t2, 0                 # j
+fill_b_col:
+    li   t3, 1
+    bne  t1, t2, fill_b_store
+    li   t3, 2
+fill_b_store:
+    fcvt.d.l f0, t3
+    fsd  f0, 0(t0)
+    addi t0, t0, 8
+    addi t2, t2, 1
+    li   t4, N
+    bne  t2, t4, fill_b_col
+    addi t1, t1, 1
+    bne  t1, t4, fill_b_row
+    # -- C = A @ B (inner product unrolled x2) ---------------------------
+    la   s0, A                 # A row pointer
+    la   s2, C                 # C pointer
+    li   s3, 0                 # i
+mm_i:
+    li   s4, 0                 # j
+mm_j:
+    la   s1, B
+    slli t0, s4, 3
+    add  s1, s1, t0            # &B[0][j]
+    mv   t1, s0                # &A[i][0]
+    li   t2, N / 2             # k pairs
+    fcvt.d.l f2, zero          # acc = 0
+mm_k:
+    fld  f0, 0(t1)
+    fld  f1, 0(s1)
+    fmul f0, f0, f1
+    fadd f2, f2, f0
+    fld  f0, 8(t1)
+    fld  f1, ROW(s1)
+    fmul f0, f0, f1
+    fadd f2, f2, f0
+    addi t1, t1, 16
+    addi s1, s1, ROW * 2
+    subi t2, t2, 1
+    bnez t2, mm_k
+    fsd  f2, 0(s2)
+    addi s2, s2, 8
+    addi s4, s4, 1
+    li   t4, N
+    bne  s4, t4, mm_j
+    addi s0, s0, ROW
+    addi s3, s3, 1
+    bne  s3, t4, mm_i
+    # -- checksum: sum C[k] * (k % 7 + 1), truncated to integer ----------
+    la   t0, C
+    li   t1, 0
+    li   t2, N * N
+    li   t6, 7
+    fcvt.d.l f3, zero
+chk:
+    fld  f0, 0(t0)
+    rem  t3, t1, t6
+    addi t3, t3, 1
+    fcvt.d.l f1, t3
+    fmul f0, f0, f1
+    fadd f3, f3, f0
+    addi t0, t0, 8
+    addi t1, t1, 1
+    bne  t1, t2, chk
+    fcvt.l.d t5, f3
+    li   t6, 0x3fffffff
+    and  a0, t5, t6
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def expected_exit(n: int = 16) -> int:
+    c_flat: list[float] = []
+    for i in range(n):
+        for j in range(n):
+            c_flat.append(sum(_a(i, k, n) * _b(k, j) for k in range(n)))
+    checksum = sum(value * (k % 7 + 1) for k, value in enumerate(c_flat))
+    return int(checksum) & 0x3FFFFFFF

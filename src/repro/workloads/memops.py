@@ -1,0 +1,87 @@
+"""``memops`` — unrolled memcpy / memset / checksum (copy-heavy).
+
+Models the copy loops that dominate OS and I/O paths: balanced load and
+store streams with perfect spatial locality.  Store combining is the
+technique with the most to win here.
+"""
+
+from __future__ import annotations
+
+NAME = "memops"
+DESCRIPTION = "unrolled memcpy + memset + checksum (store-heavy)"
+TAGS = ("memory-dense", "store-heavy", "local")
+
+
+def source(n: int = 1024, reps: int = 8) -> str:
+    """Assembly: memset, memcpy and checksum *n* bytes, *reps* times."""
+    if n % 32 or n <= 0:
+        raise ValueError("n must be a positive multiple of 32")
+    if reps <= 0:
+        raise ValueError("reps must be positive")
+    return f"""
+.equ SYS_EXIT, 1
+.equ N, {n}
+.data
+src_buf: .space {n}
+dst_buf: .space {n}
+.text
+main:
+    li   s3, {reps}
+    li   s4, 0                 # checksum accumulator
+outer:
+    # -- memset: src_buf[i] = pattern (8B at a time, unrolled x4) ------
+    la   t0, src_buf
+    li   t1, N / 32
+    li   t2, 0x0101010101      # fits in 35 bits; pattern per rep
+    add  t2, t2, s3
+set_loop:
+    sd   t2, 0(t0)
+    sd   t2, 8(t0)
+    sd   t2, 16(t0)
+    sd   t2, 24(t0)
+    addi t0, t0, 32
+    subi t1, t1, 1
+    bnez t1, set_loop
+    # -- memcpy: dst_buf = src_buf (unrolled x4) ------------------------
+    la   t0, src_buf
+    la   t3, dst_buf
+    li   t1, N / 32
+copy_loop:
+    ld   t4, 0(t0)
+    ld   t5, 8(t0)
+    ld   t6, 16(t0)
+    ld   s0, 24(t0)
+    sd   t4, 0(t3)
+    sd   t5, 8(t3)
+    sd   t6, 16(t3)
+    sd   s0, 24(t3)
+    addi t0, t0, 32
+    addi t3, t3, 32
+    subi t1, t1, 1
+    bnez t1, copy_loop
+    # -- checksum dst (unrolled x2) -------------------------------------
+    la   t0, dst_buf
+    li   t1, N / 16
+sum_loop:
+    ld   t4, 0(t0)
+    ld   t5, 8(t0)
+    add  s4, s4, t4
+    add  s4, s4, t5
+    addi t0, t0, 16
+    subi t1, t1, 1
+    bnez t1, sum_loop
+    subi s3, s3, 1
+    bnez s3, outer
+    li   t5, 0xffff
+    and  a0, s4, t5
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def expected_exit(n: int = 1024, reps: int = 8) -> int:
+    total = 0
+    for rep in range(reps, 0, -1):
+        pattern = (0x0101010101 + rep) & ((1 << 64) - 1)
+        total += pattern * (n // 8)
+    return total & 0xFFFF

@@ -1,0 +1,137 @@
+"""``qsort`` — recursive quicksort (irregular access + call stack).
+
+Pointer-arithmetic partitioning with a real call stack: a mix of
+data-dependent branches, spatially-scattered swaps and stack save/
+restore traffic.  The SPECint-style middle of the workload space.
+"""
+
+from __future__ import annotations
+
+NAME = "qsort"
+DESCRIPTION = "recursive quicksort of an LCG-shuffled array"
+TAGS = ("branchy", "irregular")
+
+_LCG_MUL = 25214903917
+_LCG_ADD = 11
+_LCG_MASK = (1 << 48) - 1
+
+
+def _lcg_values(n: int, seed: int) -> list[int]:
+    values = []
+    x = seed
+    for _ in range(n):
+        x = (x * _LCG_MUL + _LCG_ADD) & _LCG_MASK
+        values.append((x >> 16) & 0x7FFF)
+    return values
+
+
+def source(n: int = 256, seed: int = 12345) -> str:
+    """Assembly: generate *n* pseudo-random dwords, quicksort, verify."""
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    if not 0 < seed <= _LCG_MASK:
+        raise ValueError("seed must be a positive 48-bit value")
+    return f"""
+.equ SYS_EXIT, 1
+.equ N, {n}
+.data
+arr: .space {n * 8}
+.text
+main:
+    # -- generate: arr[i] = (lcg() >> 16) & 0x7fff ----------------------
+    la   s0, arr
+    li   s1, N
+    li   t0, {seed}
+    li   t3, {_LCG_MASK}
+    li   t4, {_LCG_MUL}
+    li   s5, 0x7fff
+gen:
+    mul  t0, t0, t4
+    addi t0, t0, {_LCG_ADD}
+    and  t0, t0, t3
+    srli t5, t0, 16
+    and  t5, t5, s5
+    sd   t5, 0(s0)
+    addi s0, s0, 8
+    subi s1, s1, 1
+    bnez s1, gen
+    # -- sort ------------------------------------------------------------
+    la   a0, arr
+    la   a1, arr + {(n - 1) * 8}
+    jal  qsort
+    # -- verify non-decreasing and checksum ------------------------------
+    la   t0, arr
+    li   t1, 0
+    li   t2, N
+    li   s4, 0
+    li   t6, 0
+chk:
+    ld   t3, 0(t0)
+    blt  t3, t6, bad
+    addi t4, t1, 1
+    mul  t5, t3, t4
+    add  s4, s4, t5
+    mv   t6, t3
+    addi t0, t0, 8
+    addi t1, t1, 1
+    bne  t1, t2, chk
+    li   t5, 0x3fffffff
+    and  a0, s4, t5
+    li   a7, SYS_EXIT
+    syscall 0
+bad:
+    li   a0, -1
+    li   a7, SYS_EXIT
+    syscall 0
+
+# -- qsort(a0 = lo ptr, a1 = hi ptr, inclusive) — Lomuto partition -------
+qsort:
+    bgeu a0, a1, qs_ret
+    addi sp, sp, -32
+    sd   ra, 0(sp)
+    sd   s0, 8(sp)
+    sd   s1, 16(sp)
+    sd   s2, 24(sp)
+    mv   s0, a0
+    mv   s1, a1
+    ld   t0, 0(s1)             # pivot = *hi
+    subi t1, s0, 8             # i = lo - 1 (in elements)
+    mv   t2, s0                # j = lo
+part_loop:
+    bgeu t2, s1, part_done
+    ld   t3, 0(t2)
+    bgt  t3, t0, part_next
+    addi t1, t1, 8
+    ld   t4, 0(t1)
+    sd   t3, 0(t1)
+    sd   t4, 0(t2)
+part_next:
+    addi t2, t2, 8
+    j    part_loop
+part_done:
+    addi t1, t1, 8             # pivot slot
+    ld   t4, 0(t1)
+    ld   t3, 0(s1)
+    sd   t3, 0(t1)
+    sd   t4, 0(s1)
+    mv   s2, t1
+    mv   a0, s0
+    subi a1, s2, 8
+    jal  qsort
+    addi a0, s2, 8
+    mv   a1, s1
+    jal  qsort
+    ld   ra, 0(sp)
+    ld   s0, 8(sp)
+    ld   s1, 16(sp)
+    ld   s2, 24(sp)
+    addi sp, sp, 32
+qs_ret:
+    ret
+"""
+
+
+def expected_exit(n: int = 256, seed: int = 12345) -> int:
+    values = sorted(_lcg_values(n, seed))
+    checksum = sum(value * (index + 1) for index, value in enumerate(values))
+    return checksum & 0x3FFFFFFF

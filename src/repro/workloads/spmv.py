@@ -1,0 +1,121 @@
+"""``spmv`` — sparse matrix-vector multiply (CSR, gather pattern).
+
+The gather workload: streaming loads over the CSR value/index arrays
+mixed with indirect loads of ``x[col[j]]`` that scatter across the
+vector.  Spatial techniques catch the streams but not the gathers —
+a realistic mixed case for the port experiments, with FP compute.
+"""
+
+from __future__ import annotations
+
+import random
+
+NAME = "spmv"
+DESCRIPTION = "CSR sparse matrix-vector multiply (indirect gathers)"
+TAGS = ("fp", "irregular", "mixed-stride")
+
+
+def _structure(rows: int, per_row: int, seed: int):
+    """Deterministic CSR structure and values."""
+    rng = random.Random(seed)
+    col_idx: list[int] = []
+    row_ptr = [0]
+    values: list[float] = []
+    for row in range(rows):
+        cols = sorted(rng.sample(range(rows), per_row))
+        col_idx.extend(cols)
+        values.extend(float((row + col) % 7 + 1) for col in cols)
+        row_ptr.append(len(col_idx))
+    x = [float(i % 11 + 1) for i in range(rows)]
+    return values, col_idx, row_ptr, x
+
+
+def reference_result(rows: int, per_row: int, seed: int) -> int:
+    values, col_idx, row_ptr, x = _structure(rows, per_row, seed)
+    checksum = 0.0
+    for row in range(rows):
+        acc = 0.0
+        for j in range(row_ptr[row], row_ptr[row + 1]):
+            acc += values[j] * x[col_idx[j]]
+        checksum += acc * (row % 5 + 1)
+    return int(checksum) & 0x3FFFFFFF
+
+
+def source(rows: int = 64, per_row: int = 8, seed: int = 23) -> str:
+    """Assembly: y = A @ x over an embedded CSR matrix, checksum y."""
+    if rows < 2 or per_row < 1 or per_row > rows:
+        raise ValueError("need 2 <= per_row <= rows")
+    values, col_idx, row_ptr, x = _structure(rows, per_row, seed)
+    values_text = ", ".join(str(v) for v in values)
+    cols_text = ", ".join(str(c) for c in col_idx)
+    rows_text = ", ".join(str(r) for r in row_ptr)
+    x_text = ", ".join(str(v) for v in x)
+    return f"""
+.equ SYS_EXIT, 1
+.equ ROWS, {rows}
+.data
+.align 8
+vals: .double {values_text}
+cols: .dword {cols_text}
+rptr: .dword {rows_text}
+xvec: .double {x_text}
+yvec: .space {rows * 8}
+.text
+main:
+    la   s0, rptr
+    la   s1, yvec
+    li   s2, 0                 # row
+    la   s5, vals
+    la   s6, cols
+    la   s7, xvec
+row_loop:
+    ld   t0, 0(s0)             # start index
+    ld   t1, 8(s0)             # end index
+    fcvt.d.l f2, zero          # acc = 0
+    bge  t0, t1, row_store
+elem_loop:
+    slli t2, t0, 3
+    add  t3, s5, t2
+    fld  f0, 0(t3)             # value (streaming)
+    add  t3, s6, t2
+    ld   t4, 0(t3)             # column index (streaming)
+    slli t4, t4, 3
+    add  t4, s7, t4
+    fld  f1, 0(t4)             # x[col] (gather)
+    fmul f0, f0, f1
+    fadd f2, f2, f0
+    addi t0, t0, 1
+    blt  t0, t1, elem_loop
+row_store:
+    fsd  f2, 0(s1)
+    addi s1, s1, 8
+    addi s0, s0, 8
+    addi s2, s2, 1
+    li   t5, ROWS
+    bne  s2, t5, row_loop
+    # -- checksum: sum y[row] * (row % 5 + 1) ---------------------------
+    la   s1, yvec
+    li   s2, 0
+    li   t6, 5
+    fcvt.d.l f3, zero
+chk_loop:
+    fld  f0, 0(s1)
+    rem  t3, s2, t6
+    addi t3, t3, 1
+    fcvt.d.l f1, t3
+    fmul f0, f0, f1
+    fadd f3, f3, f0
+    addi s1, s1, 8
+    addi s2, s2, 1
+    li   t5, ROWS
+    bne  s2, t5, chk_loop
+    fcvt.l.d t5, f3
+    li   t6, 0x3fffffff
+    and  a0, t5, t6
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def expected_exit(rows: int = 64, per_row: int = 8, seed: int = 23) -> int:
+    return reference_result(rows, per_row, seed)

@@ -1,0 +1,70 @@
+"""``stream`` — unrolled streaming sum/copy (dense, spatially local).
+
+The optimised-array-code end of the workload space: four loads per
+cache line, unrolled, with a store stream.  This is where the paper's
+wide-port and line-buffer techniques have the most to combine.
+"""
+
+from __future__ import annotations
+
+NAME = "stream"
+DESCRIPTION = "unrolled streaming sum + store stream (spatially local)"
+TAGS = ("memory-dense", "local")
+
+
+def source(n: int = 512, reps: int = 12) -> str:
+    """Assembly: sum an *n*-dword array *reps* times, storing partials."""
+    if n % 4 or n <= 0:
+        raise ValueError("n must be a positive multiple of 4")
+    if reps <= 0:
+        raise ValueError("reps must be positive")
+    return f"""
+.equ SYS_EXIT, 1
+.equ N, {n}
+.data
+arr: .space {n * 8}
+out: .space {n * 4}
+.text
+main:
+    la   t0, arr
+    li   t1, 0
+    li   t2, N
+init:
+    sd   t1, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, 1
+    bne  t1, t2, init
+    li   s3, {reps}
+outer:
+    la   t0, arr
+    la   t3, out
+    li   t1, 0
+    li   t4, 0
+loop:
+    ld   t5, 0(t0)
+    ld   t6, 8(t0)
+    ld   s4, 16(t0)
+    ld   s5, 24(t0)
+    add  t4, t4, t5
+    add  t4, t4, t6
+    add  t4, t4, s4
+    add  t4, t4, s5
+    sd   t4, 0(t3)
+    sd   t4, 8(t3)
+    addi t0, t0, 32
+    addi t3, t3, 16
+    addi t1, t1, 4
+    bne  t1, t2, loop
+    subi s3, s3, 1
+    bnez s3, outer
+    # fold to a small exit code
+    li   t5, 0xffff
+    and  a0, t4, t5
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def expected_exit(n: int = 512, reps: int = 12) -> int:
+    """The checksum the program exits with."""
+    return (n * (n - 1) // 2) & 0xFFFF

@@ -1,0 +1,208 @@
+"""The workload suite: registry, trace building, and the OS mix.
+
+Every workload is an assembly program that verifies its own result and
+exits with a checksum; :func:`build_trace` runs it on the functional
+simulator, asserts the checksum, and returns the dynamic trace the
+timing core consumes.  Traces are cached per (workload, scale) so a
+grid of machine configurations reuses one functional run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..asm import assemble
+from ..func.exceptions import SimError
+from ..func.run import run_bare
+from ..kernel import assemble_user, run_system
+from ..trace.record import TraceRecord
+from . import (
+    bintree,
+    compress,
+    linkedlist,
+    matmul,
+    memops,
+    qsort,
+    spmv,
+    stream,
+    wordcount,
+)
+
+_MODULES = (stream, memops, qsort, compress, linkedlist, matmul,
+            wordcount, bintree, spmv)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload."""
+
+    name: str
+    description: str
+    tags: tuple[str, ...]
+    source: Callable[..., str]
+    expected_exit: Callable[..., int]
+    #: Parameter presets, smallest first: "tiny" (tests), "small"
+    #: (benchmarks), "full" (examples / longer runs).
+    scales: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def params(self, scale: str) -> dict[str, int]:
+        try:
+            return self.scales[scale]
+        except KeyError:
+            raise ValueError(
+                f"workload {self.name!r} has no scale {scale!r}; "
+                f"choose from {sorted(self.scales)}") from None
+
+
+_SCALES: dict[str, dict[str, dict[str, int]]] = {
+    "stream": {
+        "tiny": {"n": 128, "reps": 3},
+        "small": {"n": 512, "reps": 12},
+        "full": {"n": 2048, "reps": 24},
+    },
+    "memops": {
+        "tiny": {"n": 256, "reps": 2},
+        "small": {"n": 1024, "reps": 8},
+        "full": {"n": 4096, "reps": 16},
+    },
+    "qsort": {
+        "tiny": {"n": 64},
+        "small": {"n": 300},
+        "full": {"n": 1200},
+    },
+    "compress": {
+        "tiny": {"length": 300},
+        "small": {"length": 1500},
+        "full": {"length": 3500},
+    },
+    "linked": {
+        "tiny": {"n": 64, "rounds": 3},
+        "small": {"n": 512, "rounds": 6},
+        "full": {"n": 2048, "rounds": 10},
+    },
+    "matmul": {
+        "tiny": {"n": 8},
+        "small": {"n": 16},
+        "full": {"n": 28},
+    },
+    "wc": {
+        "tiny": {"words": 150},
+        "small": {"words": 600},
+        "full": {"words": 2500},
+    },
+    "bintree": {
+        "tiny": {"n": 64, "queries": 128},
+        "small": {"n": 200, "queries": 500},
+        "full": {"n": 1200, "queries": 4000},
+    },
+    "spmv": {
+        "tiny": {"rows": 24, "per_row": 6},
+        "small": {"rows": 64, "per_row": 8},
+        "full": {"rows": 150, "per_row": 12},
+    },
+}
+
+
+def _build_registry() -> dict[str, WorkloadSpec]:
+    registry: dict[str, WorkloadSpec] = {}
+    for module in _MODULES:
+        name = module.NAME
+        registry[name] = WorkloadSpec(
+            name=name,
+            description=module.DESCRIPTION,
+            tags=tuple(module.TAGS),
+            source=module.source,
+            expected_exit=module.expected_exit,
+            scales=_SCALES[name],
+        )
+    return registry
+
+
+#: All registered single-program workloads, keyed by name.
+WORKLOADS: dict[str, WorkloadSpec] = _build_registry()
+
+#: The default evaluation suite, in presentation order.
+SUITE_NAMES = ("compress", "wc", "qsort", "bintree", "linked", "spmv",
+               "stream", "memops", "matmul")
+
+_trace_cache: dict[tuple, list[TraceRecord]] = {}
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _trace_cache.clear()
+
+
+def build_trace(name: str, scale: str = "small",
+                max_instructions: int = 3_000_000) -> list[TraceRecord]:
+    """Functionally execute a workload and return its verified trace."""
+    key = (name, scale)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+    spec = WORKLOADS[name]
+    params = spec.params(scale)
+    program = assemble(spec.source(**params), source_name=f"<{name}>")
+    result = run_bare(program, max_instructions=max_instructions,
+                      collect_trace=True)
+    expected = spec.expected_exit(**params)
+    if result.exit_code != expected:
+        raise SimError(
+            f"workload {name!r} ({scale}) self-check failed: "
+            f"exit {result.exit_code}, expected {expected}")
+    _trace_cache[key] = result.trace
+    return result.trace
+
+
+#: Workloads composing the multiprogrammed OS mix, with per-scale params.
+OS_MIX_MEMBERS = ("compress", "qsort", "memops")
+
+#: Timer interval (instructions between preemptions) per scale.
+OS_MIX_TIMER = {"tiny": 300, "small": 1500, "full": 5000}
+
+
+def build_os_mix_trace(scale: str = "small", members=OS_MIX_MEMBERS,
+                       timer_interval: int | None = None,
+                       max_instructions: int = 8_000_000,
+                       ) -> list[TraceRecord]:
+    """A multiprogrammed mix under the mini-OS (kernel in the trace)."""
+    key = ("os-mix", scale, tuple(members), timer_interval)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+    interval = timer_interval if timer_interval is not None \
+        else OS_MIX_TIMER[scale]
+    programs = []
+    expected = []
+    for slot, name in enumerate(members):
+        spec = WORKLOADS[name]
+        params = spec.params(scale)
+        programs.append(assemble_user(spec.source(**params), slot=slot,
+                                      source_name=f"<{name}>"))
+        expected.append(spec.expected_exit(**params))
+    result = run_system(programs, timer_interval=interval,
+                        max_instructions=max_instructions,
+                        collect_trace=True)
+    if result.process_exit_codes != expected:
+        raise SimError(
+            f"OS mix self-check failed: exits {result.process_exit_codes}, "
+            f"expected {expected}")
+    _trace_cache[key] = result.trace
+    return result.trace
+
+
+def trace_summary(trace: list[TraceRecord]) -> dict[str, float]:
+    """Static characteristics of a trace (for T1-style tables)."""
+    total = len(trace)
+    loads = sum(1 for r in trace if r.is_load)
+    stores = sum(1 for r in trace if r.is_store)
+    branches = sum(1 for r in trace if r.is_control)
+    kernel = sum(1 for r in trace if r.kernel)
+    return {
+        "instructions": total,
+        "load_fraction": loads / total if total else 0.0,
+        "store_fraction": stores / total if total else 0.0,
+        "branch_fraction": branches / total if total else 0.0,
+        "kernel_fraction": kernel / total if total else 0.0,
+    }

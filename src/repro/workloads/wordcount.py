@@ -1,0 +1,105 @@
+"""``wc`` — word/line/character classification over text (branchy).
+
+Byte loads with data-dependent branches every few instructions — the
+eqntott/espresso-style low-memory-density end of the space, where the
+branch predictor rather than the cache port governs performance.
+"""
+
+from __future__ import annotations
+
+NAME = "wc"
+DESCRIPTION = "word, line and digit counting over embedded text"
+TAGS = ("branchy", "byte-oriented")
+
+_WORDS = ("the", "cache", "port", "is", "busy", "line", "buffer", "wide",
+          "load", "store", "combine", "91")
+
+
+def make_text(words: int, seed: int) -> bytes:
+    """Deterministic pseudo-prose."""
+    out: list[str] = []
+    x = seed & 0x7FFFFFFF
+    for count in range(words):
+        x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append(_WORDS[(x >> 16) % len(_WORDS)])
+        x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append("\n" if (x >> 20) % 9 == 0 else " ")
+    return "".join(out).encode()
+
+
+def reference_counts(text: bytes) -> tuple[int, int, int]:
+    """(words, lines, digits) exactly as the assembly counts them."""
+    words = lines = digits = 0
+    in_word = False
+    for byte in text:
+        if byte == ord("\n"):
+            lines += 1
+        if ord("0") <= byte <= ord("9"):
+            digits += 1
+        is_sep = byte in (ord(" "), ord("\n"), ord("\t"))
+        if is_sep:
+            in_word = False
+        elif not in_word:
+            in_word = True
+            words += 1
+    return words, lines, digits
+
+
+def source(words: int = 600, seed: int = 3) -> str:
+    """Assembly: scan the embedded text, count words/lines/digits."""
+    text = make_text(words, seed)
+    data_bytes = ", ".join(str(b) for b in text)
+    return f"""
+.equ SYS_EXIT, 1
+.equ LEN, {len(text)}
+.data
+text: .byte {data_bytes}
+.text
+main:
+    la   s0, text
+    li   s1, LEN
+    li   s2, 0                 # words
+    li   s3, 0                 # lines
+    li   s4, 0                 # digits
+    li   s5, 0                 # in_word flag
+scan:
+    lbu  t0, 0(s0)
+    addi s0, s0, 1
+    li   t1, '\\n'
+    bne  t0, t1, not_nl
+    addi s3, s3, 1
+not_nl:
+    li   t1, '0'
+    blt  t0, t1, not_digit
+    li   t1, '9'
+    bgt  t0, t1, not_digit
+    addi s4, s4, 1
+not_digit:
+    li   t1, ' '
+    beq  t0, t1, separator
+    li   t1, '\\n'
+    beq  t0, t1, separator
+    li   t1, '\\t'
+    beq  t0, t1, separator
+    bnez s5, next              # already inside a word
+    li   s5, 1
+    addi s2, s2, 1
+    j    next
+separator:
+    li   s5, 0
+next:
+    subi s1, s1, 1
+    bnez s1, scan
+    # exit = words * 2^20 + lines * 2^10 + digits
+    slli a0, s2, 20
+    slli t0, s3, 10
+    add  a0, a0, t0
+    add  a0, a0, s4
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def expected_exit(words: int = 600, seed: int = 3) -> int:
+    word_count, lines, digits = reference_counts(make_text(words, seed))
+    return (word_count << 20) + (lines << 10) + digits

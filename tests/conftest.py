@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.func import run_bare
+from repro.workloads import build_trace
+
+
+def run_asm(body: str, collect_trace: bool = False, user_mode: bool = True,
+            max_instructions: int = 500_000):
+    """Assemble a ``.text`` body (entry ``main``) and run it bare."""
+    return run_bare(assemble(body), collect_trace=collect_trace,
+                    user_mode=user_mode, max_instructions=max_instructions)
+
+
+@pytest.fixture(scope="session")
+def stream_trace():
+    """A small, memory-dense trace shared by timing tests."""
+    return build_trace("stream", "tiny")
+
+
+@pytest.fixture(scope="session")
+def qsort_trace():
+    """A branchy trace shared by timing tests."""
+    return build_trace("qsort", "tiny")

@@ -1,0 +1,122 @@
+"""Unit and property tests for the assembler expression evaluator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import AsmError, UndefinedSymbol, evaluate
+
+
+class TestLiterals:
+    def test_decimal(self):
+        assert evaluate("42") == 42
+
+    def test_hex(self):
+        assert evaluate("0x1f") == 31
+        assert evaluate("0XFF") == 255
+
+    def test_binary_and_octal(self):
+        assert evaluate("0b101") == 5
+        assert evaluate("0o17") == 15
+
+    def test_char_literal(self):
+        assert evaluate("'A'") == 65
+
+    def test_char_escapes(self):
+        assert evaluate(r"'\n'") == 10
+        assert evaluate(r"'\t'") == 9
+        assert evaluate(r"'\0'") == 0
+        assert evaluate(r"'\\'") == 92
+
+    def test_unknown_escape(self):
+        with pytest.raises(AsmError, match="unknown escape"):
+            evaluate(r"'\q'")
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        assert evaluate("2 + 3 * 4") == 14
+
+    def test_parentheses(self):
+        assert evaluate("(2 + 3) * 4") == 20
+
+    def test_unary_minus(self):
+        assert evaluate("-5 + 2") == -3
+        assert evaluate("2 - -3") == 5
+
+    def test_unary_tilde(self):
+        assert evaluate("~0") == -1
+
+    def test_shifts(self):
+        assert evaluate("1 << 15") == 32768
+        assert evaluate("256 >> 4") == 16
+
+    def test_bitwise(self):
+        assert evaluate("0xf0 | 0x0f") == 0xFF
+        assert evaluate("0xff & 0x0f") == 0x0F
+        assert evaluate("0xff ^ 0x0f") == 0xF0
+
+    def test_shift_binds_tighter_than_and(self):
+        assert evaluate("1 << 4 & 0xff") == 16
+
+    def test_division_is_floor(self):
+        assert evaluate("7 / 2") == 3
+
+    def test_modulo(self):
+        assert evaluate("7 % 3") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(AsmError, match="division by zero"):
+            evaluate("1 / 0")
+
+
+class TestSymbols:
+    def test_symbol_lookup(self):
+        assert evaluate("base + 8", {"base": 0x1000}) == 0x1008
+
+    def test_undefined_symbol(self):
+        with pytest.raises(UndefinedSymbol) as exc:
+            evaluate("nope + 1")
+        assert exc.value.name == "nope"
+
+    def test_symbols_with_dots(self):
+        assert evaluate(".L0 * 2", {".L0": 21}) == 42
+
+
+class TestErrors:
+    def test_empty_expression(self):
+        with pytest.raises(AsmError, match="empty"):
+            evaluate("   ")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(AsmError, match="trailing"):
+            evaluate("1 2")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(AsmError):
+            evaluate("(1 + 2")
+
+    def test_dangling_operator(self):
+        with pytest.raises(AsmError):
+            evaluate("1 +")
+
+    def test_garbage(self):
+        with pytest.raises(AsmError, match="bad expression"):
+            evaluate("1 @ 2")
+
+
+_NUM = st.integers(-1000, 1000)
+
+
+class TestProperties:
+    @given(_NUM, _NUM, _NUM)
+    def test_matches_python_arithmetic(self, a, b, c):
+        text = f"({a}) + ({b}) * ({c})"
+        assert evaluate(text) == a + b * c
+
+    @given(_NUM, st.integers(0, 16))
+    def test_matches_python_shifts(self, a, shift):
+        assert evaluate(f"({a}) << {shift}") == a << shift
+
+    @given(_NUM, _NUM)
+    def test_subtraction_symmetry(self, a, b):
+        assert evaluate(f"({a}) - ({b})") == -evaluate(f"({b}) - ({a})")

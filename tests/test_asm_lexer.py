@@ -1,0 +1,88 @@
+"""Unit tests for the assembler line tokenizer."""
+
+import pytest
+
+from repro.asm import AsmError, tokenize, tokenize_line
+
+
+class TestLabels:
+    def test_single_label(self):
+        stmt = tokenize_line("loop:", 1)
+        assert stmt.labels == ["loop"] and stmt.mnemonic is None
+
+    def test_label_with_instruction(self):
+        stmt = tokenize_line("loop: addi t0, t0, 1", 1)
+        assert stmt.labels == ["loop"]
+        assert stmt.mnemonic == "addi"
+        assert stmt.operands == ["t0", "t0", "1"]
+
+    def test_multiple_labels(self):
+        stmt = tokenize_line("a: b: nop", 1)
+        assert stmt.labels == ["a", "b"]
+
+    def test_label_with_dots_and_dollars(self):
+        stmt = tokenize_line(".L0$x: nop", 1)
+        assert stmt.labels == [".L0$x"]
+
+
+class TestComments:
+    def test_hash_comment(self):
+        stmt = tokenize_line("add t0, t1, t2  # comment, with comma", 1)
+        assert stmt.operands == ["t0", "t1", "t2"]
+
+    def test_semicolon_comment(self):
+        stmt = tokenize_line("nop ; trailing", 1)
+        assert stmt.mnemonic == "nop" and not stmt.operands
+
+    def test_comment_only_line(self):
+        stmt = tokenize_line("   # nothing here", 1)
+        assert stmt.mnemonic is None and not stmt.labels
+
+    def test_hash_inside_string_preserved(self):
+        stmt = tokenize_line('.ascii "a#b"', 1)
+        assert stmt.operands == ['"a#b"']
+
+    def test_hash_inside_char_literal_preserved(self):
+        stmt = tokenize_line("addi t0, zero, '#'", 1)
+        assert stmt.operands == ["t0", "zero", "'#'"]
+
+
+class TestOperandSplitting:
+    def test_commas_inside_parens_do_not_split(self):
+        stmt = tokenize_line("ld t0, 8(sp)", 1)
+        assert stmt.operands == ["t0", "8(sp)"]
+
+    def test_string_with_comma(self):
+        stmt = tokenize_line('.asciiz "a, b"', 1)
+        assert stmt.operands == ['"a, b"']
+
+    def test_directive_detection(self):
+        assert tokenize_line(".data", 1).is_directive
+        assert not tokenize_line("add t0, t1, t2", 1).is_directive
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(AsmError, match="empty operand"):
+            tokenize_line("add t0,, t2", 1)
+
+    def test_unbalanced_open_paren(self):
+        with pytest.raises(AsmError, match="unbalanced"):
+            tokenize_line("ld t0, 8(sp", 1)
+
+    def test_unbalanced_close_paren(self):
+        with pytest.raises(AsmError, match="unbalanced"):
+            tokenize_line("ld t0, 8)sp(", 1)
+
+    def test_unterminated_string(self):
+        with pytest.raises(AsmError, match="unterminated"):
+            tokenize_line('.ascii "abc', 1)
+
+
+class TestFileTokenize:
+    def test_line_numbers_and_empty_skipping(self):
+        statements = tokenize("nop\n\n  # comment\nadd t0, t1, t2\n")
+        assert [s.line for s in statements] == [1, 4]
+
+    def test_error_carries_location(self):
+        with pytest.raises(AsmError) as exc:
+            tokenize("nop\nld t0, 8(sp\n", source_name="file.s")
+        assert "file.s:2" in str(exc.value)

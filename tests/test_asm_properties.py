@@ -1,0 +1,95 @@
+"""Property tests over whole assembled programs.
+
+The strongest assembler invariant: any program assembled from
+generated-but-valid source must (a) round-trip through the binary
+encoding, (b) have every label resolve inside the image, and (c)
+disassemble to text that reassembles to the identical instruction
+stream.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.isa import decode, encode
+from repro.isa.registers import reg_name
+
+
+_REGS = st.sampled_from(["t0", "t1", "t2", "s0", "s1", "a0", "a5"])
+_FREGS = st.sampled_from(["f0", "f1", "f7"])
+_IMM = st.integers(-1000, 1000)
+
+
+def _rr(mnemonic):
+    return st.builds(lambda d, a, b: f"{mnemonic} {d}, {a}, {b}",
+                     _REGS, _REGS, _REGS)
+
+
+def _ri(mnemonic):
+    return st.builds(lambda d, a, i: f"{mnemonic} {d}, {a}, {i}",
+                     _REGS, _REGS, _IMM)
+
+
+def _mem(mnemonic):
+    return st.builds(lambda r, i, b: f"{mnemonic} {r}, {i * 8}({b})",
+                     _REGS, st.integers(0, 100), _REGS)
+
+
+def _fp(mnemonic):
+    return st.builds(lambda d, a, b: f"{mnemonic} {d}, {a}, {b}",
+                     _FREGS, _FREGS, _FREGS)
+
+
+_INSTRUCTION = st.one_of(
+    _rr("add"), _rr("sub"), _rr("xor"), _rr("sltu"), _rr("mul"),
+    _ri("addi"), _ri("andi"), _ri("slti"),
+    st.builds(lambda d, a, i: f"slli {d}, {a}, {i}", _REGS, _REGS,
+              st.integers(0, 63)),
+    _mem("ld"), _mem("lw"), _mem("lbu"), _mem("sd"), _mem("sb"),
+    _fp("fadd"), _fp("fmul"),
+    st.builds(lambda d, i: f"li {d}, {i}", _REGS,
+              st.integers(-(1 << 40), 1 << 40)),
+    st.just("nop"),
+)
+
+
+def _program_source(bodies: list[str]) -> str:
+    lines = [".text", "main:"]
+    lines += [f"    {body}" for body in bodies]
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+class TestAssembledPrograms:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_INSTRUCTION, min_size=1, max_size=30))
+    def test_binary_round_trip(self, bodies):
+        program = assemble(_program_source(bodies))
+        for instr in program.text:
+            assert decode(encode(instr)) == instr
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_INSTRUCTION, min_size=1, max_size=20))
+    def test_disassemble_reassemble_fixed_point(self, bodies):
+        first = assemble(_program_source(bodies))
+        listing = "\n".join([".text", "main:"] +
+                            [f"    {instr}" for instr in first.text])
+        second = assemble(listing)
+        assert first.text == second.text
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_INSTRUCTION, min_size=1, max_size=30))
+    def test_layout_is_dense_and_in_bounds(self, bodies):
+        program = assemble(_program_source(bodies))
+        assert program.entry == program.text_base
+        assert program.text_end == \
+            program.text_base + 4 * len(program.text)
+        for symbol, address in program.symbols.items():
+            assert program.text_base <= address <= program.text_end
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(list(range(64))), min_size=1,
+                    max_size=10))
+    def test_reg_names_round_trip_through_source(self, regs):
+        from repro.isa import parse_register
+        for unified in regs:
+            assert parse_register(reg_name(unified)) == unified

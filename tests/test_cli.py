@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+.data
+msg: .ascii "hi"
+.text
+main:
+    la a0, msg
+    li a1, 2
+    li a7, 2
+    syscall 0
+    li a0, 3
+    li a7, 1
+    syscall 0
+""")
+    return str(path)
+
+
+class TestListing:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "stream" in out and "compress" in out
+
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "1P-wide+LB+SC" in out and "2R-4B" in out
+
+
+class TestAsm:
+    def test_summary(self, source_file, capsys):
+        assert main(["asm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "entry" in out
+
+    def test_listing(self, source_file, capsys):
+        assert main(["asm", source_file, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "syscall" in out
+        assert "0x001000" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["asm", "/nonexistent.s"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_asm_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text(".text\nfrobnicate t0\n")
+        assert main(["asm", str(path)]) == 1
+        assert "unknown mnemonic" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_runs_and_reports(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "hi" in out
+        assert "exit code 3" in out
+
+    def test_saves_trace(self, source_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.npz")
+        assert main(["run", source_file, "--trace", trace_path]) == 0
+        from repro.trace import load_trace
+        assert len(load_trace(trace_path)) > 5
+
+    def test_budget_error(self, tmp_path, capsys):
+        path = tmp_path / "loop.s"
+        path.write_text(".text\nmain:\nx: j x\n")
+        assert main(["run", str(path), "--max-instructions", "50"]) == 1
+        assert "budget" in capsys.readouterr().err
+
+    def test_bare_metal_mode(self, tmp_path, capsys):
+        path = tmp_path / "bm.s"
+        path.write_text(".text\nmain:\nli a0, 7\nhalt\n")
+        assert main(["run", str(path), "--bare-metal"]) == 0
+        assert "exit code 7" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_named_workload(self, capsys):
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--config", "1P"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "port uses" in out
+
+    def test_trace_file_round_trip(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "w.npz")
+        assert main(["trace", "memops", trace_path, "--scale",
+                     "tiny"]) == 0
+        assert main(["simulate", "--trace-file", trace_path,
+                     "--config", "2P"]) == 0
+        out = capsys.readouterr().out
+        assert "2P" in out
+
+    def test_stats_dump(self, capsys):
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--config", "1P", "--stats"]) == 0
+        assert "dcache.port_uses" in capsys.readouterr().out
+
+    def test_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "nope", "--scale", "tiny"])
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "A3", "--scale", "tiny"]) == 0
+        assert "locality" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "Z9"])
+
+
+class TestExperimentOutput:
+    def test_writes_text_file(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(["experiment", "A3", "--scale", "tiny",
+                     "--output", out]) == 0
+        written = (tmp_path / "results" / "a3_tiny.txt").read_text()
+        assert "locality" in written
+
+    def test_writes_csv(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(["experiment", "A3", "--scale", "tiny",
+                     "--output", out, "--csv"]) == 0
+        written = (tmp_path / "results" / "a3_tiny.csv").read_text()
+        assert written.splitlines()[0].startswith("locality,")

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are exercised in-process (imported as modules with patched
+``sys.argv``) so failures give real tracebacks and coverage.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], monkeypatch) -> None:
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 4
+
+
+def test_quickstart(monkeypatch, capsys):
+    run_example("quickstart.py", [], monkeypatch)
+    out = capsys.readouterr().out
+    assert "IPC" in out and "2P" in out
+
+
+def test_port_study_tiny(monkeypatch, capsys):
+    run_example("port_study.py", ["--scale", "tiny"], monkeypatch)
+    out = capsys.readouterr().out
+    assert "F1" in out and "F2" in out and "headline" in out
+
+
+def test_os_workload(monkeypatch, capsys):
+    run_example("os_workload.py", [], monkeypatch)
+    out = capsys.readouterr().out
+    assert "kernel" in out
+    assert "user-only view" in out
+
+
+def test_custom_workload(monkeypatch, capsys):
+    run_example("custom_workload.py", [], monkeypatch)
+    out = capsys.readouterr().out
+    assert "histogram done" in out
+    assert "depth" in out
+
+
+def test_locality_sweep(monkeypatch, capsys):
+    run_example("locality_sweep.py", ["--instructions", "6000"],
+                monkeypatch)
+    out = capsys.readouterr().out
+    assert "locality" in out and "|" in out

@@ -1,0 +1,85 @@
+"""Unit tests for architectural state."""
+
+import math
+
+import pytest
+
+from repro.func import ArchState, bits_to_float, float_to_bits, to_signed, to_unsigned
+from repro.func.state import SYSREG_COUNT
+from repro.isa import STATUS_INT_ENABLE, STATUS_KERNEL, SysReg
+
+
+class TestRegisters:
+    def test_zero_register_ignores_writes(self):
+        state = ArchState()
+        state.write_reg(0, 123)
+        assert state.read_reg(0) == 0
+
+    def test_writes_wrap_to_64_bits(self):
+        state = ArchState()
+        state.write_reg(1, (1 << 64) + 5)
+        assert state.read_reg(1) == 5
+
+    def test_float_round_trip(self):
+        state = ArchState()
+        state.write_float(33, -2.75)
+        assert state.read_float(33) == -2.75
+
+    def test_float_bits_nan(self):
+        bits = float_to_bits(float("nan"))
+        assert math.isnan(bits_to_float(bits))
+
+
+class TestConversions:
+    def test_to_signed(self):
+        assert to_signed(1) == 1
+        assert to_signed((1 << 64) - 1) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1) == (1 << 64) - 1
+        assert to_unsigned(5) == 5
+
+
+class TestSysRegs:
+    def test_boot_mode_is_kernel(self):
+        state = ArchState()
+        assert state.kernel_mode
+        assert not state.interrupts_enabled
+
+    def test_sysreg_bounds(self):
+        state = ArchState()
+        with pytest.raises(IndexError):
+            state.read_sysreg(SYSREG_COUNT)
+        with pytest.raises(IndexError):
+            state.write_sysreg(-1, 0)
+
+    def test_sysreg_round_trip(self):
+        state = ArchState()
+        state.write_sysreg(SysReg.EPC, 0x4000)
+        assert state.read_sysreg(SysReg.EPC) == 0x4000
+
+
+class TestTrapStatusStack:
+    def test_enter_trap_saves_mode(self):
+        state = ArchState()
+        state.status = STATUS_INT_ENABLE  # user mode, interrupts on
+        state.enter_trap()
+        assert state.kernel_mode
+        assert not state.interrupts_enabled
+
+    def test_leave_trap_restores_mode(self):
+        state = ArchState()
+        state.status = STATUS_INT_ENABLE
+        state.enter_trap()
+        state.leave_trap()
+        assert not state.kernel_mode
+        assert state.interrupts_enabled
+
+    def test_nested_semantics_single_level(self):
+        state = ArchState()
+        state.status = STATUS_KERNEL  # kernel, interrupts off
+        state.enter_trap()
+        state.leave_trap()
+        assert state.kernel_mode
+        assert not state.interrupts_enabled

@@ -1,0 +1,154 @@
+"""End-to-end invariants across the whole stack.
+
+These tests express the *physics* of the system: conservation laws
+(every load is serviced exactly once, ports cannot be over-subscribed),
+and the monotonicity relations the paper's argument rests on (more
+ports never hurt, each technique never hurts).
+"""
+
+import pytest
+
+from repro.core import simulate
+from repro.presets import CONFIG_NAMES, machine
+from repro.workloads import build_os_mix_trace, build_trace
+
+_TOLERANCE = 1.02  # schedule jitter: "never hurts" up to 2%
+
+
+@pytest.fixture(scope="module")
+def results():
+    traces = {
+        "stream": build_trace("stream", "tiny"),
+        "memops": build_trace("memops", "tiny"),
+        "qsort": build_trace("qsort", "tiny"),
+        "os-mix": build_os_mix_trace("tiny"),
+    }
+    out = {}
+    for workload, trace in traces.items():
+        for config in CONFIG_NAMES:
+            out[(workload, config)] = simulate(trace, machine(config))
+        out[(workload, "__len__")] = len(trace)
+        out[(workload, "__loads__")] = sum(r.is_load for r in trace)
+    return out
+
+
+class TestConservation:
+    def test_everything_commits(self, results):
+        for (workload, config), result in results.items():
+            if config.startswith("__"):
+                continue
+            assert result.instructions == results[(workload, "__len__")]
+
+    def test_every_load_serviced_exactly_once(self, results):
+        for (workload, config), result in results.items():
+            if config.startswith("__"):
+                continue
+            stats = result.stats
+            serviced = (stats["lsq.port_loads"] + stats["lsq.lb_loads"]
+                        + stats["lsq.sq_forwards"] + stats["lsq.wb_forwards"])
+            assert serviced == results[(workload, "__loads__")], \
+                (workload, config)
+
+    def test_port_uses_bounded(self, results):
+        for (workload, config), result in results.items():
+            if config.startswith("__"):
+                continue
+            ports = machine(config).mem.dcache.ports
+            assert result.stats["dcache.port_uses"] <= ports * result.cycles
+
+    def test_no_line_buffer_stats_when_disabled(self, results):
+        for workload in ("stream", "memops", "qsort", "os-mix"):
+            stats = results[(workload, "1P")].stats
+            assert stats["lsq.lb_loads"] == 0
+            assert stats["lb.hits"] == 0
+
+    def test_no_combining_stats_when_disabled(self, results):
+        for workload in ("stream", "memops"):
+            assert results[(workload, "1P")].stats["lsq.combined_loads"] == 0
+            assert results[(workload, "2P")].stats["wb.combined"] == 0
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("workload", ["stream", "memops", "qsort",
+                                          "os-mix"])
+    def test_dual_port_never_slower_than_single(self, results, workload):
+        single = results[(workload, "1P")]
+        dual = results[(workload, "2P")]
+        assert dual.cycles <= single.cycles * _TOLERANCE
+
+    @pytest.mark.parametrize("workload", ["stream", "memops", "qsort",
+                                          "os-mix"])
+    def test_line_buffer_never_hurts(self, results, workload):
+        assert results[(workload, "1P+LB")].cycles <= \
+            results[(workload, "1P")].cycles * _TOLERANCE
+
+    @pytest.mark.parametrize("workload", ["stream", "memops", "qsort",
+                                          "os-mix"])
+    def test_wide_port_never_hurts(self, results, workload):
+        assert results[(workload, "1P-wide")].cycles <= \
+            results[(workload, "1P")].cycles * _TOLERANCE
+
+    @pytest.mark.parametrize("workload", ["stream", "memops"])
+    def test_techniques_recover_most_of_dual_port(self, results, workload):
+        tech = results[(workload, "1P-wide+LB+SC")]
+        dual = results[(workload, "2P+SC")]
+        assert tech.ipc >= 0.9 * dual.ipc
+
+
+class TestStatsConsistency:
+    def test_load_service_breakdown_counts_loads(self):
+        trace = build_trace("stream", "tiny")
+        loads_in_trace = sum(r.is_load for r in trace)
+        for config in ("1P", "1P+LB", "1P-wide+LB+SC", "2P"):
+            result = simulate(trace, machine(config))
+            stats = result.stats
+            serviced = (stats["lsq.port_loads"] + stats["lsq.lb_loads"]
+                        + stats["lsq.sq_forwards"]
+                        + stats["lsq.wb_forwards"])
+            assert serviced == loads_in_trace, config
+
+    def test_store_drains_cover_all_stores(self):
+        trace = build_trace("memops", "tiny")
+        stores_in_trace = sum(r.is_store for r in trace)
+        result = simulate(trace, machine("1P"))
+        stats = result.stats
+        # Without combining, each store allocates exactly one entry;
+        # drains may lag at simulation end, but allocations must match.
+        assert stats["wb.entries_allocated"] == stores_in_trace
+
+    def test_combining_reduces_entries_not_stores(self):
+        trace = build_trace("memops", "tiny")
+        result = simulate(trace, machine("1P-wide+LB+SC"))
+        stats = result.stats
+        stores_in_trace = sum(r.is_store for r in trace)
+        assert stats["wb.entries_allocated"] + stats["wb.combined"] == \
+            stores_in_trace
+
+    def test_branch_accounting_matches_trace(self):
+        trace = build_trace("qsort", "tiny")
+        conditional = sum(1 for r in trace
+                          if r.is_control and r.opclass.name == "BRANCH")
+        result = simulate(trace, machine("2P"))
+        assert result.stats["bpred.branches"] == conditional
+
+    def test_cycles_equal_across_identical_runs(self):
+        trace = build_trace("qsort", "tiny")
+        assert simulate(trace, machine("1P")).cycles == \
+            simulate(trace, machine("1P")).cycles
+
+
+class TestKernelTimingIntegration:
+    def test_os_trace_times_on_every_config(self):
+        trace = build_os_mix_trace("tiny")
+        for config in CONFIG_NAMES:
+            result = simulate(trace, machine(config))
+            assert result.instructions == len(trace)
+            assert result.stats["fetch.serialize_redirects"] > 0
+
+    def test_serialize_redirects_match_trap_activity(self):
+        trace = build_os_mix_trace("tiny")
+        redirects = sum(
+            1 for r in trace
+            if not r.is_control and r.next_pc != r.pc + 4)
+        result = simulate(trace, machine("2P"))
+        assert result.stats["fetch.serialize_redirects"] == redirects

@@ -1,0 +1,155 @@
+"""Unit and property tests for the binary instruction encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    EncodingError,
+    Instruction,
+    Opcode,
+    decode,
+    decode_program_text,
+    encode,
+    encode_program_text,
+)
+from repro.isa.encoding import IMM15_MAX, IMM15_MIN, IMM20_MAX, IMM20_MIN
+from repro.isa.opcodes import OPCODE_INFO, Bank, Format
+from repro.isa.registers import fp_reg
+
+
+class TestBasics:
+    def test_encodes_to_32_bits(self):
+        word = encode(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        assert 0 <= word < (1 << 32)
+
+    def test_distinct_opcodes_distinct_words(self):
+        a = encode(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        b = encode(Instruction(Opcode.SUB, rd=1, rs1=2, rs2=3))
+        assert a != b
+
+    def test_round_trip_r_format(self):
+        instr = Instruction(Opcode.XOR, rd=31, rs1=30, rs2=29)
+        assert decode(encode(instr)) == instr
+
+    def test_round_trip_negative_immediate(self):
+        instr = Instruction(Opcode.ADDI, rd=4, rs1=5, imm=-1)
+        assert decode(encode(instr)) == instr
+
+    def test_round_trip_store(self):
+        instr = Instruction(Opcode.SD, rs1=2, rs2=8, imm=-16)
+        assert decode(encode(instr)) == instr
+
+    def test_round_trip_fp_banks(self):
+        instr = Instruction(Opcode.FADD, rd=fp_reg(1), rs1=fp_reg(2),
+                            rs2=fp_reg(3))
+        assert decode(encode(instr)) == instr
+
+    def test_round_trip_mixed_banks(self):
+        instr = Instruction(Opcode.FCVT_L_D, rd=7, rs1=fp_reg(9))
+        assert decode(encode(instr)) == instr
+
+    def test_round_trip_fp_store(self):
+        instr = Instruction(Opcode.FSD, rs1=4, rs2=fp_reg(11), imm=24)
+        assert decode(encode(instr)) == instr
+
+    def test_round_trip_u_format(self):
+        instr = Instruction(Opcode.JAL, rd=1, imm=IMM20_MIN)
+        assert decode(encode(instr)) == instr
+
+    def test_round_trip_branch(self):
+        instr = Instruction(Opcode.BLTU, rs1=9, rs2=10, imm=IMM15_MAX)
+        assert decode(encode(instr)) == instr
+
+
+class TestErrors:
+    def test_imm15_overflow(self):
+        with pytest.raises(EncodingError, match="immediate"):
+            encode(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=IMM15_MAX + 1))
+
+    def test_imm15_underflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=IMM15_MIN - 1))
+
+    def test_imm20_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.J, imm=IMM20_MAX + 1))
+
+    def test_fp_register_in_int_field(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADD, rd=fp_reg(1), rs1=2, rs2=3))
+
+    def test_int_register_in_fp_field(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.FADD, rd=3, rs1=fp_reg(1),
+                               rs2=fp_reg(2)))
+
+    def test_decode_unknown_opcode(self):
+        with pytest.raises(EncodingError, match="unknown opcode"):
+            decode(0xFFFF_FFFF)
+
+    def test_decode_not_32_bit(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+
+class TestProgramText:
+    def test_round_trip(self):
+        text = [Instruction(Opcode.ADDI, rd=5, rs1=0, imm=7),
+                Instruction(Opcode.SLLI, rd=5, rs1=5, imm=2),
+                Instruction(Opcode.HALT)]
+        blob = encode_program_text(text)
+        assert len(blob) == 12
+        assert decode_program_text(blob) == text
+
+    def test_bad_length(self):
+        with pytest.raises(EncodingError, match="multiple of 4"):
+            decode_program_text(b"\x01\x02\x03")
+
+
+def _instruction_strategy():
+    """Random valid instructions respecting per-opcode operand banks."""
+    def build(opcode, fields):
+        info = OPCODE_INFO[opcode]
+        rd_local, rs1_local, rs2_local, imm15, imm20 = fields
+
+        def reg(bank, local):
+            if bank is Bank.NONE:
+                return 0
+            return local if bank is Bank.INT else local + 32
+
+        imm = 0
+        if info.fmt in (Format.I, Format.MEM, Format.B, Format.SYS):
+            imm = imm15 if info.has_imm else 0
+            if info.fmt is Format.SYS and info.has_imm:
+                imm = imm15 % 16  # system register number
+        elif info.fmt is Format.U:
+            imm = imm20
+        return Instruction(
+            opcode,
+            rd=reg(info.rd_bank, rd_local),
+            rs1=reg(info.rs1_bank, rs1_local),
+            rs2=reg(info.rs2_bank, rs2_local),
+            imm=imm,
+        )
+
+    fields = st.tuples(
+        st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+        st.integers(IMM15_MIN, IMM15_MAX), st.integers(IMM20_MIN, IMM20_MAX))
+    return st.builds(build, st.sampled_from(list(Opcode)), fields)
+
+
+class TestProperties:
+    @given(_instruction_strategy())
+    def test_encode_decode_round_trip(self, instr):
+        assert decode(encode(instr)) == instr
+
+    @given(_instruction_strategy())
+    def test_encoding_is_32_bit(self, instr):
+        assert 0 <= encode(instr) < (1 << 32)
+
+    @given(st.lists(_instruction_strategy(), max_size=20))
+    def test_program_text_round_trip(self, instructions):
+        blob = encode_program_text(instructions)
+        assert decode_program_text(blob) == instructions

@@ -1,0 +1,144 @@
+"""Unit tests for the Instruction record and operand views."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, OpClass, Program, nop
+from repro.isa.registers import fp_reg
+
+
+class TestOperandViews:
+    def test_alu_dest_and_sources(self):
+        instr = Instruction(Opcode.ADD, rd=3, rs1=4, rs2=5)
+        assert instr.dest == 3
+        assert instr.sources == (4, 5)
+
+    def test_write_to_zero_has_no_dest(self):
+        instr = Instruction(Opcode.ADD, rd=0, rs1=4, rs2=5)
+        assert instr.dest is None
+
+    def test_zero_sources_dropped(self):
+        instr = Instruction(Opcode.ADD, rd=3, rs1=0, rs2=5)
+        assert instr.sources == (5,)
+
+    def test_fp_zero_index_is_a_real_source(self):
+        # f0 (unified 32) is a genuine register, unlike integer zero.
+        instr = Instruction(Opcode.FADD, rd=fp_reg(2), rs1=fp_reg(0),
+                            rs2=fp_reg(1))
+        assert instr.sources == (fp_reg(0), fp_reg(1))
+        assert instr.dest == fp_reg(2)
+
+    def test_store_sources_include_data_register(self):
+        instr = Instruction(Opcode.SD, rs1=4, rs2=7, imm=16)
+        assert instr.dest is None
+        assert set(instr.sources) == {4, 7}
+
+    def test_load_dest(self):
+        instr = Instruction(Opcode.LD, rd=9, rs1=2, imm=8)
+        assert instr.dest == 9
+        assert instr.sources == (2,)
+
+    def test_branch_has_no_dest(self):
+        instr = Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=4)
+        assert instr.dest is None
+
+    def test_jal_writes_link_register(self):
+        instr = Instruction(Opcode.JAL, rd=1, imm=100)
+        assert instr.dest == 1
+
+    def test_lui_has_no_sources(self):
+        instr = Instruction(Opcode.LUI, rd=5, imm=100)
+        assert instr.sources == ()
+
+
+class TestClassification:
+    def test_load_flags(self):
+        instr = Instruction(Opcode.LW, rd=1, rs1=2)
+        assert instr.is_load and instr.is_mem and not instr.is_store
+
+    def test_store_flags(self):
+        instr = Instruction(Opcode.SB, rs1=2, rs2=3)
+        assert instr.is_store and instr.is_mem and not instr.is_load
+
+    def test_control_flags(self):
+        assert Instruction(Opcode.BNE, rs1=1, rs2=2).is_control
+        assert Instruction(Opcode.J, imm=1).is_control
+        assert Instruction(Opcode.JR, rs1=1).is_control
+        assert not Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).is_control
+
+    def test_mem_sizes(self):
+        assert Instruction(Opcode.LB, rd=1, rs1=2).info.mem_size == 1
+        assert Instruction(Opcode.LH, rd=1, rs1=2).info.mem_size == 2
+        assert Instruction(Opcode.LW, rd=1, rs1=2).info.mem_size == 4
+        assert Instruction(Opcode.LD, rd=1, rs1=2).info.mem_size == 8
+        assert Instruction(Opcode.FSD, rs1=2, rs2=33).info.mem_size == 8
+
+    def test_opclass_assignment(self):
+        assert Instruction(Opcode.MUL, rd=1, rs1=2, rs2=3).info.opclass \
+            is OpClass.MUL
+        assert Instruction(Opcode.FDIV, rd=33, rs1=34, rs2=35).info.opclass \
+            is OpClass.FP_DIV
+        assert Instruction(Opcode.SYSCALL).info.opclass is OpClass.SYSTEM
+
+
+class TestDisassembly:
+    def test_alu(self):
+        assert str(Instruction(Opcode.ADD, rd=5, rs1=6, rs2=7)) == \
+            "add t0, t1, t2"
+
+    def test_imm(self):
+        assert str(Instruction(Opcode.ADDI, rd=5, rs1=0, imm=-3)) == \
+            "addi t0, zero, -3"
+
+    def test_load(self):
+        assert str(Instruction(Opcode.LD, rd=5, rs1=2, imm=16)) == \
+            "ld t0, 16(sp)"
+
+    def test_store(self):
+        assert str(Instruction(Opcode.SD, rs1=2, rs2=5, imm=-8)) == \
+            "sd t0, -8(sp)"
+
+    def test_branch(self):
+        assert str(Instruction(Opcode.BEQ, rs1=5, rs2=0, imm=-4)) == \
+            "beq t0, zero, -4"
+
+    def test_fp(self):
+        text = str(Instruction(Opcode.FMUL, rd=fp_reg(1), rs1=fp_reg(2),
+                               rs2=fp_reg(3)))
+        assert text == "fmul f1, f2, f3"
+
+    def test_bare_mnemonics(self):
+        assert str(Instruction(Opcode.NOP)) == "nop"
+        assert str(Instruction(Opcode.HALT)) == "halt"
+        assert str(Instruction(Opcode.ERET)) == "eret"
+
+    def test_sysregs(self):
+        assert str(Instruction(Opcode.MFSR, rd=5, imm=0)) == "mfsr t0, 0"
+        assert str(Instruction(Opcode.MTSR, rs1=5, imm=7)) == "mtsr 7, t0"
+
+    def test_nop_helper(self):
+        assert nop().opcode is Opcode.NOP
+
+
+class TestProgram:
+    def _program(self):
+        text = (Instruction(Opcode.ADDI, rd=5, rs1=0, imm=1),
+                Instruction(Opcode.HALT))
+        return Program(text=text, data=b"\x01\x02", text_base=0x1000,
+                       data_base=0x2000, entry=0x1000)
+
+    def test_bounds(self):
+        program = self._program()
+        assert program.text_end == 0x1008
+        assert program.data_end == 0x2002
+
+    def test_instruction_at(self):
+        program = self._program()
+        assert program.instruction_at(0x1004).opcode is Opcode.HALT
+
+    def test_instruction_at_misaligned(self):
+        with pytest.raises(ValueError, match="misaligned"):
+            self._program().instruction_at(0x1002)
+
+    def test_instruction_at_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            self._program().instruction_at(0x1010)

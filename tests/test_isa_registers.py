@@ -1,0 +1,87 @@
+"""Unit tests for the register namespace."""
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+class TestNaming:
+    def test_abi_names_map_to_indices(self):
+        assert regs.parse_register("zero") == 0
+        assert regs.parse_register("ra") == 1
+        assert regs.parse_register("sp") == 2
+        assert regs.parse_register("a0") == 10
+        assert regs.parse_register("t6") == 31
+
+    def test_x_names(self):
+        for i in range(32):
+            assert regs.parse_register(f"x{i}") == i
+
+    def test_r_names(self):
+        assert regs.parse_register("r5") == 5
+
+    def test_fp_names(self):
+        for i in range(32):
+            assert regs.parse_register(f"f{i}") == 32 + i
+
+    def test_fp_alias_is_s0(self):
+        assert regs.parse_register("fp") == regs.parse_register("s0")
+
+    def test_case_insensitive(self):
+        assert regs.parse_register("A0") == 10
+        assert regs.parse_register("F3") == 35
+
+    def test_whitespace_tolerated(self):
+        assert regs.parse_register("  t0 ") == 5
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(KeyError, match="unknown register"):
+            regs.parse_register("q7")
+
+    def test_out_of_range_numeric_raises(self):
+        with pytest.raises(KeyError):
+            regs.parse_register("x32")
+        with pytest.raises(KeyError):
+            regs.parse_register("f32")
+
+
+class TestUnifiedIndices:
+    def test_fp_reg_helper(self):
+        assert regs.fp_reg(0) == 32
+        assert regs.fp_reg(31) == 63
+
+    def test_fp_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            regs.fp_reg(32)
+        with pytest.raises(ValueError):
+            regs.fp_reg(-1)
+
+    def test_int_reg_helper(self):
+        assert regs.int_reg(7) == 7
+        with pytest.raises(ValueError):
+            regs.int_reg(32)
+
+    def test_is_fp_reg(self):
+        assert not regs.is_fp_reg(0)
+        assert not regs.is_fp_reg(31)
+        assert regs.is_fp_reg(32)
+        assert regs.is_fp_reg(63)
+        assert not regs.is_fp_reg(64)
+
+
+class TestRendering:
+    def test_reg_name_int(self):
+        assert regs.reg_name(0) == "zero"
+        assert regs.reg_name(10) == "a0"
+
+    def test_reg_name_fp(self):
+        assert regs.reg_name(32) == "f0"
+        assert regs.reg_name(63) == "f31"
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            regs.reg_name(64)
+
+    def test_round_trip_all(self):
+        for unified in range(regs.TOTAL_REG_COUNT):
+            assert regs.parse_register(regs.reg_name(unified)) == unified

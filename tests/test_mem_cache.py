@@ -1,0 +1,185 @@
+"""Unit and property tests for the set-associative tag array."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import CacheGeometry, SetAssocCache
+from repro.stats import Stats
+
+
+def small_cache(sets=4, assoc=2, line=32):
+    return SetAssocCache(CacheGeometry(size=sets * assoc * line,
+                                       line_size=line, assoc=assoc))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        geometry = CacheGeometry(size=32 * 1024, line_size=32, assoc=2)
+        assert geometry.num_sets == 512
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size=3000)
+        with pytest.raises(ValueError):
+            CacheGeometry(line_size=24)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(assoc=0)
+
+    def test_line_of(self):
+        cache = small_cache(line=32)
+        assert cache.line_of(0) == 0
+        assert cache.line_of(31) == 0
+        assert cache.line_of(32) == 1
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(5)
+        cache.fill(5)
+        assert cache.lookup(5)
+
+    def test_fill_returns_victim(self):
+        cache = small_cache(sets=1, assoc=2)
+        assert cache.fill(0) is None
+        assert cache.fill(1) is None
+        victim = cache.fill(2)
+        assert victim == (0, False)
+
+    def test_lru_order_respects_touches(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0)          # 0 becomes MRU
+        victim = cache.fill(2)
+        assert victim[0] == 1
+
+    def test_refill_refreshes_lru(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.fill(0) is None   # already present
+        victim = cache.fill(2)
+        assert victim[0] == 1
+
+    def test_lookup_without_touch(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0, touch=False)
+        victim = cache.fill(2)
+        assert victim[0] == 0     # untouched lookup did not promote
+
+    def test_lines_map_to_sets_by_low_bits(self):
+        cache = small_cache(sets=4, assoc=1)
+        cache.fill(0)
+        cache.fill(4)  # same set (4 sets), evicts 0
+        assert not cache.lookup(0)
+        assert cache.lookup(4)
+
+    def test_different_sets_do_not_interfere(self):
+        cache = small_cache(sets=4, assoc=1)
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.lookup(0) and cache.lookup(1)
+
+
+class TestDirty:
+    def test_dirty_eviction_flag(self):
+        cache = small_cache(sets=1, assoc=1)
+        cache.fill(0)
+        cache.mark_dirty(0)
+        victim = cache.fill(1)
+        assert victim == (0, True)
+
+    def test_fill_dirty(self):
+        cache = small_cache(sets=1, assoc=1)
+        cache.fill(0, dirty=True)
+        assert cache.fill(1) == (0, True)
+
+    def test_mark_dirty_absent_line_is_noop(self):
+        cache = small_cache()
+        cache.mark_dirty(99)
+        assert not cache.lookup(99)
+
+    def test_refill_keeps_dirty(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.fill(0, dirty=True)
+        cache.fill(0, dirty=False)
+        cache.fill(1)
+        assert cache.fill(2) == (0, True)
+
+
+class TestInvalidateAndStats:
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(3)
+        assert cache.invalidate(3)
+        assert not cache.lookup(3)
+        assert not cache.invalidate(3)
+
+    def test_eviction_stats(self):
+        stats = Stats()
+        cache = SetAssocCache(CacheGeometry(size=64, line_size=32, assoc=2),
+                              name="c", stats=stats)
+        cache.fill(0)
+        cache.mark_dirty(0)
+        cache.fill(2)   # 0 is now LRU (mark_dirty promoted, then 2 filled)
+        cache.fill(4)
+        assert stats["c.evictions"] == 1
+        assert stats["c.dirty_evictions"] == 1
+
+    def test_mark_dirty_promotes_to_mru(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.fill(0)
+        cache.fill(1)
+        cache.mark_dirty(0)      # a write touches the line
+        assert cache.fill(2)[0] == 1
+
+    def test_resident_lines_and_contents(self):
+        cache = small_cache()
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.resident_lines == 2
+        assert cache.contents() == {1, 2}
+
+
+class _ReferenceCache:
+    """Oracle: per-set OrderedDict LRU, independent implementation."""
+
+    def __init__(self, sets, assoc):
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.mask = sets - 1
+        self.assoc = assoc
+
+    def access(self, line):
+        """Returns hit?; fills on miss."""
+        s = self.sets[line & self.mask]
+        if line in s:
+            s.move_to_end(line)
+            return True
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[line] = None
+        return False
+
+
+class TestAgainstReference:
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300),
+           st.sampled_from([(4, 2), (8, 1), (2, 4)]))
+    def test_hit_miss_sequence_matches_oracle(self, lines, shape):
+        sets, assoc = shape
+        cache = SetAssocCache(CacheGeometry(size=sets * assoc * 32,
+                                            line_size=32, assoc=assoc))
+        oracle = _ReferenceCache(sets, assoc)
+        for line in lines:
+            expected = oracle.access(line)
+            actual = cache.lookup(line)
+            if not actual:
+                cache.fill(line)
+            assert actual == expected

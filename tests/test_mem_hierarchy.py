@@ -1,0 +1,74 @@
+"""Tests for the MemorySystem facade and cross-component wiring."""
+
+from repro.mem import (
+    CacheGeometry,
+    DCacheConfig,
+    ICacheConfig,
+    MemSystemConfig,
+    MemorySystem,
+    NextLevelConfig,
+)
+import pytest
+
+
+def make_system(**dcache_overrides):
+    dcache = DCacheConfig(
+        geometry=CacheGeometry(size=1024, line_size=32, assoc=2),
+        **dcache_overrides)
+    icache = ICacheConfig(
+        geometry=CacheGeometry(size=1024, line_size=32, assoc=2))
+    return MemorySystem(MemSystemConfig(dcache=dcache, icache=icache,
+                                        next_level=NextLevelConfig()))
+
+
+class TestConfigCoupling:
+    def test_l1_line_sizes_must_match(self):
+        with pytest.raises(ValueError, match="line sizes must match"):
+            MemSystemConfig(
+                dcache=DCacheConfig(geometry=CacheGeometry(line_size=32)),
+                icache=ICacheConfig(geometry=CacheGeometry(line_size=64)))
+
+    def test_l2_line_size_must_match(self):
+        with pytest.raises(ValueError, match="L2 line size"):
+            MemSystemConfig(next_level=NextLevelConfig(
+                geometry=CacheGeometry(size=512 * 1024, line_size=64,
+                                       assoc=4)))
+
+
+class TestSharedNextLevel:
+    def test_i_and_d_share_l2_bandwidth(self):
+        system = make_system()
+        system.begin_cycle(0)
+        # A D-side miss occupies the L2; the I-side miss queues behind it.
+        d_ready = system.dcache.load_access(100).ready
+        i_ready = system.icache.fetch(0x9000, 0)
+        assert i_ready > d_ready  # queued behind the D fill
+
+    def test_d_fill_can_hit_l2_line_brought_by_i(self):
+        system = make_system()
+        system.begin_cycle(0)
+        first = system.icache.fetch(0x9000, 0)
+        system.begin_cycle(first + 1)
+        # The same line, requested by the D side: L2 hit, short latency.
+        result = system.dcache.load_access(0x9000 // 32)
+        assert result.ready <= first + 1 + \
+            system.next_level.config.hit_latency + \
+            system.next_level.config.occupancy
+
+
+class TestCycleProtocol:
+    def test_end_cycle_drains_write_buffer(self):
+        system = make_system()
+        system.begin_cycle(0)
+        system.dcache.buffer_store(4, 0xFF)
+        system.end_cycle()
+        assert system.dcache.write_buffer.empty
+
+    def test_stats_shared_across_components(self):
+        system = make_system()
+        system.begin_cycle(0)
+        system.dcache.load_access(5)
+        system.icache.fetch(0x9000, 0)
+        assert system.stats["dcache.load_misses"] == 1
+        assert system.stats["icache.misses"] == 1
+        assert system.stats["l2.requests"] == 2

@@ -1,0 +1,112 @@
+"""Unit tests for the shared next level (L2 + memory) and the I-cache."""
+
+from repro.mem import (
+    CacheGeometry,
+    ICacheConfig,
+    ICacheSystem,
+    NextLevel,
+    NextLevelConfig,
+)
+from repro.stats import Stats
+
+
+def make_next_level(hit=10, mem=50, occ=2):
+    return NextLevel(NextLevelConfig(
+        geometry=CacheGeometry(size=4 * 1024, line_size=32, assoc=4),
+        hit_latency=hit, memory_latency=mem, occupancy=occ))
+
+
+class TestNextLevel:
+    def test_cold_miss_latency(self):
+        nl = make_next_level()
+        assert nl.request(1, cycle=0) == 60
+
+    def test_hit_latency_after_fill(self):
+        nl = make_next_level()
+        nl.request(1, cycle=0)
+        assert nl.request(1, cycle=100) == 110
+
+    def test_occupancy_serialises_bursts(self):
+        nl = make_next_level(occ=3)
+        nl.request(1, cycle=0)
+        nl.request(1, cycle=100)
+        nl.request(1, cycle=200)
+        # Three back-to-back requests at cycle 300 queue behind each other.
+        first = nl.request(1, cycle=300)
+        second = nl.request(1, cycle=300)
+        third = nl.request(1, cycle=300)
+        assert first == 310
+        assert second == 313
+        assert third == 316
+
+    def test_queue_delay_counted(self):
+        nl = make_next_level(occ=2)
+        nl.request(1, 0)
+        nl.request(2, 0)
+        assert nl.stats["l2.queue_delay"] == 2
+
+    def test_writeback_marks_resident_line_dirty(self):
+        nl = make_next_level()
+        nl.request(1, 0)
+        nl.writeback(1, 10)
+        assert nl.stats["l2.l1_writebacks"] == 1
+        # Force an eviction of line 1 to see the dirty writeback.
+        # 4KB/32B/4-way = 32 sets: lines 1, 33, 65, 97, 129 share a set.
+        for line in (33, 65, 97, 129):
+            nl.request(line, 100)
+        assert nl.stats["l2.writebacks"] >= 1
+
+    def test_writeback_of_absent_line_installs_dirty(self):
+        nl = make_next_level()
+        nl.writeback(7, 0)
+        assert nl.cache.lookup(7)
+
+    def test_hit_miss_counters(self):
+        nl = make_next_level()
+        nl.request(1, 0)
+        nl.request(1, 100)
+        assert nl.stats["l2.misses"] == 1
+        assert nl.stats["l2.hits"] == 1
+
+
+class TestICache:
+    def _icache(self):
+        stats = Stats()
+        nl = NextLevel(NextLevelConfig(
+            geometry=CacheGeometry(size=4 * 1024, line_size=32, assoc=4),
+            hit_latency=10, memory_latency=50, occupancy=2), stats=stats)
+        config = ICacheConfig(
+            geometry=CacheGeometry(size=512, line_size=32, assoc=2),
+            fetch_bytes=16)
+        return ICacheSystem(config, nl, stats=stats)
+
+    def test_block_of(self):
+        icache = self._icache()
+        assert icache.block_of(0) == 0
+        assert icache.block_of(16) == 1
+        assert icache.block_of(0x1000) == 0x100
+
+    def test_hit_is_fetchable_now(self):
+        icache = self._icache()
+        ready = icache.fetch(0x1000, cycle=0)     # cold miss
+        assert ready == 60
+        assert icache.fetch(0x1000, cycle=100) == 100
+
+    def test_pending_fill_returns_fill_time(self):
+        icache = self._icache()
+        ready = icache.fetch(0x1000, 0)
+        assert icache.fetch(0x1008, 5) == ready   # same line, in flight
+        assert icache.stats["icache.pending_hits"] == 1
+
+    def test_both_blocks_of_a_line_hit(self):
+        icache = self._icache()
+        ready = icache.fetch(0x1000, 0)
+        assert icache.fetch(0x1010, ready + 1) == ready + 1
+
+    def test_miss_counters(self):
+        icache = self._icache()
+        icache.fetch(0x1000, 0)
+        icache.fetch(0x2000, 200)
+        icache.fetch(0x1000, 400)
+        assert icache.stats["icache.misses"] == 2
+        assert icache.stats["icache.hits"] == 1

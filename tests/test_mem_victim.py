@@ -1,0 +1,94 @@
+"""Unit tests for the victim cache and its D-cache integration."""
+
+import pytest
+
+from repro.mem import CacheGeometry, VictimCache
+from repro.stats import Stats
+from tests.test_mem_dcache import make_dcache
+
+
+class TestVictimCacheUnit:
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            VictimCache(0)
+
+    def test_insert_and_extract(self):
+        vc = VictimCache(4)
+        vc.insert(10, dirty=False)
+        assert vc.extract(10) is False
+        assert vc.extract(10) is None  # gone after extraction
+
+    def test_extract_preserves_dirty(self):
+        vc = VictimCache(4)
+        vc.insert(10, dirty=True)
+        assert vc.extract(10) is True
+
+    def test_lru_overflow(self):
+        vc = VictimCache(2)
+        assert vc.insert(1, False) is None
+        assert vc.insert(2, False) is None
+        pushed = vc.insert(3, True)
+        assert pushed == (1, False)
+        assert vc.contents() == [2, 3]
+
+    def test_reinsert_merges_dirty_and_refreshes(self):
+        vc = VictimCache(2)
+        vc.insert(1, dirty=False)
+        vc.insert(2, dirty=False)
+        vc.insert(1, dirty=True)     # refresh + dirty merge
+        pushed = vc.insert(3, False)
+        assert pushed == (2, False)  # 1 was refreshed, 2 is LRU
+        assert vc.extract(1) is True
+
+    def test_stats(self):
+        stats = Stats()
+        vc = VictimCache(2, stats=stats)
+        vc.insert(1, False)
+        vc.extract(1)
+        vc.extract(9)
+        assert stats["victim.inserts"] == 1
+        assert stats["victim.hits"] == 1
+        assert stats["victim.misses"] == 1
+
+
+class TestVictimIntegration:
+    def _conflict_dcache(self, victim_entries=4):
+        # 2 sets, direct-mapped: lines 0 and 2 conflict.
+        return make_dcache(
+            geometry=CacheGeometry(size=64, line_size=32, assoc=1),
+            victim_entries=victim_entries, ports=4, mshrs=4)
+
+    def test_conflict_miss_recovered_from_victim(self):
+        dcache = self._conflict_dcache()
+        first = dcache.load_access(0)       # cold miss
+        dcache.begin_cycle(first.ready + 1)
+        second = dcache.load_access(2)      # evicts 0 into the VC
+        dcache.begin_cycle(second.ready + 1)
+        back = dcache.load_access(0)        # VC hit: short latency
+        assert back.ready == second.ready + 1 + 2  # victim_latency = 2
+        assert dcache.stats["victim.hits"] == 1
+
+    def test_dirty_state_survives_the_round_trip(self):
+        dcache = self._conflict_dcache()
+        dcache.store_access(0)              # dirty line 0
+        dcache.begin_cycle(200)
+        dcache.load_access(2)               # 0 -> victim cache (dirty)
+        dcache.begin_cycle(400)
+        dcache.load_access(0)               # back from VC, still dirty
+        dcache.begin_cycle(600)
+        dcache.load_access(2)               # 0 evicted again -> VC dirty
+        dcache.begin_cycle(800)
+        # Push line 0 out of the VC by filling it with other victims.
+        for line in (4, 6, 8, 10, 12, 14, 16, 18):
+            dcache.begin_cycle(800 + line * 100)
+            dcache.load_access(line)
+        assert dcache.stats["dcache.writebacks"] >= 1
+
+    def test_no_victim_cache_pays_l2(self):
+        dcache = self._conflict_dcache(victim_entries=0)
+        first = dcache.load_access(0)
+        dcache.begin_cycle(first.ready + 1)
+        second = dcache.load_access(2)
+        dcache.begin_cycle(1000)
+        back = dcache.load_access(0)
+        assert back.ready >= 1000 + 10      # at least the L2 latency

@@ -1,0 +1,83 @@
+"""Property tests over the timing core: structural bounds that must
+hold for *any* valid trace and configuration."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import simulate
+from repro.presets import CONFIG_NAMES, machine
+from repro.trace import SyntheticConfig, generate
+
+
+_SYNTH = st.builds(
+    SyntheticConfig,
+    instructions=st.integers(200, 3_000),
+    seed=st.integers(0, 10_000),
+    load_fraction=st.floats(0.0, 0.4),
+    store_fraction=st.floats(0.0, 0.3),
+    branch_fraction=st.floats(0.0, 0.2),
+    spatial_locality=st.floats(0.0, 1.0),
+)
+
+_CONFIG = st.sampled_from(CONFIG_NAMES)
+
+
+class TestStructuralBounds:
+    @settings(max_examples=25, deadline=None)
+    @given(_SYNTH, _CONFIG)
+    def test_everything_commits_and_ipc_bounded(self, synth, config_name):
+        trace = generate(synth)
+        result = simulate(trace, machine(config_name))
+        assert result.instructions == len(trace)
+        assert 0 < result.ipc <= machine(config_name).core.issue_width
+
+    @settings(max_examples=20, deadline=None)
+    @given(_SYNTH)
+    def test_ports_never_oversubscribed(self, synth):
+        trace = generate(synth)
+        for config_name, ports in (("1P", 1), ("2P", 2)):
+            result = simulate(trace, machine(config_name))
+            assert result.stats["dcache.port_uses"] <= ports * result.cycles
+
+    @settings(max_examples=20, deadline=None)
+    @given(_SYNTH)
+    def test_load_service_conservation(self, synth):
+        trace = generate(synth)
+        loads = sum(r.is_load for r in trace)
+        result = simulate(trace, machine("1P-wide+LB+SC"))
+        stats = result.stats
+        serviced = (stats["lsq.port_loads"] + stats["lsq.lb_loads"]
+                    + stats["lsq.sq_forwards"] + stats["lsq.wb_forwards"])
+        assert serviced == loads
+
+    @settings(max_examples=15, deadline=None)
+    @given(_SYNTH)
+    def test_deterministic(self, synth):
+        trace = generate(synth)
+        first = simulate(trace, machine("1P+LB"))
+        second = simulate(trace, machine("1P+LB"))
+        assert first.cycles == second.cycles
+
+    @settings(max_examples=15, deadline=None)
+    @given(_SYNTH)
+    def test_dual_port_rarely_slower_and_never_by_much(self, synth):
+        # Not a strict invariant: the second port drains stores earlier,
+        # and on short store-heavy streams those write-allocate fills can
+        # occupy the shared L2 ahead of demand loads.  The effect is
+        # bounded at a few percent.
+        trace = generate(synth)
+        single = simulate(trace, machine("1P"))
+        dual = simulate(trace, machine("2P"))
+        assert dual.cycles <= single.cycles * 1.05
+
+    @settings(max_examples=15, deadline=None)
+    @given(_SYNTH)
+    def test_latency_histogram_covers_port_and_buffer_loads(self, synth):
+        trace = generate(synth)
+        result = simulate(trace, machine("1P-wide+LB+SC"))
+        assert result.load_latency is not None
+        stats = result.stats
+        expected = (stats["lsq.port_loads"] + stats["lsq.lb_loads"]
+                    + stats["lsq.sq_forwards"] + stats["lsq.wb_forwards"])
+        assert result.load_latency.total == expected
+        if result.load_latency.total:
+            assert result.load_latency.min >= 1

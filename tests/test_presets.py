@@ -1,0 +1,83 @@
+"""Unit tests for the paper's machine configuration presets."""
+
+import pytest
+
+from repro.presets import (
+    BEST_SINGLE_PORT,
+    CONFIG_NAMES,
+    DUAL_PORT,
+    STRONG_DUAL_PORT,
+    default_core,
+    machine,
+    mem_system,
+    paper_machines,
+)
+
+
+class TestRecipes:
+    def test_all_names_build(self):
+        machines = paper_machines()
+        assert set(machines) == set(CONFIG_NAMES)
+        for name, config in machines.items():
+            assert config.name == name
+
+    def test_baseline_is_plain_single_port(self):
+        dcache = machine("1P").mem.dcache
+        assert dcache.ports == 1
+        assert dcache.port_width == 8
+        assert not dcache.has_line_buffer
+        assert not dcache.combine_loads
+        assert not dcache.combine_stores
+
+    def test_line_buffer_config(self):
+        dcache = machine("1P+LB").mem.dcache
+        assert dcache.has_line_buffer
+        assert dcache.line_buffer_entries == 1
+
+    def test_wide_config(self):
+        dcache = machine("1P-wide").mem.dcache
+        assert dcache.port_width == 16
+        assert dcache.combine_loads
+
+    def test_all_techniques_config(self):
+        dcache = machine(BEST_SINGLE_PORT).mem.dcache
+        assert dcache.ports == 1
+        assert dcache.port_width == 16
+        assert dcache.has_line_buffer
+        assert dcache.combine_loads and dcache.combine_stores
+
+    def test_dual_port_configs(self):
+        assert machine(DUAL_PORT).mem.dcache.ports == 2
+        assert not machine(DUAL_PORT).mem.dcache.combine_stores
+        assert machine(STRONG_DUAL_PORT).mem.dcache.combine_stores
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown configuration"):
+            machine("3P")
+        with pytest.raises(ValueError):
+            mem_system("nope")
+
+
+class TestParameterisation:
+    def test_issue_width_scales_structures(self):
+        narrow = default_core(2)
+        wide = default_core(8)
+        assert narrow.issue_width == 2 and wide.issue_width == 8
+        assert wide.rob_size > narrow.rob_size
+        assert wide.lq_size > narrow.lq_size
+
+    def test_dcache_overrides(self):
+        config = machine("1P", write_buffer_depth=2, mshrs=4)
+        assert config.mem.dcache.write_buffer_depth == 2
+        assert config.mem.dcache.mshrs == 4
+        # base recipe unchanged
+        assert machine("1P").mem.dcache.write_buffer_depth == 8
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(TypeError):
+            machine("1P", not_a_field=3)
+
+    def test_configs_are_frozen(self):
+        config = machine("1P")
+        with pytest.raises(AttributeError):
+            config.mem.dcache.ports = 2

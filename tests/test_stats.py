@@ -1,0 +1,157 @@
+"""Unit tests for counters and table rendering."""
+
+import pytest
+
+from repro.stats import Stats, Table, format_value, geometric_mean, weighted_mean
+
+
+class TestStats:
+    def test_inc_and_get(self):
+        stats = Stats()
+        stats.inc("a.b")
+        stats.inc("a.b", 2)
+        assert stats["a.b"] == 3
+        assert stats.get("a.b") == 3
+
+    def test_missing_counter_is_zero(self):
+        stats = Stats()
+        assert stats["never.touched"] == 0
+        assert stats.get("never.touched", 7) == 7
+        assert "never.touched" not in stats
+
+    def test_set_overwrites(self):
+        stats = Stats()
+        stats.inc("x", 5)
+        stats.set("x", 1)
+        assert stats["x"] == 1
+
+    def test_ratio(self):
+        stats = Stats()
+        stats.inc("hits", 3)
+        stats.inc("total", 4)
+        assert stats.ratio("hits", "total") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert Stats().ratio("a", "b") == 0.0
+
+    def test_merge_adds(self):
+        first, second = Stats(), Stats()
+        first.inc("x", 1)
+        second.inc("x", 2)
+        second.inc("y", 5)
+        first.merge(second)
+        assert first["x"] == 3 and first["y"] == 5
+
+    def test_as_dict_prefix_filter(self):
+        stats = Stats()
+        stats.inc("dcache.hits")
+        stats.inc("icache.hits")
+        assert list(stats.as_dict("dcache")) == ["dcache.hits"]
+
+    def test_iteration_is_sorted(self):
+        stats = Stats()
+        stats.inc("b")
+        stats.inc("a")
+        assert list(stats) == ["a", "b"]
+
+    def test_format_renders_all(self):
+        stats = Stats()
+        stats.inc("a", 1)
+        stats.set("b", 0.5)
+        text = stats.format()
+        assert "a" in text and "0.5000" in text
+
+    def test_format_empty(self):
+        assert "no counters" in Stats().format()
+
+
+class TestAggregates:
+    def test_weighted_mean(self):
+        assert weighted_mean([(1.0, 1), (3.0, 1)]) == 2.0
+        assert weighted_mean([(1.0, 3), (5.0, 1)]) == 2.0
+
+    def test_weighted_mean_empty(self):
+        assert weighted_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int(self):
+        assert format_value(12345) == "12345"
+
+    def test_float_precision(self):
+        assert format_value(1.23456, precision=3) == "1.235"
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_value(1e-9)
+
+    def test_string_passthrough(self):
+        assert format_value("x") == "x"
+
+
+class TestTable:
+    def _table(self):
+        table = Table(title="T", columns=["name", "ipc"])
+        table.add_row("a", 1.0)
+        table.add_row("b", 2.0)
+        return table
+
+    def test_add_row_arity_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            self._table().add_row("only-one")
+
+    def test_column_access(self):
+        assert self._table().column("ipc") == [1.0, 2.0]
+
+    def test_cell_access(self):
+        assert self._table().cell("b", "ipc") == 2.0
+
+    def test_cell_missing_row(self):
+        with pytest.raises(KeyError):
+            self._table().cell("zz", "ipc")
+
+    def test_render_contains_everything(self):
+        table = self._table()
+        table.add_note("a note")
+        text = table.render()
+        assert "T" in text
+        assert "name" in text and "ipc" in text
+        assert "1.000" in text and "2.000" in text
+        assert "note: a note" in text
+
+    def test_render_alignment(self):
+        lines = self._table().render().splitlines()
+        header, separator = lines[2], lines[3]
+        assert len(separator) == len(header)
+
+    def test_str_is_render(self):
+        table = self._table()
+        assert str(table) == table.render()
+
+
+class TestCsv:
+    def test_to_csv_header_and_rows(self):
+        table = Table(title="T", columns=["name", "ipc"])
+        table.add_row("a", 1.25)
+        table.add_note("n1")
+        csv_text = table.to_csv()
+        lines = csv_text.splitlines()
+        assert lines[0] == "name,ipc"
+        assert lines[1] == "a,1.250"
+        assert lines[2] == "# n1"
+
+    def test_to_csv_quotes_commas(self):
+        table = Table(title="T", columns=["name"])
+        table.add_row("a,b")
+        assert '"a,b"' in table.to_csv()

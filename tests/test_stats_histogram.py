@@ -1,0 +1,115 @@
+"""Unit and property tests for the histogram."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import Histogram
+
+
+class TestBasics:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.total == 0
+        assert hist.mean == 0.0
+        assert hist.fraction_at_most(10) == 0.0
+
+    def test_empty_min_max_raise(self):
+        with pytest.raises(ValueError):
+            Histogram().min
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5)
+
+    def test_record_and_mean(self):
+        hist = Histogram()
+        hist.record(1)
+        hist.record(3)
+        assert hist.total == 2
+        assert hist.mean == 2.0
+
+    def test_record_with_count(self):
+        hist = Histogram()
+        hist.record(5, count=10)
+        assert hist.total == 10
+        assert hist.mean == 5.0
+
+    def test_min_max(self):
+        hist = Histogram()
+        for value in (4, 1, 9):
+            hist.record(value)
+        assert hist.min == 1 and hist.max == 9
+
+
+class TestPercentiles:
+    def test_median_of_uniform(self):
+        hist = Histogram()
+        for value in range(1, 11):
+            hist.record(value)
+        assert hist.percentile(0.5) == 5
+        assert hist.percentile(1.0) == 10
+        assert hist.percentile(0.1) == 1
+
+    def test_skewed(self):
+        hist = Histogram()
+        hist.record(1, count=90)
+        hist.record(100, count=10)
+        assert hist.percentile(0.9) == 1
+        assert hist.percentile(0.95) == 100
+
+    def test_fraction_at_most(self):
+        hist = Histogram()
+        hist.record(1, count=3)
+        hist.record(5, count=1)
+        assert hist.fraction_at_most(1) == 0.75
+        assert hist.fraction_at_most(4) == 0.75
+        assert hist.fraction_at_most(5) == 1.0
+
+    def test_bad_fraction(self):
+        hist = Histogram()
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+
+class TestMergeAndDict:
+    def test_merge(self):
+        first, second = Histogram(), Histogram()
+        first.record(1, 2)
+        second.record(1, 3)
+        second.record(7)
+        first.merge(second)
+        assert first.total == 6
+        assert first.as_dict() == {1: 5, 7: 1}
+
+    def test_as_dict_sorted(self):
+        hist = Histogram()
+        for value in (9, 1, 5):
+            hist.record(value)
+        assert list(hist.as_dict()) == [1, 5, 9]
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    def test_percentile_brackets_all_samples(self, values):
+        hist = Histogram()
+        for value in values:
+            hist.record(value)
+        assert hist.min <= hist.percentile(0.5) <= hist.max
+        assert hist.percentile(1.0) == hist.max
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100))
+    def test_mean_matches_python(self, values):
+        hist = Histogram()
+        for value in values:
+            hist.record(value)
+        assert hist.mean == pytest.approx(sum(values) / len(values))
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100),
+           st.integers(0, 50))
+    def test_fraction_at_most_matches_python(self, values, threshold):
+        hist = Histogram()
+        for value in values:
+            hist.record(value)
+        expected = sum(1 for v in values if v <= threshold) / len(values)
+        assert hist.fraction_at_most(threshold) == pytest.approx(expected)

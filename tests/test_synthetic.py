@@ -1,0 +1,119 @@
+"""Unit and property tests for the synthetic trace generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import INSTRUCTION_BYTES
+from repro.trace import DATA_BASE, SyntheticConfig, generate
+
+
+class TestValidation:
+    def test_fractions_must_sum_to_one_or_less(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(load_fraction=0.6, store_fraction=0.5)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(load_fraction=-0.1)
+
+    def test_locality_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(spatial_locality=1.5)
+
+    def test_minimum_sizes(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(instructions=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(working_set=32)
+        with pytest.raises(ValueError):
+            SyntheticConfig(code_footprint=4)
+
+
+class TestDeterminism:
+    def test_same_config_same_trace(self):
+        config = SyntheticConfig(instructions=500, seed=9)
+        first = generate(config)
+        second = generate(config)
+        assert len(first) == len(second)
+        assert all(a.pc == b.pc and a.mem_addr == b.mem_addr and
+                   a.opclass == b.opclass
+                   for a, b in zip(first, second))
+
+    def test_different_seeds_differ(self):
+        base = dict(instructions=500)
+        first = generate(SyntheticConfig(seed=1, **base))
+        second = generate(SyntheticConfig(seed=2, **base))
+        assert any(a.opclass != b.opclass or a.mem_addr != b.mem_addr
+                   for a, b in zip(first, second))
+
+
+class TestShape:
+    def test_instruction_count(self):
+        trace = generate(SyntheticConfig(instructions=777))
+        assert len(trace) == 777
+
+    def test_mix_fractions_approximate_config(self):
+        config = SyntheticConfig(instructions=20_000, load_fraction=0.3,
+                                 store_fraction=0.1, branch_fraction=0.1)
+        trace = generate(config)
+        loads = sum(r.is_load for r in trace) / len(trace)
+        stores = sum(r.is_store for r in trace) / len(trace)
+        assert abs(loads - 0.3) < 0.03
+        assert abs(stores - 0.1) < 0.03
+
+    def test_next_pc_chain_consistent(self):
+        trace = generate(SyntheticConfig(instructions=5_000, seed=4))
+        for prev, nxt in zip(trace, trace[1:]):
+            assert prev.next_pc == nxt.pc
+        for record in trace:
+            if not record.is_control:
+                assert record.next_pc == record.pc + INSTRUCTION_BYTES
+
+    def test_addresses_stay_in_working_set(self):
+        config = SyntheticConfig(instructions=5_000, working_set=4096)
+        for record in generate(config):
+            if record.is_mem:
+                assert DATA_BASE <= record.mem_addr < DATA_BASE + 4096
+                assert record.mem_addr % 8 == 0
+
+    def test_code_footprint_bounds_pcs(self):
+        config = SyntheticConfig(instructions=5_000, code_footprint=64)
+        pcs = {record.pc for record in generate(config)}
+        assert len(pcs) <= 64
+
+    def test_full_locality_is_sequential(self):
+        config = SyntheticConfig(instructions=5_000, spatial_locality=1.0,
+                                 working_set=4096)
+        addrs = [r.mem_addr for r in generate(config) if r.is_mem]
+        deltas = [(b - a) % 4096 for a, b in zip(addrs, addrs[1:])]
+        assert all(d == 8 for d in deltas)
+
+    def test_zero_locality_is_scattered(self):
+        config = SyntheticConfig(instructions=5_000, spatial_locality=0.0,
+                                 working_set=65536, seed=3)
+        addrs = [r.mem_addr for r in generate(config) if r.is_mem]
+        sequential = sum(b - a == 8 for a, b in zip(addrs, addrs[1:]))
+        assert sequential / len(addrs) < 0.05
+
+    def test_loop_back_edge_present(self):
+        config = SyntheticConfig(instructions=2_000, code_footprint=32)
+        trace = generate(config)
+        back_edges = [r for r in trace if r.is_control and r.taken and
+                      r.next_pc < r.pc]
+        assert back_edges
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 2_000), st.integers(0, 2 ** 31),
+           st.floats(0, 1), st.floats(0, 0.5))
+    def test_generator_always_produces_valid_traces(self, n, seed, locality,
+                                                    load_fraction):
+        config = SyntheticConfig(instructions=n, seed=seed,
+                                 spatial_locality=locality,
+                                 load_fraction=load_fraction,
+                                 store_fraction=0.1, branch_fraction=0.1)
+        trace = generate(config)
+        assert len(trace) == n
+        for prev, nxt in zip(trace, trace[1:]):
+            assert prev.next_pc == nxt.pc

@@ -1,0 +1,74 @@
+"""Tests for trace serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import simulate
+from repro.presets import machine
+from repro.trace import SyntheticConfig, generate, load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_fields_survive(self, tmp_path):
+        trace = generate(SyntheticConfig(instructions=1_000, seed=5,
+                                         load_fraction=0.3,
+                                         store_fraction=0.2))
+        path = tmp_path / "trace.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert original.pc == restored.pc
+            assert original.opclass == restored.opclass
+            assert original.dest == restored.dest
+            assert original.sources == restored.sources
+            assert original.mem_addr == restored.mem_addr
+            assert original.mem_size == restored.mem_size
+            assert original.is_load == restored.is_load
+            assert original.is_store == restored.is_store
+            assert original.is_control == restored.is_control
+            assert original.taken == restored.taken
+            assert original.kernel == restored.kernel
+            assert original.next_pc == restored.next_pc
+
+    def test_reloaded_trace_times_identically(self, tmp_path):
+        trace = generate(SyntheticConfig(instructions=2_000, seed=6))
+        path = tmp_path / "trace.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        first = simulate(trace, machine("1P"))
+        second = simulate(loaded, machine("1P"))
+        assert first.cycles == second.cycles
+
+    def test_workload_trace_round_trips(self, tmp_path, stream_trace):
+        path = tmp_path / "stream.npz"
+        save_trace(path, stream_trace)
+        loaded = load_trace(path)
+        assert len(loaded) == len(stream_trace)
+        assert sum(r.is_load for r in loaded) == \
+            sum(r.is_load for r in stream_trace)
+
+    def test_version_check(self, tmp_path):
+        trace = generate(SyntheticConfig(instructions=10))
+        path = tmp_path / "trace.npz"
+        save_trace(path, trace)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        arrays["version"] = np.array([99])
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(n=st.integers(1, 300), seed=st.integers(0, 1 << 30))
+    def test_arbitrary_synthetic_round_trip(self, tmp_path, n, seed):
+        trace = generate(SyntheticConfig(instructions=n, seed=seed))
+        path = tmp_path / f"t{n}.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert all(a.pc == b.pc and a.next_pc == b.next_pc
+                   for a, b in zip(trace, loaded))

@@ -1,0 +1,129 @@
+"""Integration tests for the workload suite."""
+
+import pytest
+
+from repro.isa import INSTRUCTION_BYTES
+from repro.workloads import (
+    SUITE_NAMES,
+    WORKLOADS,
+    build_os_mix_trace,
+    build_trace,
+    trace_summary,
+)
+from repro.workloads import compress, linkedlist, qsort, wordcount
+
+
+class TestRegistry:
+    def test_suite_names_registered(self):
+        for name in SUITE_NAMES:
+            assert name in WORKLOADS
+
+    def test_every_workload_has_three_scales(self):
+        for spec in WORKLOADS.values():
+            for scale in ("tiny", "small", "full"):
+                assert spec.params(scale)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="no scale"):
+            WORKLOADS["stream"].params("gigantic")
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestSelfChecks:
+    def test_tiny_scale_verifies(self, name):
+        trace = build_trace(name, "tiny")
+        assert len(trace) > 100
+
+    def test_trace_is_well_formed(self, name):
+        trace = build_trace(name, "tiny")
+        for prev, nxt in zip(trace, trace[1:]):
+            assert prev.next_pc == nxt.pc
+            if not prev.is_control:
+                assert prev.next_pc == prev.pc + INSTRUCTION_BYTES
+        for record in trace:
+            if record.is_mem:
+                assert record.mem_size in (1, 2, 4, 8)
+                assert record.mem_addr % record.mem_size == 0
+            assert not record.kernel  # bare runs are pure user mode
+
+
+class TestCharacteristics:
+    def test_stream_is_memory_dense(self):
+        summary = trace_summary(build_trace("stream", "tiny"))
+        mem = summary["load_fraction"] + summary["store_fraction"]
+        assert mem > 0.3
+
+    def test_wc_is_branchy(self):
+        summary = trace_summary(build_trace("wc", "tiny"))
+        assert summary["branch_fraction"] > 0.3
+        assert summary["store_fraction"] < 0.05
+
+    def test_linked_is_load_heavy(self):
+        summary = trace_summary(build_trace("linked", "tiny"))
+        assert summary["load_fraction"] > 0.25
+
+
+class TestReferenceModels:
+    def test_qsort_lcg_values_deterministic(self):
+        first = qsort._lcg_values(32, 7)
+        second = qsort._lcg_values(32, 7)
+        assert first == second
+        assert all(0 <= v <= 0x7FFF for v in first)
+
+    def test_compress_reference_counts_codes(self):
+        data = compress.make_input(200, 1)
+        checksum = compress.reference_compress(data)
+        assert checksum > 0
+
+    def test_compress_reference_rejects_empty(self):
+        with pytest.raises(ValueError):
+            compress.reference_compress(b"")
+
+    def test_linked_permutation_is_a_single_cycle(self):
+        nxt, head = linkedlist._next_indices(16, 3)
+        seen = set()
+        node = head
+        while node != 16:
+            assert node not in seen
+            seen.add(node)
+            node = nxt[node]
+        assert seen == set(range(16))
+
+    def test_wordcount_reference(self):
+        words, lines, digits = wordcount.reference_counts(b"ab 12\ncd")
+        assert (words, lines, digits) == (3, 1, 2)
+
+
+class TestParamValidation:
+    def test_stream_param_errors(self):
+        from repro.workloads import stream
+        with pytest.raises(ValueError):
+            stream.source(n=3)
+        with pytest.raises(ValueError):
+            stream.source(reps=0)
+
+    def test_matmul_needs_even_n(self):
+        from repro.workloads import matmul
+        with pytest.raises(ValueError):
+            matmul.source(n=7)
+
+    def test_compress_table_capacity_guard(self):
+        with pytest.raises(ValueError, match="too long"):
+            compress.source(length=5000)
+
+
+class TestOsMix:
+    def test_os_mix_has_kernel_records(self):
+        trace = build_os_mix_trace("tiny")
+        summary = trace_summary(trace)
+        assert 0.05 < summary["kernel_fraction"] < 0.95
+
+    def test_os_mix_next_pc_chain(self):
+        trace = build_os_mix_trace("tiny")
+        for prev, nxt in zip(trace, trace[1:]):
+            assert prev.next_pc == nxt.pc
+
+    def test_os_mix_cached(self):
+        first = build_os_mix_trace("tiny")
+        second = build_os_mix_trace("tiny")
+        assert first is second
