@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Stall breakdown: where the issue slots go, and which technique buys
+them back.
+
+Runs one workload on the plain single-ported cache and again with the
+paper's techniques stacked on top, then prints each run's lost-slot
+attribution as a bar chart.  The shift in the breakdown — not just the
+IPC delta — is the interesting part: it shows *which* bottleneck each
+technique removed.
+"""
+
+import argparse
+
+from repro import OoOCore, build_trace, machine
+from repro.obs.stall import CAUSE_ORDER
+
+BAR_WIDTH = 40
+
+
+def show(title, ledger):
+    print(f"{title}: {ledger.summary()}")
+    total = ledger.total_slots
+    for cause in CAUSE_ORDER:
+        slots = ledger.lost[cause]
+        if not slots:
+            continue
+        share = slots / total
+        bar = "#" * max(1, round(share * BAR_WIDTH))
+        print(f"  {cause.value:<18} {share:6.1%}  {bar}")
+    if ledger.capacity:
+        pressure = ", ".join(f"{name}={count}" for name, count
+                             in sorted(ledger.capacity.items()))
+        print(f"  (dispatch back-pressure: {pressure})")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="stream")
+    parser.add_argument("--scale", choices=("tiny", "small", "full"),
+                        default="tiny")
+    args = parser.parse_args()
+    trace = build_trace(args.workload, args.scale)
+    for name in ("1P", "1P-wide+LB+SC"):
+        core = OoOCore(machine(name))
+        result = core.run(trace)
+        show(f"{args.workload} on {name} (IPC {result.ipc:.3f})",
+             core.ledger)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,9 @@
     repro run prog.s                assemble + run on the functional sim
     repro trace stream out.npz      build and save a workload trace
     repro simulate --workload stream --config 1P-wide+LB+SC
+    repro simulate --workload synthetic --seed 7 --json
+    repro simulate --events run.jsonl.gz
+    repro events run.jsonl.gz --event stall --limit 20
     repro experiment F2 --scale small
     repro experiment all
 
@@ -17,16 +20,24 @@ Also runnable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from collections.abc import Sequence
 
 from .asm import AsmError, assemble
 from .core import simulate as core_simulate
 from .func import RunResult, SimError, run_bare
 from .isa import INSTRUCTION_BYTES
+from .obs import (JsonlTracer, build_run_report, iter_events,
+                  summarize_events)
 from .presets import CONFIG_NAMES, EXTENDED_CONFIG_NAMES, machine
-from .trace import load_trace, save_trace
+from .trace import SyntheticConfig, generate, load_trace, save_trace
 from .workloads import SUITE_NAMES, WORKLOADS, build_os_mix_trace, build_trace
+
+#: Synthetic-stream length per scale (mirrors the workload suite's
+#: tiny/small/full instruction budgets).
+_SYNTHETIC_INSTRUCTIONS = {"tiny": 4_000, "small": 20_000, "full": 100_000}
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -97,7 +108,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_named_trace(name: str, scale: str):
+def _build_named_trace(name: str, scale: str, seed: int | None = None):
+    if name == "synthetic":
+        return generate(SyntheticConfig(
+            instructions=_SYNTHETIC_INSTRUCTIONS[scale],
+            seed=seed if seed is not None else 1))
+    if seed is not None:
+        raise SystemExit("--seed only applies to the 'synthetic' workload; "
+                         "assembly workloads are deterministic")
     if name == "os-mix":
         return build_os_mix_trace(scale)
     if name not in WORKLOADS:
@@ -106,35 +124,68 @@ def _build_named_trace(name: str, scale: str):
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    trace = _build_named_trace(args.workload, args.scale)
+    trace = _build_named_trace(args.workload, args.scale, args.seed)
     save_trace(args.output, trace)
-    print(f"{args.workload} ({args.scale}): {len(trace)} records -> "
-          f"{args.output}")
+    seed_note = f", seed {args.seed}" if args.seed is not None else ""
+    print(f"{args.workload} ({args.scale}{seed_note}): {len(trace)} "
+          f"records -> {args.output}")
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.trace_file:
+        if args.seed is not None:
+            raise SystemExit("--seed cannot be combined with --trace-file")
         trace = load_trace(args.trace_file)
+        workload, scale = args.trace_file, None
         label = args.trace_file
     else:
-        trace = _build_named_trace(args.workload, args.scale)
+        trace = _build_named_trace(args.workload, args.scale, args.seed)
+        workload, scale = args.workload, args.scale
         label = f"{args.workload} ({args.scale})"
     config = machine(args.config, issue_width=args.issue_width)
-    result = core_simulate(trace, config)
+    tracer = JsonlTracer(args.events) if args.events else None
+    start = time.perf_counter()
+    try:
+        result = core_simulate(trace, config, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    wall_time = time.perf_counter() - start
     stats = result.stats
+
+    if args.json:
+        report = build_run_report(result, config, workload=workload,
+                                  scale=scale, seed=args.seed,
+                                  wall_time=wall_time)
+        print(json.dumps(report, indent=2))
+        return 0
+
+    dcache = config.mem.dcache
+    lb_loads = int(stats["lsq.lb_loads"]) if dcache.has_line_buffer \
+        else "n/a"
+    combined_loads = int(stats["lsq.combined_loads"]) \
+        if dcache.combine_loads else "n/a"
+    combined_stores = int(stats["wb.combined"]) if dcache.combine_stores \
+        else "n/a"
     print(f"{label} on {args.config} (issue width {args.issue_width}):")
     print(f"  {result.instructions} instructions, {result.cycles} cycles, "
           f"IPC {result.ipc:.3f}")
     print(f"  D-cache port uses {int(stats['dcache.port_uses'])}, "
-          f"line-buffer loads {int(stats['lsq.lb_loads'])}, "
-          f"combined loads {int(stats['lsq.combined_loads'])}, "
-          f"combined stores {int(stats['wb.combined'])}")
+          f"line-buffer loads {lb_loads}, "
+          f"combined loads {combined_loads}, "
+          f"combined stores {combined_stores}")
     branches = stats["bpred.branches"]
     if branches:
         print(f"  branch accuracy "
               f"{stats['bpred.correct'] / branches:.3f} "
               f"({int(branches)} branches)")
+    else:
+        print("  branch accuracy n/a (no branches)")
+    if result.ledger is not None:
+        print(f"  stalls: {result.ledger.summary()}")
+    if args.events:
+        print(f"  events: {tracer.emitted} -> {args.events}")
     if args.stats:
         print(stats.format(indent="  "))
     return 0
@@ -144,6 +195,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import os
 
     from .experiments import ALL_EXPERIMENTS
+    from .experiments.runner import capture_reports
+    from .obs import build_experiment_manifest
     if args.id == "all":
         ids = list(ALL_EXPERIMENTS)
     else:
@@ -155,6 +208,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.output:
         os.makedirs(args.output, exist_ok=True)
     for exp_id in ids:
+        if args.json:
+            start = time.perf_counter()
+            with capture_reports() as runs:
+                table = ALL_EXPERIMENTS[exp_id](args.scale)
+            manifest = build_experiment_manifest(
+                exp_id, args.scale, table, runs,
+                wall_time=time.perf_counter() - start)
+            document = json.dumps(manifest, indent=2)
+            if args.output:
+                path = os.path.join(
+                    args.output, f"{exp_id.lower()}_{args.scale}.json")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(document + "\n")
+                print(f"written to {path}")
+            else:
+                print(document)
+            continue
         table = ALL_EXPERIMENTS[exp_id](args.scale)
         print(table.render())
         print()
@@ -167,6 +237,30 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                              else table.render() + "\n")
             print(f"written to {path}\n")
     return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import gzip
+    events = set(args.event) if args.event else None
+    try:
+        if args.limit:
+            shown = 0
+            for record in iter_events(args.capture, events,
+                                      args.since, args.until):
+                print(json.dumps(record, separators=(",", ":")))
+                shown += 1
+                if shown >= args.limit:
+                    break
+            return 0
+        summary = summarize_events(args.capture, events,
+                                   args.since, args.until)
+        print(summary.render())
+        return 0
+    except (json.JSONDecodeError, gzip.BadGzipFile, UnicodeDecodeError) \
+            as exc:
+        print(f"error: {args.capture} is not a JSONL event capture "
+              f"({exc})", file=sys.stderr)
+        return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -200,10 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("output")
     trace.add_argument("--scale", default="small",
                        choices=("tiny", "small", "full"))
+    trace.add_argument("--seed", type=int,
+                       help="generator seed (synthetic workload only)")
     trace.set_defaults(func=_cmd_trace)
 
     simulate = sub.add_parser("simulate", help="run the timing core")
-    simulate.add_argument("--workload", default="stream")
+    simulate.add_argument("--workload", default="stream",
+                          help="suite workload, 'os-mix', or 'synthetic'")
     simulate.add_argument("--scale", default="small",
                           choices=("tiny", "small", "full"))
     simulate.add_argument("--trace-file",
@@ -211,9 +308,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--config", default="1P",
                           choices=CONFIG_NAMES + EXTENDED_CONFIG_NAMES)
     simulate.add_argument("--issue-width", type=int, default=4)
+    simulate.add_argument("--seed", type=int,
+                          help="generator seed (synthetic workload only)")
+    simulate.add_argument("--json", action="store_true",
+                          help="emit a machine-readable run report instead "
+                               "of the human summary")
+    simulate.add_argument("--events", metavar="PATH",
+                          help="capture a JSONL event trace (.gz to gzip); "
+                               "inspect with 'repro events'")
     simulate.add_argument("--stats", action="store_true",
                           help="dump every counter")
     simulate.set_defaults(func=_cmd_simulate)
+
+    events = sub.add_parser("events",
+                            help="filter/summarize a captured event trace")
+    events.add_argument("capture", help="JSONL file from simulate --events")
+    events.add_argument("--event", action="append", metavar="NAME",
+                        help="keep only this event type (repeatable)")
+    events.add_argument("--since", type=int, metavar="CYCLE",
+                        help="drop events before this cycle")
+    events.add_argument("--until", type=int, metavar="CYCLE",
+                        help="drop events after this cycle")
+    events.add_argument("--limit", type=int, metavar="N",
+                        help="print the first N matching events as JSONL "
+                             "instead of a summary")
+    events.set_defaults(func=_cmd_events)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a table/figure")
@@ -225,6 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write each table into this directory")
     experiment.add_argument("--csv", action="store_true",
                             help="write CSV instead of plain text")
+    experiment.add_argument("--json", action="store_true",
+                            help="emit a versioned manifest (table + every "
+                                 "run report) instead of the rendered table")
     experiment.set_defaults(func=_cmd_experiment)
     return parser
 

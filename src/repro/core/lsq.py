@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from ..mem.dcache import AccessStatus, DataCacheSystem
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.counters import Stats
 from .config import CoreConfig
 from .uop import Uop
@@ -40,12 +41,15 @@ class LoadStoreQueue:
     """Age-ordered load and store queues."""
 
     def __init__(self, config: CoreConfig, dcache: DataCacheSystem,
-                 stats: Stats | None = None) -> None:
+                 stats: Stats | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.config = config
         self.dcache = dcache
         self.stats = stats if stats is not None else Stats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.loads: list[Uop] = []
         self.stores: list[Uop] = []
+        self._cycle = 0
 
     # ------------------------------------------------------------------
     # Occupancy (dispatch gating)
@@ -87,6 +91,7 @@ class LoadStoreQueue:
     # ------------------------------------------------------------------
     def schedule(self, cycle: int, complete: CompleteLoad) -> None:
         """Service ready loads; see the module docstring for the policy."""
+        self._cycle = cycle
         port_requests = self._classify_loads(cycle, complete)
         if port_requests:
             self._schedule_ports(port_requests, complete)
@@ -105,27 +110,31 @@ class LoadStoreQueue:
                 continue
             if load.seq > barrier and not self.config.speculative_loads:
                 stats.inc("lsq.order_stalls")
+                load.lsq_block = "order"
                 continue
             action = self._store_forwarding(load, cycle)
             if action == "forward":
                 stats.inc("lsq.sq_forwards")
-                self._finish(load, cycle + 1, complete)
+                self._finish(load, cycle + 1, complete, "sq")
                 continue
             if action == "wait":
                 stats.inc("lsq.sq_waits")
+                load.lsq_block = "sq_wait"
                 continue
             wb_action = dcache.write_buffer_check(load.line, load.byte_mask)
             if wb_action == "forward":
                 stats.inc("lsq.wb_forwards")
-                self._finish(load, cycle + 1, complete)
+                self._finish(load, cycle + 1, complete, "wb")
                 continue
             if wb_action == "conflict":
                 stats.inc("lsq.wb_conflicts")
+                load.lsq_block = "wb_conflict"
                 continue
             if lb_reads < lb_cap and dcache.line_buffer_hit(load.line):
                 lb_reads += 1
                 stats.inc("lsq.lb_loads")
-                self._finish(load, cycle + self.config.lb_latency, complete)
+                self._finish(load, cycle + self.config.lb_latency, complete,
+                             "lb")
                 continue
             port_requests.append(load)
         return port_requests
@@ -146,23 +155,36 @@ class LoadStoreQueue:
                     batches.append(group[start:start + limit])
         else:
             batches = [[load] for load in requests]
-        for batch in batches:
+        for index, batch in enumerate(batches):
             result = dcache.load_access(batch[0].line)
             if result.status is AccessStatus.NO_PORT:
+                for blocked in batches[index:]:
+                    for load in blocked:
+                        load.lsq_block = "no_port"
                 return
             if result.status is AccessStatus.BANK_CONFLICT:
+                for load in batch:
+                    load.lsq_block = "bank_conflict"
                 continue  # bank busy, no port spent; try other batches
             if result.status is AccessStatus.MSHR_FULL:
+                for load in batch:
+                    load.lsq_block = "mshr_full"
                 continue  # the port is spent; these loads retry next cycle
             stats.inc("lsq.port_loads", len(batch))
             if len(batch) > 1:
                 stats.inc("lsq.combined_loads", len(batch) - 1)
                 stats.inc("lsq.combined_accesses")
             for load in batch:
-                self._finish(load, result.ready, complete)
+                self._finish(load, result.ready, complete, result.source)
 
-    def _finish(self, load: Uop, ready: int, complete: CompleteLoad) -> None:
+    def _finish(self, load: Uop, ready: int, complete: CompleteLoad,
+                source: str) -> None:
         load.mem_done = True
+        load.mem_source = source
+        load.lsq_block = None
+        if self.tracer.enabled:
+            self.tracer.emit(self._cycle, "lsq.load", seq=load.seq,
+                             line=load.line, source=source, ready=ready)
         complete(load, ready)
 
     # ------------------------------------------------------------------

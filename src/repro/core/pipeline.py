@@ -29,6 +29,8 @@ from ..func.exceptions import SimError
 from ..isa import Opcode, OpClass
 from ..isa.opcodes import Bank
 from ..mem.hierarchy import MemorySystem
+from ..obs.stall import DEFAULT_INTERVAL, StallCause, StallLedger
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.counters import Stats
 from ..stats.histogram import Histogram
 from ..trace.record import TraceRecord
@@ -52,6 +54,8 @@ class CoreResult:
     #: Distribution of load service latency (address-ready to data-ready
     #: cycles) — how the port techniques reshape the common case.
     load_latency: Histogram | None = None
+    #: Per-cause lost-issue-slot ledger (see :mod:`repro.obs.stall`).
+    ledger: StallLedger | None = None
 
     @property
     def ipc(self) -> float:
@@ -69,15 +73,24 @@ class CoreResult:
 class OoOCore:
     """One configured machine instance; :meth:`run` consumes a trace."""
 
-    def __init__(self, machine: MachineConfig) -> None:
+    def __init__(self, machine: MachineConfig,
+                 tracer: Tracer | None = None,
+                 stall_interval: int = DEFAULT_INTERVAL) -> None:
         self.machine = machine
         self.cfg: CoreConfig = machine.core
         self.stats = Stats()
-        self.mem = MemorySystem(machine.mem, stats=self.stats)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
+        self.mem = MemorySystem(machine.mem, stats=self.stats,
+                                tracer=self.tracer)
         self.bpred = BranchPredictor(self.cfg.bpred, stats=self.stats)
         self.fu = FUPool(self.cfg.fu_specs, stats=self.stats)
         self.lsq = LoadStoreQueue(self.cfg, self.mem.dcache,
-                                  stats=self.stats)
+                                  stats=self.stats, tracer=self.tracer)
+        # Stall attribution: one slot-conservation ledger per run.
+        self.ledger = StallLedger(
+            max(self.cfg.issue_width, self.cfg.commit_width),
+            interval=stall_interval)
         # Pipeline state.
         self._fetch_queue: deque[Uop] = deque()
         self._rob: deque[Uop] = deque()
@@ -92,6 +105,7 @@ class OoOCore:
         self._fetch_blocked_until = 0
         self._waiting_branch: Uop | None = None
         self._waiting_serialize: Uop | None = None
+        self._fetch_block_cause = StallCause.FETCH
         self._fetch_memo: tuple[int, int] | None = None
         self._committed = 0
         self._last_activity = 0
@@ -121,9 +135,13 @@ class OoOCore:
             cycle += 1
         self.stats.set("core.cycles", cycle)
         self.stats.set("core.committed", self._committed)
+        for cause, slots in self.ledger.lost.items():
+            if slots:
+                self.stats.set(f"stall.{cause.value}", slots)
         return CoreResult(name=self.machine.name, cycles=cycle,
                           instructions=self._committed, stats=self.stats,
-                          load_latency=self.load_latency)
+                          load_latency=self.load_latency,
+                          ledger=self.ledger)
 
     # ------------------------------------------------------------------
     # 1. events
@@ -173,9 +191,13 @@ class OoOCore:
                                     not uop.mispredicted)
         if uop is self._waiting_branch:
             self._waiting_branch = None
+            self._fetch_block_cause = StallCause.BRANCH
             resume = cycle + self.cfg.bpred.mispredict_redirect
             if resume > self._fetch_blocked_until:
                 self._fetch_blocked_until = resume
+            if self._tracing:
+                self.tracer.emit(cycle, "branch.resolve", pc=record.pc,
+                                 seq=uop.seq, resume=resume)
 
     # ------------------------------------------------------------------
     # 2. commit
@@ -185,6 +207,7 @@ class OoOCore:
         dcache = self.mem.dcache
         direct_stores = self.machine.mem.dcache.write_buffer_depth == 0
         commits = 0
+        commit_block: str | None = None
         while rob and commits < self.cfg.commit_width:
             uop = rob[0]
             if not uop.completed or uop.complete_cycle > cycle:
@@ -194,9 +217,11 @@ class OoOCore:
                     result = dcache.store_access(uop.line)
                     if not result.ok:
                         self.stats.inc("core.commit_store_port_stalls")
+                        commit_block = "store_port"
                         break
                 elif not dcache.buffer_store(uop.line, uop.byte_mask):
                     self.stats.inc("core.commit_wb_full_stalls")
+                    commit_block = "wb_full"
                     break
                 self.lsq.retire_store(uop)
             elif uop.is_load:
@@ -206,12 +231,78 @@ class OoOCore:
             self._committed += 1
             if uop is self._waiting_serialize:
                 self._waiting_serialize = None
+                self._fetch_block_cause = StallCause.SERIALIZE
                 resume = cycle + 1
                 if resume > self._fetch_blocked_until:
                     self._fetch_blocked_until = resume
         if commits:
             self._last_activity = cycle
             self.stats.inc("core.commits", commits)
+            if self._tracing:
+                self.tracer.emit(cycle, "commit", n=commits)
+        self._attribute_cycle(cycle, commits, commit_block)
+
+    # ------------------------------------------------------------------
+    # Stall attribution (see repro.obs.stall for the model)
+    # ------------------------------------------------------------------
+    def _attribute_cycle(self, cycle: int, commits: int,
+                         commit_block: str | None) -> None:
+        """Charge this cycle's lost issue slots to one cause."""
+        ledger = self.ledger
+        if commits >= ledger.width:
+            ledger.account(cycle, commits, StallCause.DRAIN)  # nothing lost
+            return
+        cause = self._classify_stall(cycle, commit_block)
+        ledger.account(cycle, commits, cause)
+        if self._tracing:
+            self.tracer.emit(cycle, "stall", cause=cause.value,
+                             lost=ledger.width - commits)
+
+    def _classify_stall(self, cycle: int,
+                        commit_block: str | None) -> StallCause:
+        """Why the commit head (or the frontend) failed to fill the
+        cycle.  Priority: explicit commit blocks, then the oldest
+        in-flight uop's wait, then frontend state."""
+        if commit_block == "wb_full":
+            return StallCause.WRITE_BUFFER_FULL
+        if commit_block == "store_port":
+            return StallCause.DCACHE_PORT
+        rob = self._rob
+        if rob:
+            head = rob[0]
+            if head is self._waiting_branch:
+                return StallCause.BRANCH
+            if head is self._waiting_serialize:
+                return StallCause.SERIALIZE
+            if head.is_load and not head.completed:
+                if head.mem_done:
+                    # Data is on its way; where is it coming from?
+                    if head.mem_source in ("miss", "secondary"):
+                        return StallCause.NEXT_LEVEL
+                    if head.mem_source == "hit":
+                        # A port access that hit L1: latency a line
+                        # buffer would have hidden.
+                        return StallCause.LINE_BUFFER_MISS
+                    return StallCause.EXEC  # forwarded / line-buffer read
+                if head.addr_known:
+                    block = head.lsq_block
+                    if block in ("no_port", "bank_conflict", "mshr_full"):
+                        return StallCause.DCACHE_PORT
+                    if block in ("order", "sq_wait", "wb_conflict"):
+                        return StallCause.MEM_ORDER
+            return StallCause.EXEC
+        # Empty window: the frontend owns the shortfall.
+        if self._fetch_queue:
+            return StallCause.FETCH      # uops decoding / queued
+        if self._waiting_branch is not None:
+            return StallCause.BRANCH
+        if self._waiting_serialize is not None:
+            return StallCause.SERIALIZE
+        if self._trace_pos >= len(self._trace):
+            return StallCause.DRAIN      # end-of-trace wind-down
+        if cycle < self._fetch_blocked_until:
+            return self._fetch_block_cause
+        return StallCause.FETCH
 
     # ------------------------------------------------------------------
     # 4. issue
@@ -253,15 +344,19 @@ class OoOCore:
                 break
             if len(self._rob) >= cfg.rob_size:
                 self.stats.inc("core.dispatch_rob_full")
+                self.ledger.note_capacity("rob")
                 break
             if len(self._iq) >= cfg.iq_size:
                 self.stats.inc("core.dispatch_iq_full")
+                self.ledger.note_capacity("iq")
                 break
             if uop.is_load and self.lsq.lq_full:
                 self.stats.inc("core.dispatch_lq_full")
+                self.ledger.note_capacity("lq")
                 break
             if uop.is_store and self.lsq.sq_full:
                 self.stats.inc("core.dispatch_sq_full")
+                self.ledger.note_capacity("sq")
                 break
             fq.popleft()
             self._wire_dependences(uop)
@@ -350,6 +445,7 @@ class OoOCore:
             self._fetch_memo = (block, ready)
         if ready > cycle:
             self._fetch_blocked_until = ready
+            self._fetch_block_cause = StallCause.FETCH
             self.stats.inc("fetch.icache_stall_cycles", ready - cycle)
             return
         fetched = 0
@@ -401,6 +497,9 @@ class OoOCore:
             if not correct:
                 uop.mispredicted = True
                 self._waiting_branch = uop
+                if self._tracing:
+                    self.tracer.emit(cycle, "fetch.mispredict",
+                                     pc=record.pc, seq=uop.seq)
                 return True
             return record.taken  # a taken branch ends the fetch block
         # Unconditional transfers.
@@ -412,6 +511,7 @@ class OoOCore:
         if opcode in (Opcode.J, Opcode.JAL):
             # Target is in the instruction word: redirect at decode.
             self._fetch_blocked_until = cycle + 1 + cfg.btb_miss_redirect
+            self._fetch_block_cause = StallCause.BRANCH
             self.stats.inc("fetch.jump_decode_redirects")
             return True
         # Register-indirect target: wait for execute.
@@ -429,6 +529,7 @@ class OoOCore:
 
 
 def simulate(trace: Sequence[TraceRecord],
-             machine: MachineConfig) -> CoreResult:
+             machine: MachineConfig,
+             tracer: Tracer | None = None) -> CoreResult:
     """Convenience: run *trace* through a fresh machine instance."""
-    return OoOCore(machine).run(trace)
+    return OoOCore(machine, tracer=tracer).run(trace)

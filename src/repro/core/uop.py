@@ -23,7 +23,7 @@ class Uop:
         "num_waiting", "operands_ready", "consumers",
         "is_load", "is_store", "addr_known", "line", "chunk", "byte_mask",
         "data_waiting", "data_ready_cycle",
-        "mem_done",
+        "mem_done", "mem_source", "lsq_block",
         "mispredicted", "predicted_taken", "serialize", "issued",
     )
 
@@ -52,6 +52,11 @@ class Uop:
         self.data_waiting = 0
         self.data_ready_cycle = 0
         self.mem_done = False   # load: cache/forward satisfied
+        # Observability breadcrumbs for the stall-attribution model:
+        # where the load's data came from ("sq", "wb", "lb", "hit",
+        # "miss", "secondary") and why the LSQ last skipped it.
+        self.mem_source: str | None = None
+        self.lsq_block: str | None = None
         # Fetch/branch state.
         self.mispredicted = False
         self.predicted_taken = False

@@ -12,10 +12,13 @@ simulation once.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import time
+from collections.abc import Iterable, Iterator, Sequence
+from contextlib import contextmanager
 
 from ..core.config import MachineConfig
 from ..core.pipeline import CoreResult, OoOCore
+from ..obs.report import build_run_report
 from ..presets import machine as preset_machine
 from ..trace.record import TraceRecord
 from ..workloads.suite import SUITE_NAMES, build_os_mix_trace, build_trace
@@ -40,10 +43,36 @@ def suite_traces(scale: str = "small",
     return traces
 
 
+#: When non-None (inside :func:`capture_reports`), every simulation run
+#: through this module appends its machine-readable run report here.
+_report_sink: list[dict] | None = None
+
+
+@contextmanager
+def capture_reports() -> Iterator[list[dict]]:
+    """Collect a run report for every :func:`run_one` in the block.
+
+    Used by ``repro experiment --json`` and the benchmark harness to
+    persist perf trajectories without changing experiment signatures.
+    """
+    global _report_sink
+    previous = _report_sink
+    _report_sink = sink = []
+    try:
+        yield sink
+    finally:
+        _report_sink = previous
+
+
 def run_one(trace: Sequence[TraceRecord],
             machine: MachineConfig) -> CoreResult:
     """Simulate one trace on one machine."""
-    return OoOCore(machine).run(trace)
+    start = time.perf_counter()
+    result = OoOCore(machine).run(trace)
+    if _report_sink is not None:
+        _report_sink.append(build_run_report(
+            result, machine, wall_time=time.perf_counter() - start))
+    return result
 
 
 def run_configs(trace: Sequence[TraceRecord],

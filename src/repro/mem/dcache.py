@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.counters import Stats
 from .cache import SetAssocCache
 from .config import DCacheConfig, LineBufferFill
@@ -43,6 +44,9 @@ class AccessStatus(enum.Enum):
 class AccessResult:
     status: AccessStatus
     ready: int = 0           # cycle the data is available (loads)
+    #: Where the data came from on an OK load access ("hit", "miss",
+    #: "secondary") — feeds the stall-attribution model.
+    source: str = ""
 
     @property
     def ok(self) -> bool:
@@ -53,10 +57,12 @@ class DataCacheSystem:
     """Port-accurate L1 D-cache front end."""
 
     def __init__(self, config: DCacheConfig, next_level: NextLevel,
-                 stats: Stats | None = None) -> None:
+                 stats: Stats | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.config = config
         self.next_level = next_level
         self.stats = stats if stats is not None else Stats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cache = SetAssocCache(config.geometry, name="dcache",
                                    stats=self.stats)
         self.line_size = config.geometry.line_size
@@ -67,11 +73,13 @@ class DataCacheSystem:
         if config.has_line_buffer:
             self.line_buffer = LineBuffer(config.line_buffer_entries,
                                           config.line_buffer_on_store,
-                                          name="lb", stats=self.stats)
+                                          name="lb", stats=self.stats,
+                                          tracer=self.tracer)
         self.write_buffer = WriteBuffer(config.write_buffer_depth,
                                         config.combine_stores,
                                         self.line_size, name="wb",
-                                        stats=self.stats)
+                                        stats=self.stats,
+                                        tracer=self.tracer)
         self.victim_cache: VictimCache | None = None
         if config.victim_entries:
             self.victim_cache = VictimCache(config.victim_entries,
@@ -113,6 +121,12 @@ class DataCacheSystem:
         self._cycle = cycle
         self._ports_used = 0
         self._banks_used.clear()
+        # The buffers emit their own trace events; keep their clocks in
+        # step (two attribute stores — cheaper than threading `cycle`
+        # through every call).
+        self.write_buffer.cycle = cycle
+        if self.line_buffer is not None:
+            self.line_buffer.cycle = cycle
         if len(self._pending) > 2 * self.config.mshrs:
             self._pending = {line: ready for line, ready
                              in self._pending.items() if ready > cycle}
@@ -165,20 +179,26 @@ class DataCacheSystem:
         if pending_ready > cycle:
             self.stats.inc("dcache.load_secondary_misses")
             ready = pending_ready
+            source = "secondary"
         elif self.cache.lookup(line):
             self.stats.inc("dcache.load_hits")
             ready = cycle + self.config.hit_latency
+            source = "hit"
         else:
             if self._mshrs_busy() >= self.config.mshrs:
                 self.stats.inc("dcache.load_mshr_full")
                 return AccessResult(AccessStatus.MSHR_FULL)
             self.stats.inc("dcache.load_misses")
             ready = self._start_fill(line)
+            source = "miss"
             self._maybe_prefetch(line + 1)
         if self.config.line_buffer_fill is LineBufferFill.ON_ACCESS and \
                 self.line_buffer is not None:
             self.line_buffer.insert(line)
-        return AccessResult(AccessStatus.OK, ready)
+        if self.tracer.enabled:
+            self.tracer.emit(cycle, "dcache.load", line=line, source=source,
+                             ready=ready)
+        return AccessResult(AccessStatus.OK, ready, source)
 
     def store_access(self, line: int) -> AccessResult:
         """Write one (possibly combined) line's worth of store data."""
@@ -203,6 +223,8 @@ class DataCacheSystem:
             self._start_fill(line, dirty=True)
         if self.line_buffer is not None:
             self.line_buffer.note_store(line)
+        if self.tracer.enabled:
+            self.tracer.emit(cycle, "dcache.store", line=line)
         return AccessResult(AccessStatus.OK, cycle + 1)
 
     def _maybe_prefetch(self, line: int) -> None:
@@ -230,6 +252,9 @@ class DataCacheSystem:
         else:
             ready = self.next_level.request(line, self._cycle)
         self._pending[line] = ready
+        if self.tracer.enabled:
+            self.tracer.emit(self._cycle, "dcache.fill", line=line,
+                             ready=ready, victim=recovered is not None)
         victim = self.cache.fill(line, dirty=dirty)
         if victim is not None:
             self._dispose_victim(*victim)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..obs.tracer import Tracer
 from ..stats.counters import Stats
 from .config import MemSystemConfig
 from .dcache import DataCacheSystem
@@ -13,12 +14,13 @@ class MemorySystem:
     """One processor's complete memory hierarchy."""
 
     def __init__(self, config: MemSystemConfig,
-                 stats: Stats | None = None) -> None:
+                 stats: Stats | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.config = config
         self.stats = stats if stats is not None else Stats()
         self.next_level = NextLevel(config.next_level, stats=self.stats)
         self.dcache = DataCacheSystem(config.dcache, self.next_level,
-                                      stats=self.stats)
+                                      stats=self.stats, tracer=tracer)
         self.icache = ICacheSystem(config.icache, self.next_level,
                                    stats=self.stats)
 

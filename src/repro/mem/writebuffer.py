@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.counters import Stats
 
 
@@ -30,7 +31,8 @@ class WriteBuffer:
     """FIFO store buffer with optional same-line combining."""
 
     def __init__(self, depth: int, combine: bool, line_size: int,
-                 name: str = "wb", stats: Stats | None = None) -> None:
+                 name: str = "wb", stats: Stats | None = None,
+                 tracer: Tracer | None = None) -> None:
         if depth < 0:
             raise ValueError("depth cannot be negative")
         self.depth = depth
@@ -38,6 +40,10 @@ class WriteBuffer:
         self.line_size = line_size
         self.name = name
         self.stats = stats if stats is not None else Stats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Kept in step by the owning cache's ``begin_cycle`` so trace
+        #: events carry the simulation cycle.
+        self.cycle = 0
         self._entries: list[WriteBufferEntry] = []
 
     # ------------------------------------------------------------------
@@ -71,12 +77,19 @@ class WriteBuffer:
                 if entry.line == line:
                     entry.byte_mask |= byte_mask
                     self.stats.inc(f"{self.name}.combined")
+                    if self.tracer.enabled:
+                        self.tracer.emit(self.cycle, "wb.add", line=line,
+                                         merged=True)
                     return True
         if self.full:
             self.stats.inc(f"{self.name}.full_stalls")
+            if self.tracer.enabled:
+                self.tracer.emit(self.cycle, "wb.full", line=line)
             return False
         self._entries.append(WriteBufferEntry(line, byte_mask))
         self.stats.inc(f"{self.name}.entries_allocated")
+        if self.tracer.enabled:
+            self.tracer.emit(self.cycle, "wb.add", line=line, merged=False)
         return True
 
     def head(self) -> WriteBufferEntry | None:
@@ -86,7 +99,11 @@ class WriteBuffer:
     def pop(self) -> WriteBufferEntry:
         """Remove and return the oldest entry."""
         self.stats.inc(f"{self.name}.drains")
-        return self._entries.pop(0)
+        entry = self._entries.pop(0)
+        if self.tracer.enabled:
+            self.tracer.emit(self.cycle, "wb.drain", line=entry.line,
+                             occupancy=len(self._entries))
+        return entry
 
     # ------------------------------------------------------------------
     def load_check(self, line: int, byte_mask: int) -> str:

@@ -1,0 +1,47 @@
+"""Cycle-level observability: stall attribution, event tracing, reports.
+
+Three layers, all optional from the timing core's point of view:
+
+* :mod:`repro.obs.stall` — a per-cycle **stall-attribution ledger**.
+  Every cycle the core commits fewer uops than the machine width, the
+  lost issue slots are charged to exactly one cause (fetch, branch,
+  cache port, next-level latency, ...), so the ledger is *conservative*:
+  attributed lost slots + committed uops == cycles × width.
+* :mod:`repro.obs.tracer` — an opt-in **structured event tracer**.
+  Call sites are guarded on ``tracer.enabled`` so a disabled tracer
+  costs one attribute check; an enabled :class:`JsonlTracer` streams
+  one JSON object per event (optionally gzipped).
+* :mod:`repro.obs.report` — versioned **machine-readable run reports**
+  combining configuration, counters, the stall ledger and host
+  throughput, for ``repro simulate --json`` / ``repro experiment
+  --json`` and the benchmark harness.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and stall taxonomy.
+"""
+
+from .report import (
+    SCHEMA_VERSION,
+    SchemaError,
+    build_experiment_manifest,
+    build_run_report,
+    validate_experiment_manifest,
+    validate_run_report,
+)
+from .stall import StallCause, StallLedger
+from .tracer import NULL_TRACER, JsonlTracer, Tracer, iter_events, summarize_events
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "build_experiment_manifest",
+    "build_run_report",
+    "validate_experiment_manifest",
+    "validate_run_report",
+    "StallCause",
+    "StallLedger",
+    "NULL_TRACER",
+    "JsonlTracer",
+    "Tracer",
+    "iter_events",
+    "summarize_events",
+]

@@ -1,0 +1,210 @@
+"""Machine-readable run reports (the ``--json`` manifests).
+
+A **run report** describes one timing simulation: configuration,
+workload identity (including the generator seed when one applies), the
+full counter set, the stall ledger, the load-latency distribution, and
+host-side throughput (wall time and simulated instructions per second).
+An **experiment manifest** wraps one regenerated table/figure together
+with the run reports it was built from, so benchmark harnesses can
+persist performance trajectories (``BENCH_*.json`` style) without
+scraping rendered tables.
+
+Both documents carry ``schema`` / ``schema_version`` and are validated
+by hand-rolled checkers (no external JSON-schema dependency) so CI can
+reject drift.  Bump :data:`SCHEMA_VERSION` on any incompatible change
+and describe it in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..core.config import MachineConfig
+    from ..core.pipeline import CoreResult
+    from ..stats.report import Table
+
+#: Version shared by run reports and experiment manifests.
+SCHEMA_VERSION = 1
+
+RUN_SCHEMA = f"repro.run/{SCHEMA_VERSION}"
+EXPERIMENT_SCHEMA = f"repro.experiment/{SCHEMA_VERSION}"
+
+
+def _dcache_dict(machine: "MachineConfig") -> dict[str, object]:
+    dcache = machine.mem.dcache
+    return {
+        "ports": dcache.ports,
+        "port_width": dcache.port_width,
+        "banks": dcache.banks,
+        "line_buffer_entries": dcache.line_buffer_entries,
+        "combine_loads": dcache.combine_loads,
+        "combine_stores": dcache.combine_stores,
+        "write_buffer_depth": dcache.write_buffer_depth,
+        "mshrs": dcache.mshrs,
+    }
+
+
+def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
+                     workload: str | None = None,
+                     scale: str | None = None,
+                     seed: int | None = None,
+                     wall_time: float | None = None) -> dict[str, object]:
+    """Assemble the versioned JSON document for one simulation."""
+    sim_ips = (result.instructions / wall_time
+               if wall_time else None)
+    load_latency = None
+    if result.load_latency is not None and result.load_latency.total:
+        hist = result.load_latency
+        load_latency = {
+            "mean": hist.mean,
+            "p50": hist.percentile(0.5),
+            "p90": hist.percentile(0.9),
+            "p99": hist.percentile(0.99),
+            "counts": {str(value): count
+                       for value, count in hist.as_dict().items()},
+        }
+    return {
+        "schema": RUN_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "name": machine.name,
+            "issue_width": machine.core.issue_width,
+            "dcache": _dcache_dict(machine),
+        },
+        "workload": workload,
+        "scale": scale,
+        "seed": seed,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "counters": result.stats.as_dict(),
+        "stalls": result.ledger.as_dict() if result.ledger is not None
+        else None,
+        "load_latency": load_latency,
+        "host": {
+            "wall_time_s": wall_time,
+            "sim_ips": sim_ips,
+        },
+    }
+
+
+def build_experiment_manifest(experiment: str, scale: str, table: "Table",
+                              runs: list[dict[str, object]],
+                              wall_time: float | None = None,
+                              ) -> dict[str, object]:
+    """Wrap one experiment's table and its per-run reports."""
+    return {
+        "schema": EXPERIMENT_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "scale": scale,
+        "table": table.as_dict(),
+        "runs": runs,
+        "host": {"wall_time_s": wall_time},
+    }
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class SchemaError(ValueError):
+    """A manifest failed validation; ``problems`` lists every issue."""
+
+    def __init__(self, problems: list[str]) -> None:
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+def _require(document: dict, spec: dict[str, type | tuple],
+             problems: list[str], context: str) -> None:
+    for key, expected in spec.items():
+        if key not in document:
+            problems.append(f"{context}: missing key {key!r}")
+            continue
+        value = document[key]
+        if not isinstance(value, expected):
+            problems.append(
+                f"{context}: {key!r} should be "
+                f"{getattr(expected, '__name__', expected)}, "
+                f"got {type(value).__name__}")
+
+
+def validate_run_report(report: dict) -> None:
+    """Raise :class:`SchemaError` unless *report* is a valid run report."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        raise SchemaError(["run report must be an object"])
+    _require(report, {
+        "schema": str,
+        "schema_version": int,
+        "config": dict,
+        "cycles": int,
+        "instructions": int,
+        "ipc": (int, float),
+        "counters": dict,
+        "host": dict,
+    }, problems, "run")
+    if report.get("schema") not in (None, RUN_SCHEMA):
+        problems.append(f"run: schema is {report['schema']!r}, "
+                        f"expected {RUN_SCHEMA!r}")
+    if "seed" in report and report["seed"] is not None and \
+            not isinstance(report["seed"], int):
+        problems.append("run: seed must be an integer or null")
+    config = report.get("config")
+    if isinstance(config, dict):
+        _require(config, {"name": str, "issue_width": int, "dcache": dict},
+                 problems, "run.config")
+    stalls = report.get("stalls")
+    if stalls is not None:
+        if not isinstance(stalls, dict):
+            problems.append("run: stalls must be an object or null")
+        else:
+            _require(stalls, {
+                "width": int,
+                "cycles": int,
+                "committed": int,
+                "total_slots": int,
+                "total_lost": int,
+                "lost": dict,
+                "timeline": dict,
+            }, problems, "run.stalls")
+            if not problems and stalls["committed"] + stalls["total_lost"] \
+                    != stalls["total_slots"]:
+                problems.append("run.stalls: ledger is not conservative")
+    host = report.get("host")
+    if isinstance(host, dict) and "wall_time_s" not in host:
+        problems.append("run.host: missing key 'wall_time_s'")
+    if problems:
+        raise SchemaError(problems)
+
+
+def validate_experiment_manifest(manifest: dict) -> None:
+    """Raise :class:`SchemaError` unless *manifest* is valid; every
+    embedded run report is validated too."""
+    problems: list[str] = []
+    if not isinstance(manifest, dict):
+        raise SchemaError(["experiment manifest must be an object"])
+    _require(manifest, {
+        "schema": str,
+        "schema_version": int,
+        "experiment": str,
+        "scale": str,
+        "table": dict,
+        "runs": list,
+        "host": dict,
+    }, problems, "experiment")
+    if manifest.get("schema") not in (None, EXPERIMENT_SCHEMA):
+        problems.append(f"experiment: schema is {manifest['schema']!r}, "
+                        f"expected {EXPERIMENT_SCHEMA!r}")
+    table = manifest.get("table")
+    if isinstance(table, dict):
+        _require(table, {"title": str, "columns": list, "rows": list},
+                 problems, "experiment.table")
+    for index, run in enumerate(manifest.get("runs") or ()):
+        try:
+            validate_run_report(run)
+        except SchemaError as exc:
+            problems.extend(f"runs[{index}].{p}" for p in exc.problems)
+    if problems:
+        raise SchemaError(problems)

@@ -1,0 +1,168 @@
+"""The stall-attribution model: where the lost issue slots went.
+
+The machine would retire ``width`` uops every cycle if nothing ever
+stalled; reality commits fewer.  The timing core calls
+:meth:`StallLedger.account` exactly once per cycle with the number of
+uops it committed and (lazily) the classified bottleneck, and the
+ledger charges the cycle's lost slots — ``width - commits`` — to that
+cause.  By construction the ledger is *conservative*::
+
+    sum(lost slots over all causes) + committed == cycles * width
+
+which the test suite asserts for every workload/configuration pair of
+the headline experiment.
+
+Attribution is a model, not a measurement: a cycle can be short for
+several reasons at once, and the core charges the whole shortfall to
+the reason blocking the *commit head* (or, with an empty window, to the
+frontend).  That mirrors how architects read such breakdowns — the
+oldest instruction is the one whose stall cannot be hidden by
+out-of-order execution.  Capacity back-pressure (ROB/IQ/LQ/SQ full at
+dispatch) is a symptom of the head's stall, so it is tallied separately
+in :attr:`StallLedger.capacity` rather than charged cycles.
+
+Besides the per-cause totals, the ledger keeps a per-cause **interval
+time series**: fixed-size cycle buckets backed by
+:class:`repro.stats.histogram.Histogram`, so phase behaviour (warm-up,
+working-set transitions, drain) is visible without a full event trace.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..stats.histogram import Histogram
+
+#: Default time-series bucket width, in cycles.
+DEFAULT_INTERVAL = 1024
+
+
+class StallCause(str, enum.Enum):
+    """Why the commit head (or the frontend) could not make progress."""
+
+    #: Frontend starvation: I-cache miss, fetch-queue fill, decode delay.
+    FETCH = "fetch"
+    #: Mispredicted branch resolution / redirect recovery.
+    BRANCH = "branch"
+    #: Pipeline flush for a serialising instruction (trap, syscall, eret).
+    SERIALIZE = "serialize"
+    #: Head waits on operands or functional-unit latency (incl. AGU).
+    EXEC = "exec"
+    #: Head load or store lost cache-port arbitration (no free port,
+    #: bank conflict, or a port spent on an MSHR-full retry).
+    DCACHE_PORT = "dcache_port"
+    #: Head load's data came through a real port access that *hit* in
+    #: the L1 — latency a line-buffer hit would have hidden.
+    LINE_BUFFER_MISS = "line_buffer_miss"
+    #: Store at commit found the write buffer full (or, with depth 0,
+    #: loads waiting behind the resulting commit stall).
+    WRITE_BUFFER_FULL = "write_buffer_full"
+    #: Memory-ordering constraints: unknown older store address,
+    #: store-to-load forwarding wait, or a partial write-buffer overlap.
+    MEM_ORDER = "mem_order"
+    #: Head load waits on an L1 miss being filled from the next level.
+    NEXT_LEVEL = "next_level"
+    #: End of trace: the window drains with nothing left to fetch.
+    DRAIN = "drain"
+
+    def __str__(self) -> str:  # so f"{cause}" renders "fetch", not the repr
+        return self.value
+
+
+#: Presentation order for reports.
+CAUSE_ORDER = tuple(StallCause)
+
+
+class StallLedger:
+    """Per-cause lost-slot totals plus bucketed time series."""
+
+    def __init__(self, width: int, interval: int = DEFAULT_INTERVAL) -> None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        if interval < 1:
+            raise ValueError("interval must be positive")
+        self.width = width
+        self.interval = interval
+        self.cycles = 0
+        self.committed = 0
+        self.lost: dict[StallCause, int] = {c: 0 for c in CAUSE_ORDER}
+        self.series: dict[StallCause, Histogram] = {}
+        #: Dispatch back-pressure events (not charged cycles; see module
+        #: docstring): structure name -> times dispatch broke on it.
+        self.capacity: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def account(self, cycle: int, commits: int, cause: StallCause) -> None:
+        """Record one cycle: *commits* retired, shortfall charged to
+        *cause* (ignored when the cycle was full)."""
+        self.cycles += 1
+        self.committed += commits
+        lost = self.width - commits
+        if lost <= 0:
+            return
+        self.lost[cause] += lost
+        series = self.series.get(cause)
+        if series is None:
+            series = self.series[cause] = Histogram(cause.value)
+        series.record(cycle // self.interval, lost)
+
+    def note_capacity(self, what: str) -> None:
+        """Tally one dispatch break on a full structure (rob/iq/lq/sq)."""
+        self.capacity[what] = self.capacity.get(what, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_lost(self) -> int:
+        return sum(self.lost.values())
+
+    @property
+    def total_slots(self) -> int:
+        return self.cycles * self.width
+
+    def check_conservation(self) -> bool:
+        """True iff every issue slot is either committed or attributed."""
+        return self.total_lost + self.committed == self.total_slots
+
+    def fraction(self, cause: StallCause) -> float:
+        """Share of *all* issue slots lost to *cause*."""
+        total = self.total_slots
+        return self.lost[cause] / total if total else 0.0
+
+    def timeline(self, cause: StallCause) -> dict[int, int]:
+        """Bucket index -> lost slots for *cause* (empty if never hit)."""
+        series = self.series.get(cause)
+        return series.as_dict() if series is not None else {}
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot (used by the run report)."""
+        return {
+            "width": self.width,
+            "interval": self.interval,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "total_slots": self.total_slots,
+            "total_lost": self.total_lost,
+            "lost": {cause.value: self.lost[cause] for cause in CAUSE_ORDER},
+            "capacity": dict(sorted(self.capacity.items())),
+            "timeline": {cause.value:
+                         {str(bucket): slots for bucket, slots
+                          in self.timeline(cause).items()}
+                         for cause in CAUSE_ORDER if cause in self.series},
+        }
+
+    def summary(self, top: int = 5) -> str:
+        """One human line: the *top* causes by lost-slot share."""
+        total = self.total_slots
+        if not total:
+            return "no cycles recorded"
+        ranked = sorted(((slots, cause) for cause, slots in self.lost.items()
+                         if slots), reverse=True)
+        parts = [f"{cause.value} {slots / total:.1%}"
+                 for slots, cause in ranked[:top]]
+        used = self.committed / total
+        return f"slots used {used:.1%}; lost to " + \
+            (", ".join(parts) if parts else "nothing")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StallLedger(width={self.width}, cycles={self.cycles}, "
+                f"committed={self.committed}, lost={self.total_lost})")

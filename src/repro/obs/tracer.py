@@ -1,0 +1,159 @@
+"""Structured event tracing: opt-in, zero overhead when off.
+
+Every instrumented component holds a :class:`Tracer`.  The default is
+the shared :data:`NULL_TRACER`, whose class attribute ``enabled`` is
+``False`` — call sites are written as::
+
+    if self.tracer.enabled:
+        self.tracer.emit(cycle, "wb.add", line=line, merged=True)
+
+so a disabled tracer costs a single attribute check and *never* formats
+the event.  :class:`JsonlTracer` streams one compact JSON object per
+event to a file (gzipped when the path ends in ``.gz``)::
+
+    {"cycle": 412, "event": "wb.add", "line": 8197, "merged": true}
+
+``cycle`` and ``event`` are always present; the remaining fields are
+event-specific (schema in ``docs/OBSERVABILITY.md``).  The module also
+provides the reader half used by ``repro events``:
+:func:`iter_events` and :func:`summarize_events`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from collections.abc import Collection, Iterator
+from dataclasses import dataclass, field
+
+
+class Tracer:
+    """Base tracer; also the disabled no-op implementation."""
+
+    #: Class attribute so the hot-path guard is one LOAD_ATTR + jump.
+    enabled = False
+
+    def emit(self, cycle: int, event: str, **fields: object) -> None:
+        """Record one event (no-op unless overridden)."""
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: The shared disabled tracer every component defaults to.
+NULL_TRACER = Tracer()
+
+
+class JsonlTracer(Tracer):
+    """Streams events as JSON Lines to a path or file-like object.
+
+    ``events`` optionally restricts emission to a set of event names
+    (cheap server-side filtering for long runs); ``None`` keeps all.
+    """
+
+    enabled = True
+
+    def __init__(self, destination: str | io.TextIOBase,
+                 events: Collection[str] | None = None) -> None:
+        self._owns_handle = isinstance(destination, str)
+        if isinstance(destination, str):
+            if destination.endswith(".gz"):
+                self._handle = gzip.open(destination, "wt",
+                                         encoding="utf-8")
+            else:
+                self._handle = open(destination, "w", encoding="utf-8")
+        else:
+            self._handle = destination
+        self._events = frozenset(events) if events is not None else None
+        self.emitted = 0
+
+    def emit(self, cycle: int, event: str, **fields: object) -> None:
+        if self._events is not None and event not in self._events:
+            return
+        record = {"cycle": cycle, "event": event}
+        record.update(fields)
+        self._handle.write(json.dumps(record, separators=(",", ":")))
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+        else:
+            self._handle.flush()
+
+
+# ----------------------------------------------------------------------
+# Reading captured streams
+# ----------------------------------------------------------------------
+def _open_stream(path: str):
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, encoding="utf-8")
+
+
+def iter_events(path: str, events: Collection[str] | None = None,
+                since: int | None = None,
+                until: int | None = None) -> Iterator[dict]:
+    """Yield event dicts from a JSONL capture, optionally filtered by
+    event name and ``since <= cycle <= until``."""
+    wanted = frozenset(events) if events else None
+    with _open_stream(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if wanted is not None and record.get("event") not in wanted:
+                continue
+            cycle = record.get("cycle", 0)
+            if since is not None and cycle < since:
+                continue
+            if until is not None and cycle > until:
+                continue
+            yield record
+
+
+@dataclass
+class EventSummary:
+    """Aggregate view of a captured stream."""
+
+    total: int = 0
+    first_cycle: int | None = None
+    last_cycle: int | None = None
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        if not self.total:
+            return "(no events)"
+        lines = [f"{self.total} events over cycles "
+                 f"{self.first_cycle}..{self.last_cycle}"]
+        width = max(len(name) for name in self.counts)
+        for name, count in sorted(self.counts.items(),
+                                  key=lambda item: (-item[1], item[0])):
+            lines.append(f"  {name:<{width}}  {count}")
+        return "\n".join(lines)
+
+
+def summarize_events(path: str, events: Collection[str] | None = None,
+                     since: int | None = None,
+                     until: int | None = None) -> EventSummary:
+    """Per-event-type counts and the covered cycle span."""
+    summary = EventSummary()
+    for record in iter_events(path, events, since, until):
+        summary.total += 1
+        name = record.get("event", "?")
+        summary.counts[name] = summary.counts.get(name, 0) + 1
+        cycle = record.get("cycle", 0)
+        if summary.first_cycle is None or cycle < summary.first_cycle:
+            summary.first_cycle = cycle
+        if summary.last_cycle is None or cycle > summary.last_cycle:
+            summary.last_cycle = cycle
+    return summary

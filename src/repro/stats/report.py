@@ -57,6 +57,15 @@ class Table:
                 return row[col_index]
         raise KeyError(f"no row keyed {row_key!r}")
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot (used by the ``--json`` manifests)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def to_csv(self) -> str:
         """Render as CSV (header row + data rows; notes as comments)."""
         import csv

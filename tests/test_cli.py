@@ -110,6 +110,112 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--workload", "nope", "--scale", "tiny"])
 
+    def test_disabled_features_labelled_na(self, capsys):
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--config", "1P"]) == 0
+        out = capsys.readouterr().out
+        assert "line-buffer loads n/a" in out
+        assert "combined loads n/a" in out
+        assert "combined stores n/a" in out
+
+    def test_enabled_features_show_counts(self, capsys):
+        assert main(["simulate", "--workload", "stream", "--scale", "tiny",
+                     "--config", "1P-wide+LB+SC"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" not in out
+        assert "stalls:" in out
+
+    def test_synthetic_workload(self, capsys):
+        assert main(["simulate", "--workload", "synthetic",
+                     "--scale", "tiny", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic (tiny)" in out and "IPC" in out
+
+    def test_seed_rejected_for_assembly_workload(self):
+        with pytest.raises(SystemExit, match="synthetic"):
+            main(["simulate", "--workload", "memops", "--scale", "tiny",
+                  "--seed", "3"])
+
+    def test_seed_rejected_with_trace_file(self, tmp_path):
+        trace_path = str(tmp_path / "w.npz")
+        assert main(["trace", "memops", trace_path, "--scale", "tiny"]) == 0
+        with pytest.raises(SystemExit, match="trace-file"):
+            main(["simulate", "--trace-file", trace_path, "--seed", "3"])
+
+
+class TestSimulateJson:
+    def test_round_trips_and_has_required_fields(self, capsys):
+        import json
+        assert main(["simulate", "--workload", "synthetic", "--scale",
+                     "tiny", "--seed", "9", "--config", "2P+SC",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["name"] == "2P+SC"
+        assert report["seed"] == 9
+        assert report["workload"] == "synthetic"
+        assert report["counters"]["dcache.port_uses"] > 0
+        assert report["stalls"]["committed"] + report["stalls"]["total_lost"] \
+            == report["stalls"]["total_slots"]
+        assert report["host"]["sim_ips"] > 0
+        from repro.obs import validate_run_report
+        validate_run_report(report)
+
+    def test_seed_is_reproducible(self, capsys):
+        import json
+        args = ["simulate", "--workload", "synthetic", "--scale", "tiny",
+                "--seed", "5", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["cycles"] == second["cycles"]
+        assert first["counters"] == second["counters"]
+
+
+class TestEvents:
+    def test_capture_then_summarize(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["simulate", "--workload", "stream", "--scale", "tiny",
+                     "--config", "2P+SC", "--events", path]) == 0
+        assert f"-> {path}" in capsys.readouterr().out
+        assert main(["events", path]) == 0
+        out = capsys.readouterr().out
+        assert "events over cycles" in out
+        assert "stall" in out and "commit" in out
+
+    def test_filter_and_limit(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "run.jsonl.gz")
+        assert main(["simulate", "--workload", "stream", "--scale", "tiny",
+                     "--events", path]) == 0
+        capsys.readouterr()
+        assert main(["events", path, "--event", "stall",
+                     "--limit", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["event"] == "stall" for line in lines)
+
+    def test_corrupt_capture_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json at all\n")
+        assert main(["events", str(path)]) == 1
+        assert "not a JSONL event capture" in capsys.readouterr().err
+        fake_gz = tmp_path / "fake.jsonl.gz"
+        fake_gz.write_text("also not gzip\n")
+        assert main(["events", str(fake_gz)]) == 1
+        assert "not a JSONL event capture" in capsys.readouterr().err
+
+    def test_cycle_window(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "run.jsonl")
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--events", path]) == 0
+        capsys.readouterr()
+        assert main(["events", path, "--since", "10", "--until", "20",
+                     "--limit", "100"]) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            assert 10 <= json.loads(line)["cycle"] <= 20
+
 
 class TestExperiment:
     def test_single_experiment(self, capsys):
@@ -119,6 +225,49 @@ class TestExperiment:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "Z9"])
+
+
+class TestTraceSeed:
+    def test_synthetic_trace_seed_changes_stream(self, tmp_path, capsys):
+        from repro.trace import load_trace
+        paths = []
+        for seed in ("1", "2"):
+            path = str(tmp_path / f"s{seed}.npz")
+            assert main(["trace", "synthetic", path, "--scale", "tiny",
+                         "--seed", seed]) == 0
+            paths.append(path)
+        assert "seed 1" in capsys.readouterr().out.splitlines()[0]
+        first, second = (load_trace(p) for p in paths)
+        assert len(first) == len(second)
+        assert any(a.mem_addr != b.mem_addr
+                   for a, b in zip(first, second))
+
+    def test_seed_rejected_for_assembly_trace(self, tmp_path):
+        with pytest.raises(SystemExit, match="synthetic"):
+            main(["trace", "memops", str(tmp_path / "t.npz"),
+                  "--scale", "tiny", "--seed", "3"])
+
+
+class TestExperimentJson:
+    def test_stdout_manifest_validates(self, capsys):
+        import json
+
+        from repro.obs import validate_experiment_manifest
+        assert main(["experiment", "A3", "--scale", "tiny", "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        validate_experiment_manifest(manifest)
+        assert manifest["experiment"] == "A3"
+        assert manifest["runs"], "run reports were not captured"
+        assert manifest["runs"][0]["host"]["wall_time_s"] > 0
+
+    def test_written_manifest(self, tmp_path, capsys):
+        import json
+        out = str(tmp_path / "results")
+        assert main(["experiment", "A3", "--scale", "tiny", "--json",
+                     "--output", out]) == 0
+        manifest = json.loads(
+            (tmp_path / "results" / "a3_tiny.json").read_text())
+        assert manifest["schema"].startswith("repro.experiment/")
 
 
 class TestExperimentOutput:

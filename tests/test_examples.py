@@ -50,6 +50,14 @@ def test_custom_workload(monkeypatch, capsys):
     assert "depth" in out
 
 
+def test_stall_breakdown(monkeypatch, capsys):
+    run_example("stall_breakdown.py", ["--scale", "tiny"], monkeypatch)
+    out = capsys.readouterr().out
+    assert "slots used" in out
+    assert "1P-wide+LB+SC" in out
+    assert "#" in out  # the bar chart rendered
+
+
 def test_locality_sweep(monkeypatch, capsys):
     run_example("locality_sweep.py", ["--instructions", "6000"],
                 monkeypatch)

@@ -1,0 +1,126 @@
+"""Tests for run reports, experiment manifests, and their validators."""
+
+import json
+
+import pytest
+
+from repro.core import OoOCore
+from repro.obs import (SCHEMA_VERSION, SchemaError, build_experiment_manifest,
+                       build_run_report, validate_experiment_manifest,
+                       validate_run_report)
+from repro.presets import machine
+from repro.stats import Table
+from repro.workloads import build_trace
+
+
+@pytest.fixture(scope="module")
+def run_and_report():
+    config = machine("2P+SC")
+    result = OoOCore(config).run(build_trace("memops", "tiny"))
+    report = build_run_report(result, config, workload="memops",
+                              scale="tiny", seed=7, wall_time=0.5)
+    return result, report
+
+
+class TestRunReport:
+    def test_round_trips_through_json(self, run_and_report):
+        _, report = run_and_report
+        clone = json.loads(json.dumps(report))
+        assert clone == report
+
+    def test_required_content(self, run_and_report):
+        result, report = run_and_report
+        assert report["schema"] == f"repro.run/{SCHEMA_VERSION}"
+        assert report["config"]["name"] == "2P+SC"
+        assert report["config"]["dcache"]["ports"] == 2
+        assert report["seed"] == 7
+        assert report["workload"] == "memops"
+        assert report["cycles"] == result.cycles
+        assert report["ipc"] == result.ipc
+        assert report["counters"] == result.stats.as_dict()
+        assert report["host"]["sim_ips"] == result.instructions / 0.5
+
+    def test_stall_ledger_embedded(self, run_and_report):
+        _, report = run_and_report
+        stalls = report["stalls"]
+        assert stalls["committed"] + stalls["total_lost"] \
+            == stalls["total_slots"]
+
+    def test_validates(self, run_and_report):
+        validate_run_report(run_and_report[1])
+
+    def test_no_wall_time_means_no_ips(self, run_and_report):
+        result, _ = run_and_report
+        report = build_run_report(result, machine("2P+SC"))
+        assert report["host"] == {"wall_time_s": None, "sim_ips": None}
+        assert report["seed"] is None
+        validate_run_report(report)
+
+
+class TestRunValidation:
+    def _valid(self, run_and_report):
+        return json.loads(json.dumps(run_and_report[1]))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(SchemaError):
+            validate_run_report([])
+
+    def test_rejects_missing_key(self, run_and_report):
+        report = self._valid(run_and_report)
+        del report["counters"]
+        with pytest.raises(SchemaError, match="counters"):
+            validate_run_report(report)
+
+    def test_rejects_wrong_schema(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["schema"] = "repro.run/999"
+        with pytest.raises(SchemaError, match="schema"):
+            validate_run_report(report)
+
+    def test_rejects_bad_seed(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["seed"] = "seven"
+        with pytest.raises(SchemaError, match="seed"):
+            validate_run_report(report)
+
+    def test_rejects_nonconservative_ledger(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["stalls"]["total_lost"] += 1
+        with pytest.raises(SchemaError, match="conservative"):
+            validate_run_report(report)
+
+    def test_collects_every_problem(self, run_and_report):
+        report = self._valid(run_and_report)
+        del report["cycles"]
+        report["seed"] = "seven"
+        with pytest.raises(SchemaError) as excinfo:
+            validate_run_report(report)
+        assert len(excinfo.value.problems) == 2
+
+
+class TestExperimentManifest:
+    def _manifest(self, run_and_report):
+        table = Table(title="T", columns=["name", "ipc"])
+        table.add_row("memops", 1.5)
+        return build_experiment_manifest(
+            "F2", "tiny", table, [run_and_report[1]], wall_time=2.0)
+
+    def test_builds_and_validates(self, run_and_report):
+        manifest = self._manifest(run_and_report)
+        assert manifest["schema"] == f"repro.experiment/{SCHEMA_VERSION}"
+        assert manifest["table"]["rows"] == [["memops", 1.5]]
+        assert manifest["host"]["wall_time_s"] == 2.0
+        validate_experiment_manifest(manifest)
+        assert json.loads(json.dumps(manifest)) == manifest
+
+    def test_embedded_run_problems_are_located(self, run_and_report):
+        manifest = json.loads(json.dumps(self._manifest(run_and_report)))
+        del manifest["runs"][0]["counters"]
+        with pytest.raises(SchemaError, match=r"runs\[0\]"):
+            validate_experiment_manifest(manifest)
+
+    def test_rejects_missing_table(self, run_and_report):
+        manifest = json.loads(json.dumps(self._manifest(run_and_report)))
+        del manifest["table"]
+        with pytest.raises(SchemaError, match="table"):
+            validate_experiment_manifest(manifest)

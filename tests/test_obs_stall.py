@@ -1,0 +1,124 @@
+"""Tests for the stall-attribution ledger.
+
+The headline acceptance property: for every workload/configuration pair
+of the F2 experiment, the ledger is conservative — every issue slot is
+either a committed uop or attributed to exactly one stall cause.
+"""
+
+import pytest
+
+from repro.core import OoOCore
+from repro.experiments.runner import ROW_NAMES, suite_traces
+from repro.obs import StallCause, StallLedger
+from repro.obs.stall import CAUSE_ORDER, DEFAULT_INTERVAL
+from repro.presets import (BEST_SINGLE_PORT, DUAL_PORT, STRONG_DUAL_PORT,
+                          machine)
+
+F2_CONFIGS = ("1P", BEST_SINGLE_PORT, DUAL_PORT, STRONG_DUAL_PORT)
+
+
+class TestLedgerUnit:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            StallLedger(0)
+        with pytest.raises(ValueError):
+            StallLedger(4, interval=0)
+
+    def test_full_cycle_loses_nothing(self):
+        ledger = StallLedger(4)
+        ledger.account(0, 4, StallCause.FETCH)
+        assert ledger.total_lost == 0
+        assert ledger.committed == 4
+        assert ledger.check_conservation()
+
+    def test_partial_cycle_charges_shortfall(self):
+        ledger = StallLedger(4)
+        ledger.account(0, 1, StallCause.DCACHE_PORT)
+        assert ledger.lost[StallCause.DCACHE_PORT] == 3
+        assert ledger.fraction(StallCause.DCACHE_PORT) == 0.75
+        assert ledger.check_conservation()
+
+    def test_timeline_buckets_by_interval(self):
+        ledger = StallLedger(2, interval=10)
+        ledger.account(3, 0, StallCause.FETCH)      # bucket 0
+        ledger.account(9, 0, StallCause.FETCH)      # bucket 0 (edge)
+        ledger.account(10, 0, StallCause.FETCH)     # bucket 1 (edge)
+        ledger.account(25, 1, StallCause.BRANCH)    # bucket 2
+        assert ledger.timeline(StallCause.FETCH) == {0: 4, 1: 2}
+        assert ledger.timeline(StallCause.BRANCH) == {2: 1}
+        assert ledger.timeline(StallCause.DRAIN) == {}
+
+    def test_capacity_tally_not_charged_cycles(self):
+        ledger = StallLedger(4)
+        ledger.note_capacity("rob")
+        ledger.note_capacity("rob")
+        ledger.note_capacity("sq")
+        assert ledger.capacity == {"rob": 2, "sq": 1}
+        assert ledger.cycles == 0
+
+    def test_as_dict_round_trips_conservation(self):
+        ledger = StallLedger(4, interval=16)
+        ledger.account(0, 2, StallCause.EXEC)
+        ledger.account(1, 4, StallCause.EXEC)
+        snapshot = ledger.as_dict()
+        assert snapshot["committed"] + snapshot["total_lost"] \
+            == snapshot["total_slots"]
+        assert snapshot["lost"]["exec"] == 2
+        assert snapshot["timeline"] == {"exec": {"0": 2}}
+        assert set(snapshot["lost"]) == {c.value for c in CAUSE_ORDER}
+
+    def test_summary_lines(self):
+        assert StallLedger(4).summary() == "no cycles recorded"
+        ledger = StallLedger(4)
+        ledger.account(0, 4, StallCause.DRAIN)
+        assert "lost to nothing" in ledger.summary()
+        ledger.account(1, 0, StallCause.FETCH)
+        assert "fetch" in ledger.summary()
+
+    def test_default_interval_used(self):
+        assert StallLedger(4).interval == DEFAULT_INTERVAL
+
+
+@pytest.fixture(scope="module")
+def f2_tiny_ledgers():
+    """Run the full F2 grid at tiny scale, keeping each run's ledger."""
+    traces = suite_traces("tiny")
+    ledgers = {}
+    for config_name in F2_CONFIGS:
+        config = machine(config_name)
+        for workload, trace in traces.items():
+            core = OoOCore(config)
+            core.run(trace)
+            ledgers[(workload, config_name)] = core.ledger
+    return ledgers
+
+
+class TestConservationOnF2Grid:
+    """Acceptance: every F2 (workload, config) pair is conservative."""
+
+    @pytest.mark.parametrize("workload", ROW_NAMES)
+    @pytest.mark.parametrize("config_name", F2_CONFIGS)
+    def test_every_slot_accounted(self, f2_tiny_ledgers, workload,
+                                  config_name):
+        ledger = f2_tiny_ledgers[(workload, config_name)]
+        assert ledger.check_conservation(), (
+            f"{workload} on {config_name}: "
+            f"{ledger.total_lost} lost + {ledger.committed} committed "
+            f"!= {ledger.total_slots} slots")
+
+    @pytest.mark.parametrize("workload", ROW_NAMES)
+    @pytest.mark.parametrize("config_name", F2_CONFIGS)
+    def test_timelines_match_totals(self, f2_tiny_ledgers, workload,
+                                    config_name):
+        ledger = f2_tiny_ledgers[(workload, config_name)]
+        for cause in CAUSE_ORDER:
+            assert sum(ledger.timeline(cause).values()) \
+                == ledger.lost[cause]
+
+    def test_attribution_is_physically_plausible(self, f2_tiny_ledgers):
+        # The streaming workload on one port loses far more to a full
+        # write buffer than it does once store combining is enabled.
+        base = f2_tiny_ledgers[("stream", "1P")]
+        combined = f2_tiny_ledgers[("stream", STRONG_DUAL_PORT)]
+        assert base.fraction(StallCause.WRITE_BUFFER_FULL) > \
+            combined.fraction(StallCause.WRITE_BUFFER_FULL)

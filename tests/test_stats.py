@@ -139,6 +139,25 @@ class TestTable:
         table = self._table()
         assert str(table) == table.render()
 
+    def test_render_empty_table(self):
+        table = Table(title="Empty", columns=["name", "ipc"])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Empty"
+        assert "name" in text and "ipc" in text
+        assert len(lines) == 4  # title, rule, header, separator — no rows
+
+    def test_as_dict_snapshot(self):
+        table = self._table()
+        table.add_note("n")
+        snapshot = table.as_dict()
+        assert snapshot == {"title": "T", "columns": ["name", "ipc"],
+                            "rows": [["a", 1.0], ["b", 2.0]], "notes": ["n"]}
+        # The snapshot is a copy, not a view.
+        snapshot["rows"].clear()
+        snapshot["columns"].append("extra")
+        assert table.rows and table.columns == ["name", "ipc"]
+
 
 class TestCsv:
     def test_to_csv_header_and_rows(self):
@@ -155,3 +174,17 @@ class TestCsv:
         table = Table(title="T", columns=["name"])
         table.add_row("a,b")
         assert '"a,b"' in table.to_csv()
+
+    def test_to_csv_escapes_newlines_and_quotes(self):
+        import csv
+        import io
+        table = Table(title="T", columns=["name", "desc"])
+        table.add_row("a", 'line1\nline2')
+        table.add_row("b", 'say "hi"')
+        parsed = list(csv.reader(io.StringIO(table.to_csv())))
+        assert parsed[1] == ["a", "line1\nline2"]
+        assert parsed[2] == ["b", 'say "hi"']
+
+    def test_to_csv_empty_table(self):
+        table = Table(title="T", columns=["name", "ipc"])
+        assert table.to_csv().splitlines() == ["name,ipc"]

@@ -72,6 +72,43 @@ class TestPercentiles:
             hist.percentile(1.5)
 
 
+class TestBucketEdges:
+    """Exact-value behaviour at bucket boundaries (the stall ledger's
+    time series records pre-bucketed indices, so off-by-ones here would
+    silently shift whole intervals)."""
+
+    def test_negative_and_zero_values(self):
+        hist = Histogram()
+        hist.record(-3)
+        hist.record(0)
+        hist.record(3)
+        assert hist.min == -3 and hist.max == 3
+        assert hist.mean == 0.0
+        assert hist.fraction_at_most(-4) == 0.0
+        assert hist.fraction_at_most(-3) == pytest.approx(1 / 3)
+        assert hist.fraction_at_most(0) == pytest.approx(2 / 3)
+
+    def test_single_value_percentiles(self):
+        hist = Histogram()
+        hist.record(42, count=1000)
+        for q in (0.001, 0.5, 0.999, 1.0):
+            assert hist.percentile(q) == 42
+
+    def test_percentile_exactly_on_boundary(self):
+        hist = Histogram()
+        hist.record(1, count=50)
+        hist.record(2, count=50)
+        # Exactly half the mass is at 1: p50 must not spill into 2.
+        assert hist.percentile(0.5) == 1
+        assert hist.percentile(0.51) == 2
+
+    def test_fraction_at_most_below_min(self):
+        hist = Histogram()
+        hist.record(10)
+        assert hist.fraction_at_most(9) == 0.0
+        assert hist.fraction_at_most(10) == 1.0
+
+
 class TestMergeAndDict:
     def test_merge(self):
         first, second = Histogram(), Histogram()
