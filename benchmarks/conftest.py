@@ -22,6 +22,20 @@ def table_sink():
     return record
 
 
+def _engine_settings_line() -> str:
+    """One line recording how the grids were executed, so a benchmark
+    printout is interpretable after the fact (parallel runs produce
+    identical tables, but wall-clock numbers differ)."""
+    from repro.experiments.engine import Engine
+    from repro.workloads import trace_cache_dir, trace_cache_stats
+    stats = trace_cache_stats()
+    cache = trace_cache_dir()
+    return (f"engine: jobs={Engine().jobs} "
+            f"trace_cache={cache if cache else 'off'} "
+            f"(memory_hits={stats['memory_hits']} "
+            f"disk_hits={stats['disk_hits']} builds={stats['builds']})")
+
+
 def pytest_terminal_summary(terminalreporter):
     if not _TABLES:
         return
@@ -29,6 +43,7 @@ def pytest_terminal_summary(terminalreporter):
     terminalreporter.write_line("=" * 70)
     terminalreporter.write_line("reproduced tables / figures")
     terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line(_engine_settings_line())
     for table in _TABLES:
         terminalreporter.write_line("")
         for line in table.render().splitlines():

@@ -133,11 +133,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace_file = None
     if args.trace_file:
         if args.seed is not None:
             raise SystemExit("--seed cannot be combined with --trace-file")
         trace = load_trace(args.trace_file)
-        workload, scale = args.trace_file, None
+        workload, scale, trace_file = None, None, args.trace_file
         label = args.trace_file
     else:
         trace = _build_named_trace(args.workload, args.scale, args.seed)
@@ -157,6 +158,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.json:
         report = build_run_report(result, config, workload=workload,
                                   scale=scale, seed=args.seed,
+                                  trace_file=trace_file,
                                   wall_time=wall_time)
         print(json.dumps(report, indent=2))
         return 0
@@ -195,26 +197,36 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import os
 
     from .experiments import ALL_EXPERIMENTS
+    from .experiments.engine import Engine
     from .experiments.runner import capture_reports
     from .obs import build_experiment_manifest
-    if args.id == "all":
+    from .workloads import trace_cache_dir, trace_cache_stats
+    if args.id.lower() == "all":
         ids = list(ALL_EXPERIMENTS)
     else:
-        if args.id not in ALL_EXPERIMENTS:
+        exp_id = args.id.upper()
+        if exp_id not in ALL_EXPERIMENTS:
             raise SystemExit(
                 f"unknown experiment {args.id!r}; "
                 f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'")
-        ids = [args.id]
+        ids = [exp_id]
+    engine = Engine(jobs=args.jobs, trace_cache=args.trace_cache)
     if args.output:
         os.makedirs(args.output, exist_ok=True)
     for exp_id in ids:
         if args.json:
             start = time.perf_counter()
+            before = trace_cache_stats()
             with capture_reports() as runs:
-                table = ALL_EXPERIMENTS[exp_id](args.scale)
+                table = ALL_EXPERIMENTS[exp_id](args.scale, engine=engine)
+            cache = {key: value - before[key]
+                     for key, value in trace_cache_stats().items()}
+            directory = trace_cache_dir()
+            cache["dir"] = str(directory) if directory else None
             manifest = build_experiment_manifest(
                 exp_id, args.scale, table, runs,
-                wall_time=time.perf_counter() - start)
+                wall_time=time.perf_counter() - start,
+                jobs=engine.jobs, trace_cache=cache)
             document = json.dumps(manifest, indent=2)
             if args.output:
                 path = os.path.join(
@@ -225,7 +237,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             else:
                 print(document)
             continue
-        table = ALL_EXPERIMENTS[exp_id](args.scale)
+        table = ALL_EXPERIMENTS[exp_id](args.scale, engine=engine)
         print(table.render())
         print()
         if args.output:
@@ -347,6 +359,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--json", action="store_true",
                             help="emit a versioned manifest (table + every "
                                  "run report) instead of the rendered table")
+    experiment.add_argument("--jobs", type=int, metavar="N",
+                            help="run each experiment's simulation grid "
+                                 "across N worker processes (default: "
+                                 "REPRO_JOBS or 1; tables are identical "
+                                 "for any N)")
+    experiment.add_argument("--trace-cache", metavar="DIR",
+                            help="persistent trace cache directory "
+                                 "(default: REPRO_TRACE_CACHE or "
+                                 "~/.cache/repro-traces; 'off' disables)")
     experiment.set_defaults(func=_cmd_experiment)
     return parser
 

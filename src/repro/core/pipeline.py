@@ -383,10 +383,16 @@ class OoOCore:
                 info = instr.info
                 if not (info.rs2_bank is Bank.INT and instr.rs2 == 0):
                     self._add_dep(uop, instr.rs2, is_data=True)
+            elif record.store_addr_count >= 0:
+                # Deserialised records carry the exact operand split
+                # the instruction would have produced.
+                count = record.store_addr_count
+                for position, reg in enumerate(record.sources):
+                    self._add_dep(uop, reg, is_data=position >= count)
             else:
-                # Instruction-less records (synthetic / deserialised
-                # traces): first source is the address base, the rest
-                # feed the store data.
+                # Instruction-less records with no persisted split
+                # (synthetic traces): first source is the address base,
+                # the rest feed the store data.
                 for position, reg in enumerate(record.sources):
                     self._add_dep(uop, reg, is_data=position > 0)
         else:
@@ -480,8 +486,9 @@ class OoOCore:
     @staticmethod
     def _serializes(record: TraceRecord) -> bool:
         instr = record.instr
-        return instr is not None and instr.opcode in (Opcode.SYSCALL,
-                                                      Opcode.ERET)
+        if instr is None:
+            return record.serializes  # persisted hint (trace.io v2)
+        return instr.opcode in (Opcode.SYSCALL, Opcode.ERET)
 
     def _handle_control_fetch(self, uop: Uop, cycle: int) -> bool:
         """Predict a control transfer at fetch; returns True to stop
@@ -508,7 +515,8 @@ class OoOCore:
         predicted_target = self.bpred.predict_jump(record.pc)
         if predicted_target == record.next_pc:
             return True  # correctly predicted taken: block ends
-        if opcode in (Opcode.J, Opcode.JAL):
+        if opcode in (Opcode.J, Opcode.JAL) or \
+                (instr is None and record.decode_redirect):
             # Target is in the instruction word: redirect at decode.
             self._fetch_blocked_until = cycle + 1 + cfg.btb_miss_redirect
             self._fetch_block_cause = StallCause.BRANCH

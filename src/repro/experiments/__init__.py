@@ -1,7 +1,13 @@
 """The experiment harness: one module per reproduced table/figure.
 
 ``ALL_EXPERIMENTS`` maps experiment ids to their ``run(scale)``
-callables; ``run_all`` regenerates the whole evaluation.
+callables; ``run_all`` regenerates the whole evaluation.  Every module
+follows the same contract — ``plan(scale)`` returns the simulation
+grid as :class:`~repro.experiments.engine.SimJob` objects,
+``tabulate(scale, results)`` is a pure function of the results, and
+``run(scale, engine=None)`` composes the two through an
+:class:`~repro.experiments.engine.Engine` (serial by default, process
+parallel with ``jobs > 1``; tables are byte-identical either way).
 """
 
 from __future__ import annotations
@@ -9,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from ..stats.report import Table
+from .engine import Engine
 from . import (
     a1_combining_window,
     a2_line_buffer_entries,
@@ -50,10 +57,15 @@ ALL_EXPERIMENTS: dict[str, Callable[..., Table]] = {
 }
 
 
-def run_all(scale: str = "small") -> dict[str, Table]:
-    """Regenerate every table/figure; returns them keyed by id."""
-    return {exp_id: runner(scale) for exp_id, runner
+def run_all(scale: str = "small",
+            engine: Engine | None = None) -> dict[str, Table]:
+    """Regenerate every table/figure; returns them keyed by id.
+
+    Pass an :class:`Engine` to fan each experiment's grid across worker
+    processes; the result dict is identical to the serial run.
+    """
+    return {exp_id: runner(scale, engine=engine) for exp_id, runner
             in ALL_EXPERIMENTS.items()}
 
 
-__all__ = ["ALL_EXPERIMENTS", "run_all"]
+__all__ = ["ALL_EXPERIMENTS", "Engine", "run_all"]

@@ -10,25 +10,34 @@ from dataclasses import replace
 
 from ..presets import machine
 from ..stats.report import Table
-from .runner import MEMORY_INTENSIVE, run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import MEMORY_INTENSIVE
 
 _LIMITS = (1, 2, 4, 8)
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    base = machine("1P-wide+LB+SC")
+    machines = {limit: replace(base, core=replace(base.core,
+                                                  max_combine=limit))
+                for limit in _LIMITS}
+    return [SimJob((name, limit), TraceSpec.workload(name, scale),
+                   machines[limit])
+            for name in MEMORY_INTENSIVE for limit in _LIMITS]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"A1: loads combined per wide-port access ({scale})",
         columns=["workload"] + [f"max_{n}" for n in _LIMITS],
     )
-    traces = suite_traces(scale, names=MEMORY_INTENSIVE)
     for name in MEMORY_INTENSIVE:
-        cells: list[object] = [name]
-        for limit in _LIMITS:
-            base = machine("1P-wide+LB+SC")
-            config = replace(base, core=replace(base.core,
-                                                max_combine=limit))
-            cells.append(round(run_one(traces[name], config).ipc, 3))
-        table.add_row(*cells)
+        table.add_row(name, *(round(results[(name, limit)].ipc, 3)
+                              for limit in _LIMITS))
     table.add_note("max_1 keeps the wide port but allows no sharing; the "
                    "line buffer read cap follows the same limit")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

@@ -9,12 +9,21 @@ from __future__ import annotations
 
 from ..presets import machine
 from ..stats.report import Table
-from .runner import MEMORY_INTENSIVE, run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import MEMORY_INTENSIVE
 
 _ENTRIES = (1, 2, 4, 8)
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = {count: machine("1P+LB", line_buffer_entries=count)
+                for count in _ENTRIES}
+    return [SimJob((name, count), TraceSpec.workload(name, scale),
+                   machines[count])
+            for name in MEMORY_INTENSIVE for count in _ENTRIES]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     columns = ["workload"]
     for count in _ENTRIES:
         columns += [f"ipc_e{count}", f"lbfrac_e{count}"]
@@ -22,12 +31,10 @@ def run(scale: str = "small") -> Table:
         title=f"A2: line buffer entries ({scale})",
         columns=columns,
     )
-    traces = suite_traces(scale, names=MEMORY_INTENSIVE)
     for name in MEMORY_INTENSIVE:
         cells: list[object] = [name]
         for count in _ENTRIES:
-            result = run_one(traces[name],
-                             machine("1P+LB", line_buffer_entries=count))
+            result = results[(name, count)]
             stats = result.stats
             loads = stats["lsq.lb_loads"] + stats["lsq.port_loads"] + \
                 stats["lsq.sq_forwards"] + stats["lsq.wb_forwards"]
@@ -35,3 +42,7 @@ def run(scale: str = "small") -> Table:
             cells += [round(result.ipc, 3), round(fraction, 3)]
         table.add_row(*cells)
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from ..presets import BEST_SINGLE_PORT, DUAL_PORT
 from ..stats.report import Table
-from ..trace.synthetic import SyntheticConfig, generate
-from .runner import run_configs
+from ..trace.synthetic import SyntheticConfig
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import config_machines
 
 _LOCALITIES = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
 _CONFIGS = ("1P", BEST_SINGLE_PORT, DUAL_PORT)
@@ -26,37 +27,50 @@ _SCALE_PARAMS = {
 }
 
 
-def run(scale: str = "small", instructions: int | None = None,
-        seed: int = 11) -> Table:
+def plan(scale: str = "small", instructions: int | None = None,
+         seed: int = 11) -> list[SimJob]:
     default_instructions, working_set = _SCALE_PARAMS[scale]
     if instructions is None:
         instructions = default_instructions
-    table = Table(
-        title=f"A3: synthetic spatial-locality sweep ({scale})",
-        columns=["locality", "ipc_1P", "ipc_tech", "ipc_2P", "1P/2P",
-                 "tech/2P"],
-    )
+    machines = config_machines(_CONFIGS)
+    jobs = []
     for locality in _LOCALITIES:
-        config = SyntheticConfig(
+        spec = TraceSpec.from_synthetic(SyntheticConfig(
             instructions=instructions,
             seed=seed,
             load_fraction=0.35,
             store_fraction=0.15,
             spatial_locality=locality,
             working_set=working_set,
-        )
-        trace = generate(config)
-        results = run_configs(trace, _CONFIGS)
-        base = results[DUAL_PORT].ipc
+        ))
+        jobs += [SimJob((locality, config), spec, machines[config])
+                 for config in _CONFIGS]
+    return jobs
+
+
+def tabulate(scale: str, results: dict) -> Table:
+    _, working_set = _SCALE_PARAMS[scale]
+    table = Table(
+        title=f"A3: synthetic spatial-locality sweep ({scale})",
+        columns=["locality", "ipc_1P", "ipc_tech", "ipc_2P", "1P/2P",
+                 "tech/2P"],
+    )
+    for locality in _LOCALITIES:
+        base = results[(locality, DUAL_PORT)].ipc
         table.add_row(
             locality,
-            round(results["1P"].ipc, 3),
-            round(results[BEST_SINGLE_PORT].ipc, 3),
+            round(results[(locality, "1P")].ipc, 3),
+            round(results[(locality, BEST_SINGLE_PORT)].ipc, 3),
             round(base, 3),
-            round(results["1P"].ipc / base, 3),
-            round(results[BEST_SINGLE_PORT].ipc / base, 3),
+            round(results[(locality, "1P")].ipc / base, 3),
+            round(results[(locality, BEST_SINGLE_PORT)].ipc / base, 3),
         )
     table.add_note(f"load 35% / store 15% of instructions; "
                    f"{working_set // 1024} KiB working set (L1-resident) "
                    "so port bandwidth is the constraint")
     return table
+
+
+def run(scale: str = "small", instructions: int | None = None,
+        seed: int = 11, engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale, instructions, seed), engine))

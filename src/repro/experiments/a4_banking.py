@@ -12,26 +12,36 @@ from __future__ import annotations
 
 from ..presets import BEST_SINGLE_PORT, DUAL_PORT, EXTENDED_CONFIG_NAMES
 from ..stats.report import Table
-from .runner import MEMORY_INTENSIVE, run_configs, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import MEMORY_INTENSIVE, config_machines
 
 _CONFIGS = ("1P", *EXTENDED_CONFIG_NAMES, BEST_SINGLE_PORT, DUAL_PORT)
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = config_machines(_CONFIGS)
+    return [SimJob((name, config), TraceSpec.workload(name, scale),
+                   machines[config])
+            for name in MEMORY_INTENSIVE for config in _CONFIGS]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     columns = ["workload"] + [f"ipc_{name}" for name in _CONFIGS] + \
         ["conflicts_4B"]
     table = Table(
         title=f"A4: banked caches vs the paper's techniques ({scale})",
         columns=columns,
     )
-    traces = suite_traces(scale, names=MEMORY_INTENSIVE)
     for name in MEMORY_INTENSIVE:
-        results = run_configs(traces[name], _CONFIGS)
-        conflicts = results["2R-4B"].stats["dcache.bank_conflicts"]
+        conflicts = results[(name, "2R-4B")].stats["dcache.bank_conflicts"]
         table.add_row(name,
-                      *(round(results[c].ipc, 3) for c in _CONFIGS),
+                      *(round(results[(name, c)].ipc, 3) for c in _CONFIGS),
                       int(conflicts))
     table.add_note("2R-NB = two address paths into N single-ported "
                    "line-interleaved banks; conflicts_4B counts same-bank "
                    "rejections in the 4-bank configuration")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

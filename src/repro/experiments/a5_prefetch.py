@@ -11,13 +11,23 @@ from __future__ import annotations
 
 from ..presets import machine
 from ..stats.report import Table
-from .runner import run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
 
 _WORKLOADS = ("compress", "stream", "memops", "linked", "os-mix")
 _CONFIGS = ("1P", "1P-wide+LB+SC")
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = {(config, pf): machine(config, prefetch_next_line=True)
+                if pf else machine(config)
+                for config in _CONFIGS for pf in (False, True)}
+    return [SimJob((name, config, pf), TraceSpec.workload(name, scale),
+                   machines[(config, pf)])
+            for name in _WORKLOADS
+            for config in _CONFIGS for pf in (False, True)]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     columns = ["workload"]
     for config in _CONFIGS:
         columns += [f"{config}", f"{config}+PF"]
@@ -26,15 +36,12 @@ def run(scale: str = "small") -> Table:
         title=f"A5: next-line prefetch through idle MSHRs ({scale})",
         columns=columns,
     )
-    traces = suite_traces(scale, names=_WORKLOADS)
     for name in _WORKLOADS:
-        trace = traces[name]
         cells: list[object] = [name]
         prefetches = 0
         for config in _CONFIGS:
-            base = run_one(trace, machine(config))
-            prefetched = run_one(trace, machine(config,
-                                                prefetch_next_line=True))
+            base = results[(name, config, False)]
+            prefetched = results[(name, config, True)]
             cells += [round(base.ipc, 3), round(prefetched.ipc, 3)]
             prefetches = int(prefetched.stats["dcache.prefetches"])
         cells.append(prefetches)
@@ -42,3 +49,7 @@ def run(scale: str = "small") -> Table:
     table.add_note("+PF = prefetch_next_line enabled; prefetch count from "
                    "the techniques configuration")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

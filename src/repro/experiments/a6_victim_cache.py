@@ -12,14 +12,24 @@ from __future__ import annotations
 
 from ..presets import machine
 from ..stats.report import Table
-from .runner import run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
 
 _WORKLOADS = ("compress", "qsort", "stream", "os-mix")
 _CONFIGS = ("1P", "1P-wide+LB+SC")
 _ENTRIES = 8
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = {(config, vc): machine(config, victim_entries=_ENTRIES)
+                if vc else machine(config)
+                for config in _CONFIGS for vc in (False, True)}
+    return [SimJob((name, config, vc), TraceSpec.workload(name, scale),
+                   machines[(config, vc)])
+            for name in _WORKLOADS
+            for config in _CONFIGS for vc in (False, True)]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     columns = ["workload"]
     for config in _CONFIGS:
         columns += [config, f"{config}+VC"]
@@ -28,15 +38,12 @@ def run(scale: str = "small") -> Table:
         title=f"A6: victim cache ({_ENTRIES} entries) composition ({scale})",
         columns=columns,
     )
-    traces = suite_traces(scale, names=_WORKLOADS)
     for name in _WORKLOADS:
-        trace = traces[name]
         cells: list[object] = [name]
         hits = 0
         for config in _CONFIGS:
-            base = run_one(trace, machine(config))
-            with_vc = run_one(trace, machine(config,
-                                             victim_entries=_ENTRIES))
+            base = results[(name, config, False)]
+            with_vc = results[(name, config, True)]
             cells += [round(base.ipc, 3), round(with_vc.ipc, 3)]
             hits = int(with_vc.stats["victim.hits"])
         cells.append(hits)
@@ -44,3 +51,7 @@ def run(scale: str = "small") -> Table:
     table.add_note("+VC = victim cache enabled; vc_hits from the "
                    "techniques configuration")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

@@ -14,8 +14,10 @@ from dataclasses import replace
 
 from ..presets import DUAL_PORT, machine
 from ..stats.report import Table
-from ..workloads.suite import build_os_mix_trace
-from .runner import run_one
+from .engine import Engine, SimJob, TraceSpec, execute
+
+_KINDS = ("twobit", "gshare")
+_VIEWS = (("with-kernel", False), ("user-only", True))
 
 
 def _with_predictor(kind: str):
@@ -24,19 +26,24 @@ def _with_predictor(kind: str):
         base.core, bpred=replace(base.core.bpred, kind=kind)))
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = {kind: _with_predictor(kind) for kind in _KINDS}
+    return [SimJob((label, kind), TraceSpec.os_mix(scale, user_only),
+                   machines[kind])
+            for label, user_only in _VIEWS for kind in _KINDS]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"B1: predictor accuracy, user-only vs full-system ({scale})",
         columns=["trace", "twobit_acc", "gshare_acc", "twobit_ipc",
                  "gshare_ipc"],
     )
-    full = build_os_mix_trace(scale)
-    user_only = [record for record in full if not record.kernel]
-    for label, trace in (("with-kernel", full), ("user-only", user_only)):
+    for label, _user_only in _VIEWS:
         row: list[object] = [label]
         ipcs = []
-        for kind in ("twobit", "gshare"):
-            result = run_one(trace, _with_predictor(kind))
+        for kind in _KINDS:
+            result = results[(label, kind)]
             stats = result.stats
             branches = stats["bpred.branches"]
             row.append(round(stats["bpred.correct"] / branches
@@ -45,3 +52,7 @@ def run(scale: str = "small") -> Table:
         row += ipcs
         table.add_row(*row)
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

@@ -8,25 +8,31 @@ and combining restore the 1–2 cycle common case without adding ports.
 
 from __future__ import annotations
 
-from ..stats.counters import Stats
 from ..stats.histogram import Histogram
 from ..presets import machine
 from ..stats.report import Table
-from .runner import MEMORY_INTENSIVE, run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import MEMORY_INTENSIVE
 
 _CONFIGS = ("1P", "1P+LB", "1P-wide+LB+SC", "2P")
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = {config: machine(config) for config in _CONFIGS}
+    return [SimJob((config, name), TraceSpec.workload(name, scale),
+                   machines[config])
+            for config in _CONFIGS for name in MEMORY_INTENSIVE]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"D1: load service latency distribution ({scale})",
         columns=["config", "mean", "p50", "p90", "p99", "frac<=2cyc"],
     )
-    traces = suite_traces(scale, names=MEMORY_INTENSIVE)
     for config_name in _CONFIGS:
         merged = Histogram(config_name)
         for name in MEMORY_INTENSIVE:
-            result = run_one(traces[name], machine(config_name))
+            result = results[(config_name, name)]
             assert result.load_latency is not None
             merged.merge(result.load_latency)
         table.add_row(
@@ -40,3 +46,7 @@ def run(scale: str = "small") -> Table:
     table.add_note(f"latency = address-ready to data-ready cycles, pooled "
                    f"over {MEMORY_INTENSIVE}")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

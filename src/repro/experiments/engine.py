@@ -1,0 +1,177 @@
+"""Process-parallel grid execution for the experiment harness.
+
+An experiment is a grid of independent timing simulations — (workload,
+scale, machine configuration) cells — followed by a pure tabulation
+step.  This module runs the grid:
+
+* :class:`TraceSpec` names a trace without materialising it, so a job
+  can cross a process boundary as a small picklable description; each
+  worker rebuilds the trace through the workload suite's two-tier
+  cache (memory, then the persistent disk tier).
+* :class:`SimJob` pairs a :class:`TraceSpec` with a complete
+  :class:`~repro.core.config.MachineConfig` and a hashable result key.
+* :class:`Engine` executes a job list — inline for ``jobs=1``, across
+  a ``multiprocessing`` pool otherwise — and merges results in
+  **insertion order**, so the result dict (and any captured run
+  reports) is identical whatever the completion order or worker
+  count.  Simulated cycles, counters, and rendered tables are
+  byte-identical between ``jobs=1`` and ``jobs=N``.
+
+Every distinct trace is warmed once in the parent before the fan-out:
+forked workers inherit the in-memory cache, spawned workers load the
+disk tier, and no worker ever repeats a functional simulation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.config import MachineConfig
+from ..core.pipeline import CoreResult, OoOCore
+from ..obs.report import build_run_report
+from ..trace.record import TraceRecord
+from ..trace.synthetic import SyntheticConfig, generate
+from ..workloads import suite
+from .runner import current_report_sink, run_one
+
+__all__ = ["Engine", "SimJob", "TraceSpec", "execute"]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A picklable description of a trace (not the trace itself)."""
+
+    kind: str                            # workload | os-mix | os-mix-user
+    name: str | None = None              # ... | synthetic
+    scale: str | None = None
+    synthetic: SyntheticConfig | None = None
+
+    @staticmethod
+    def workload(name: str, scale: str) -> "TraceSpec":
+        """A suite workload by name; ``"os-mix"`` selects the mix."""
+        if name == "os-mix":
+            return TraceSpec("os-mix", name, scale)
+        return TraceSpec("workload", name, scale)
+
+    @staticmethod
+    def os_mix(scale: str, user_only: bool = False) -> "TraceSpec":
+        """The multiprogrammed mix; ``user_only`` filters out kernel
+        records (the classic user-only-trace methodology)."""
+        kind = "os-mix-user" if user_only else "os-mix"
+        return TraceSpec(kind, "os-mix", scale)
+
+    @staticmethod
+    def from_synthetic(config: SyntheticConfig) -> "TraceSpec":
+        return TraceSpec("synthetic", "synthetic", None, config)
+
+    def build(self) -> list[TraceRecord]:
+        """Materialise the trace through the suite's two-tier cache."""
+        if self.kind == "workload":
+            return suite.build_trace(self.name, self.scale)
+        if self.kind == "os-mix":
+            return suite.build_os_mix_trace(self.scale)
+        if self.kind == "os-mix-user":
+            return [record
+                    for record in suite.build_os_mix_trace(self.scale)
+                    if not record.kernel]
+        if self.kind == "synthetic":
+            config = self.synthetic
+            return suite.cached_trace(
+                f"synthetic-seed{config.seed}",
+                suite.content_digest(repr(config)),
+                lambda: generate(config))
+        raise ValueError(f"unknown trace kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One grid cell: simulate *trace* on *machine*, file the result
+    under *key* (any hashable, unique within one ``execute`` call)."""
+
+    key: object
+    trace: TraceSpec
+    machine: MachineConfig
+
+
+def _default_jobs() -> int:
+    """Worker count when none is given: ``REPRO_JOBS`` or 1."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def _init_worker(cache_dir: object) -> None:
+    suite.set_trace_cache_dir(cache_dir)
+
+
+def _run_job(job: SimJob) -> tuple[CoreResult, dict]:
+    trace = job.trace.build()
+    start = time.perf_counter()
+    result = OoOCore(job.machine).run(trace)
+    report = build_run_report(
+        result, job.machine, wall_time=time.perf_counter() - start)
+    return result, report
+
+
+class Engine:
+    """Executes experiment grids, optionally across worker processes.
+
+    ``jobs`` defaults to the ``REPRO_JOBS`` environment variable (or
+    1).  ``trace_cache`` redirects the persistent trace cache for this
+    process and every worker — a directory path, or ``"off"``/``None``
+    semantics per :func:`repro.workloads.set_trace_cache_dir`; leaving
+    it unset keeps the current (default) cache directory.
+    """
+
+    def __init__(self, jobs: int | None = None,
+                 trace_cache: str | os.PathLike | None = None) -> None:
+        self.jobs = max(1, jobs) if jobs is not None else _default_jobs()
+        if trace_cache is not None:
+            suite.set_trace_cache_dir(trace_cache)
+
+    def execute(self, sim_jobs: Sequence[SimJob],
+                ) -> dict[object, CoreResult]:
+        """Run every job; returns ``{job.key: CoreResult}`` in job
+        order.  Captured run reports (see
+        :func:`repro.experiments.runner.capture_reports`) are appended
+        to the active sink in the same order."""
+        jobs = list(sim_jobs)
+        keys = [job.key for job in jobs]
+        if len(set(keys)) != len(keys):
+            raise ValueError("SimJob keys must be unique within a grid")
+        # Warm every distinct trace once, in the parent: forked workers
+        # inherit the in-memory tier, spawned workers read the disk
+        # tier, and tabulate() helpers get cache hits.
+        for spec in dict.fromkeys(job.trace for job in jobs):
+            spec.build()
+        if self.jobs <= 1 or len(jobs) <= 1:
+            return {job.key: run_one(job.trace.build(), job.machine)
+                    for job in jobs}
+        sink = current_report_sink()
+        workers = min(self.jobs, len(jobs))
+        with multiprocessing.Pool(
+                processes=workers, initializer=_init_worker,
+                initargs=(suite.trace_cache_dir(),)) as pool:
+            # map() preserves submission order — the merge below is
+            # deterministic no matter which worker finishes first.
+            outcomes = pool.map(_run_job, jobs, chunksize=1)
+        results: dict[object, CoreResult] = {}
+        for job, (result, report) in zip(jobs, outcomes):
+            results[job.key] = result
+            if sink is not None:
+                sink.append(report)
+        return results
+
+
+def execute(sim_jobs: Sequence[SimJob],
+            engine: Engine | None = None) -> dict[object, CoreResult]:
+    """Run a job list on *engine* (or a fresh default one)."""
+    return (engine if engine is not None else Engine()).execute(sim_jobs)

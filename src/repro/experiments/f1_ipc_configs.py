@@ -8,17 +8,27 @@ from __future__ import annotations
 
 from ..presets import CONFIG_NAMES
 from ..stats.report import Table
-from .runner import ROW_NAMES, run_configs, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import ROW_NAMES, config_machines
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = config_machines(CONFIG_NAMES)
+    return [SimJob((name, config), TraceSpec.workload(name, scale),
+                   machines[config])
+            for name in ROW_NAMES for config in CONFIG_NAMES]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"F1: IPC by port configuration ({scale})",
         columns=["workload", *CONFIG_NAMES],
     )
-    traces = suite_traces(scale)
     for name in ROW_NAMES:
-        results = run_configs(traces[name], CONFIG_NAMES)
-        table.add_row(name, *(round(results[c].ipc, 3)
-                              for c in CONFIG_NAMES))
+        table.add_row(name, *(round(results[(name, config)].ipc, 3)
+                              for config in CONFIG_NAMES))
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

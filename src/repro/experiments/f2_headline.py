@@ -12,30 +12,30 @@ from __future__ import annotations
 
 from ..presets import BEST_SINGLE_PORT, DUAL_PORT, STRONG_DUAL_PORT
 from ..stats.report import Table
-from .runner import (
-    MEMORY_INTENSIVE,
-    ROW_NAMES,
-    mean,
-    run_configs,
-    suite_traces,
-)
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import MEMORY_INTENSIVE, ROW_NAMES, config_machines, mean
 
 _CONFIGS = ("1P", BEST_SINGLE_PORT, DUAL_PORT, STRONG_DUAL_PORT)
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = config_machines(_CONFIGS)
+    return [SimJob((name, config), TraceSpec.workload(name, scale),
+                   machines[config])
+            for name in ROW_NAMES for config in _CONFIGS]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"F2: performance relative to the dual-ported cache ({scale})",
         columns=["workload", "1P/2P", "tech/2P", "1P/2P+SC", "tech/2P+SC"],
     )
-    traces = suite_traces(scale)
     rows: dict[str, tuple[float, float, float, float]] = {}
     for name in ROW_NAMES:
-        results = run_configs(traces[name], _CONFIGS)
-        base = results[DUAL_PORT].ipc
-        strong = results[STRONG_DUAL_PORT].ipc
-        single = results["1P"].ipc
-        tech = results[BEST_SINGLE_PORT].ipc
+        base = results[(name, DUAL_PORT)].ipc
+        strong = results[(name, STRONG_DUAL_PORT)].ipc
+        single = results[(name, "1P")].ipc
+        tech = results[(name, BEST_SINGLE_PORT)].ipc
         rows[name] = (single / base, tech / base,
                       single / strong, tech / strong)
         table.add_row(name, *(round(v, 3) for v in rows[name]))
@@ -51,9 +51,14 @@ def run(scale: str = "small") -> Table:
     return table
 
 
-def headline_ratios(scale: str = "small") -> dict[str, float]:
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))
+
+
+def headline_ratios(scale: str = "small",
+                    engine: Engine | None = None) -> dict[str, float]:
     """Machine-readable headline numbers (used by tests/benches)."""
-    table = run(scale)
+    table = run(scale, engine)
     return {
         "tech_vs_2p": float(table.cell("MEAN (all)", "tech/2P")),
         "tech_vs_2p_sc": float(table.cell("MEAN (all)", "tech/2P+SC")),

@@ -11,22 +11,31 @@ from __future__ import annotations
 from ..mem.config import LineBufferFill
 from ..presets import machine
 from ..stats.report import Table
-from .runner import ROW_NAMES, run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import ROW_NAMES
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    variants = {
+        "1P": machine("1P"),
+        "1P+LB": machine("1P+LB"),
+        "on-fill": machine("1P+LB",
+                           line_buffer_fill=LineBufferFill.ON_FILL),
+    }
+    return [SimJob((name, label), TraceSpec.workload(name, scale), config)
+            for name in ROW_NAMES for label, config in variants.items()]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"F3: line buffer effectiveness ({scale})",
         columns=["workload", "lb_hit_frac", "ipc_1P", "ipc_1P+LB",
                  "speedup", "ipc_fill_policy"],
     )
-    traces = suite_traces(scale)
     for name in ROW_NAMES:
-        trace = traces[name]
-        base = run_one(trace, machine("1P"))
-        with_lb = run_one(trace, machine("1P+LB"))
-        on_fill = run_one(trace, machine(
-            "1P+LB", line_buffer_fill=LineBufferFill.ON_FILL))
+        base = results[(name, "1P")]
+        with_lb = results[(name, "1P+LB")]
+        on_fill = results[(name, "on-fill")]
         stats = with_lb.stats
         loads = stats["lsq.lb_loads"] + stats["lsq.port_loads"] + \
             stats["lsq.sq_forwards"] + stats["lsq.wb_forwards"]
@@ -42,3 +51,7 @@ def run(scale: str = "small") -> Table:
     table.add_note("ipc_fill_policy: line buffer filled only by miss fills "
                    "(weaker than the 'load all' on-access policy)")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

@@ -10,12 +10,21 @@ from __future__ import annotations
 
 from ..presets import machine
 from ..stats.report import Table
-from .runner import ROW_NAMES, run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import ROW_NAMES
 
 _WIDTHS = (8, 16, 32)
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = {width: machine("1P-wide", port_width=width)
+                for width in _WIDTHS}
+    return [SimJob((name, width), TraceSpec.workload(name, scale),
+                   machines[width])
+            for name in ROW_NAMES for width in _WIDTHS]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     columns = ["workload"]
     for width in _WIDTHS:
         columns += [f"ipc_w{width}", f"comb_frac_w{width}"]
@@ -23,12 +32,10 @@ def run(scale: str = "small") -> Table:
         title=f"F4: wide-port access combining ({scale})",
         columns=columns,
     )
-    traces = suite_traces(scale)
     for name in ROW_NAMES:
-        trace = traces[name]
         cells: list[object] = [name]
         for width in _WIDTHS:
-            result = run_one(trace, machine("1P-wide", port_width=width))
+            result = results[(name, width)]
             stats = result.stats
             port_loads = stats["lsq.port_loads"]
             combined = stats["lsq.combined_loads"]
@@ -38,3 +45,7 @@ def run(scale: str = "small") -> Table:
     table.add_note("comb_frac = loads sharing another load's port access / "
                    "all port loads; width 8 cannot combine 8-byte loads")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

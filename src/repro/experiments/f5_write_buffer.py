@@ -9,30 +9,39 @@ from __future__ import annotations
 
 from ..presets import machine
 from ..stats.report import Table
-from .runner import run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
 
 _DEPTHS = (0, 1, 2, 4, 8, 16)
 _WORKLOADS = ("memops", "stream", "qsort", "os-mix")
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    return [SimJob((name, combining, depth),
+                   TraceSpec.workload(name, scale),
+                   machine("1P", write_buffer_depth=depth,
+                           combine_stores=combining and depth > 0))
+            for name in _WORKLOADS
+            for combining in (False, True)
+            for depth in _DEPTHS]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     columns = ["workload", "combining"]
     columns += [f"depth_{d}" for d in _DEPTHS]
     table = Table(
         title=f"F5: write buffer depth and store combining ({scale})",
         columns=columns,
     )
-    traces = suite_traces(scale, names=_WORKLOADS)
     for name in _WORKLOADS:
-        trace = traces[name]
         for combining in (False, True):
             cells: list[object] = [name, combining]
             for depth in _DEPTHS:
-                result = run_one(trace, machine(
-                    "1P", write_buffer_depth=depth,
-                    combine_stores=combining and depth > 0))
-                cells.append(round(result.ipc, 3))
+                cells.append(round(results[(name, combining, depth)].ipc, 3))
             table.add_row(*cells)
     table.add_note("depth 0: no write buffer — stores claim a port at "
                    "commit and stall it when none is free")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

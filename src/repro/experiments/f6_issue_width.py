@@ -10,13 +10,24 @@ from __future__ import annotations
 
 from ..presets import BEST_SINGLE_PORT, DUAL_PORT
 from ..stats.report import Table
-from .runner import MEMORY_INTENSIVE, mean, run_configs, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import MEMORY_INTENSIVE, config_machines, mean
 
 _WIDTHS = (2, 4, 8)
 _CONFIGS = ("1P", BEST_SINGLE_PORT, DUAL_PORT)
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    jobs = []
+    for width in _WIDTHS:
+        machines = config_machines(_CONFIGS, issue_width=width)
+        jobs += [SimJob((width, name, config),
+                        TraceSpec.workload(name, scale), machines[config])
+                 for name in MEMORY_INTENSIVE for config in _CONFIGS]
+    return jobs
+
+
+def tabulate(scale: str, results: dict) -> Table:
     columns = ["width"]
     for config in _CONFIGS:
         columns.append(f"ipc_{config}")
@@ -25,15 +36,10 @@ def run(scale: str = "small") -> Table:
         title=f"F6: issue width sensitivity, memory-intensive mean ({scale})",
         columns=columns,
     )
-    traces = suite_traces(scale, names=MEMORY_INTENSIVE)
     for width in _WIDTHS:
-        per_config: dict[str, list[float]] = {c: [] for c in _CONFIGS}
-        for name in MEMORY_INTENSIVE:
-            results = run_configs(traces[name], _CONFIGS,
-                                  issue_width=width)
-            for config in _CONFIGS:
-                per_config[config].append(results[config].ipc)
-        means = {c: mean(per_config[c]) for c in _CONFIGS}
+        means = {config: mean([results[(width, name, config)].ipc
+                               for name in MEMORY_INTENSIVE])
+                 for config in _CONFIGS}
         table.add_row(
             width,
             *(round(means[c], 3) for c in _CONFIGS),
@@ -42,3 +48,7 @@ def run(scale: str = "small") -> Table:
         )
     table.add_note(f"rows are means over {MEMORY_INTENSIVE}")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

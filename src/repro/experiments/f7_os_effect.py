@@ -12,36 +12,46 @@ from __future__ import annotations
 
 from ..presets import BEST_SINGLE_PORT, DUAL_PORT
 from ..stats.report import Table
-from ..workloads.suite import build_os_mix_trace
-from .runner import run_configs
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import config_machines
 
 _CONFIGS = ("1P", BEST_SINGLE_PORT, DUAL_PORT)
+_VIEWS = (("with-kernel", False), ("user-only", True))
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = config_machines(_CONFIGS)
+    return [SimJob((label, config), TraceSpec.os_mix(scale, user_only),
+                   machines[config])
+            for label, user_only in _VIEWS for config in _CONFIGS]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"F7: OS inclusion vs user-only tracing ({scale})",
         columns=["trace", "instructions", "bpred_acc", "ipc_1P",
                  "ipc_tech", "ipc_2P", "1P/2P", "tech/2P"],
     )
-    full = build_os_mix_trace(scale)
-    user_only = [record for record in full if not record.kernel]
-    for label, trace in (("with-kernel", full), ("user-only", user_only)):
-        results = run_configs(trace, _CONFIGS)
-        stats = results[DUAL_PORT].stats
+    for label, _user_only in _VIEWS:
+        reference = results[(label, DUAL_PORT)]
+        stats = reference.stats
         branches = stats["bpred.branches"]
         accuracy = stats["bpred.correct"] / branches if branches else 1.0
-        base = results[DUAL_PORT].ipc
+        base = reference.ipc
         table.add_row(
             label,
-            len(trace),
+            reference.instructions,
             round(accuracy, 3),
-            round(results["1P"].ipc, 3),
-            round(results[BEST_SINGLE_PORT].ipc, 3),
+            round(results[(label, "1P")].ipc, 3),
+            round(results[(label, BEST_SINGLE_PORT)].ipc, 3),
             round(base, 3),
-            round(results["1P"].ipc / base, 3),
-            round(results[BEST_SINGLE_PORT].ipc / base, 3),
+            round(results[(label, "1P")].ipc / base, 3),
+            round(results[(label, BEST_SINGLE_PORT)].ipc / base, 3),
         )
     table.add_note("user-only = kernel records filtered from the same "
                    "execution (the methodology the paper improves on)")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

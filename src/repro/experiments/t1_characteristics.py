@@ -11,10 +11,17 @@ from __future__ import annotations
 from ..presets import DUAL_PORT, machine
 from ..stats.report import Table
 from ..workloads.suite import trace_summary
-from .runner import ROW_NAMES, run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import ROW_NAMES, suite_traces
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    reference = machine(DUAL_PORT)
+    return [SimJob(name, TraceSpec.workload(name, scale), reference)
+            for name in ROW_NAMES]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"T1: workload characteristics ({scale})",
         columns=["workload", "instructions", "%load", "%store", "%branch",
@@ -22,10 +29,8 @@ def run(scale: str = "small") -> Table:
     )
     traces = suite_traces(scale)
     for name in ROW_NAMES:
-        trace = traces[name]
-        summary = trace_summary(trace)
-        result = run_one(trace, machine(DUAL_PORT))
-        stats = result.stats
+        summary = trace_summary(traces[name])
+        stats = results[name].stats
         branches = stats["bpred.branches"]
         accuracy = stats["bpred.correct"] / branches if branches else 1.0
         port_loads = (stats["dcache.load_hits"] + stats["dcache.load_misses"]
@@ -45,3 +50,7 @@ def run(scale: str = "small") -> Table:
     table.add_note("bpred_acc and dmiss_rate measured on the dual-ported "
                    "reference (2P)")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

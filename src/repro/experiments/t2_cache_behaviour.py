@@ -11,22 +11,29 @@ from __future__ import annotations
 from ..presets import CONFIG_NAMES, machine
 from ..stats.counters import Stats
 from ..stats.report import Table
-from .runner import ROW_NAMES, run_one, suite_traces
+from .engine import Engine, SimJob, TraceSpec, execute
+from .runner import ROW_NAMES
 
 
-def run(scale: str = "small") -> Table:
+def plan(scale: str = "small") -> list[SimJob]:
+    machines = {config: machine(config) for config in CONFIG_NAMES}
+    return [SimJob((config, name), TraceSpec.workload(name, scale),
+                   machines[config])
+            for config in CONFIG_NAMES for name in ROW_NAMES]
+
+
+def tabulate(scale: str, results: dict) -> Table:
     table = Table(
         title=f"T2: aggregate D-cache behaviour by configuration ({scale})",
         columns=["config", "port_util", "load_miss_rate", "lb_frac",
                  "wb_drains", "wb_combined", "port_uses"],
     )
-    traces = suite_traces(scale)
     for config_name in CONFIG_NAMES:
         total = Stats()
         cycles = 0
         ports = machine(config_name).mem.dcache.ports
         for name in ROW_NAMES:
-            result = run_one(traces[name], machine(config_name))
+            result = results[(config_name, name)]
             total.merge(result.stats)
             cycles += result.cycles
         port_loads = (total["dcache.load_hits"]
@@ -47,3 +54,7 @@ def run(scale: str = "small") -> Table:
         )
     table.add_note("aggregated over the full suite incl. the OS mix")
     return table
+
+
+def run(scale: str = "small", engine: Engine | None = None) -> Table:
+    return tabulate(scale, execute(plan(scale), engine))

@@ -49,8 +49,17 @@ def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
                      workload: str | None = None,
                      scale: str | None = None,
                      seed: int | None = None,
+                     trace_file: str | None = None,
                      wall_time: float | None = None) -> dict[str, object]:
-    """Assemble the versioned JSON document for one simulation."""
+    """Assemble the versioned JSON document for one simulation.
+
+    ``workload`` names a generated workload; ``trace_file`` records the
+    path of a pre-saved trace.  The two are mutually exclusive — a
+    simulation driven from a file has ``workload: null``.
+    """
+    if workload is not None and trace_file is not None:
+        raise ValueError("a run report names a workload or a trace_file, "
+                         "not both")
     sim_ips = (result.instructions / wall_time
                if wall_time else None)
     load_latency = None
@@ -75,6 +84,7 @@ def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
         "workload": workload,
         "scale": scale,
         "seed": seed,
+        "trace_file": trace_file,
         "cycles": result.cycles,
         "instructions": result.instructions,
         "ipc": result.ipc,
@@ -92,8 +102,17 @@ def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
 def build_experiment_manifest(experiment: str, scale: str, table: "Table",
                               runs: list[dict[str, object]],
                               wall_time: float | None = None,
+                              jobs: int | None = None,
+                              trace_cache: dict[str, object] | None = None,
                               ) -> dict[str, object]:
-    """Wrap one experiment's table and its per-run reports."""
+    """Wrap one experiment's table and its per-run reports.
+
+    ``jobs`` records the worker count the grid ran with and
+    ``trace_cache`` the cache directory and hit/build counters (see
+    :func:`repro.workloads.trace_cache_stats`), so a manifest shows
+    whether a regeneration was parallel and how much functional
+    simulation it actually performed.
+    """
     return {
         "schema": EXPERIMENT_SCHEMA,
         "schema_version": SCHEMA_VERSION,
@@ -101,6 +120,10 @@ def build_experiment_manifest(experiment: str, scale: str, table: "Table",
         "scale": scale,
         "table": table.as_dict(),
         "runs": runs,
+        "engine": {
+            "jobs": jobs,
+            "trace_cache": trace_cache,
+        },
         "host": {"wall_time_s": wall_time},
     }
 
@@ -151,6 +174,14 @@ def validate_run_report(report: dict) -> None:
     if "seed" in report and report["seed"] is not None and \
             not isinstance(report["seed"], int):
         problems.append("run: seed must be an integer or null")
+    for key in ("workload", "scale", "trace_file"):
+        if key in report and report[key] is not None and \
+                not isinstance(report[key], str):
+            problems.append(f"run: {key} must be a string or null")
+    if isinstance(report.get("workload"), str) and \
+            isinstance(report.get("trace_file"), str):
+        problems.append("run: workload and trace_file are mutually "
+                        "exclusive")
     config = report.get("config")
     if isinstance(config, dict):
         _require(config, {"name": str, "issue_width": int, "dcache": dict},
@@ -201,6 +232,19 @@ def validate_experiment_manifest(manifest: dict) -> None:
     if isinstance(table, dict):
         _require(table, {"title": str, "columns": list, "rows": list},
                  problems, "experiment.table")
+    engine = manifest.get("engine")
+    if engine is not None:
+        if not isinstance(engine, dict):
+            problems.append("experiment: engine must be an object or null")
+        else:
+            jobs = engine.get("jobs")
+            if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+                problems.append("experiment.engine: jobs must be a "
+                                "positive integer or null")
+            cache = engine.get("trace_cache")
+            if cache is not None and not isinstance(cache, dict):
+                problems.append("experiment.engine: trace_cache must be "
+                                "an object or null")
     for index, run in enumerate(manifest.get("runs") or ()):
         try:
             validate_run_report(run)

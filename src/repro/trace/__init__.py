@@ -1,12 +1,13 @@
 """Dynamic instruction traces: records, generators, serialisation."""
 
-from .io import load_trace, save_trace
+from .io import load_trace, save_trace, save_trace_atomic
 from .record import TraceRecord
 from .synthetic import DATA_BASE, TEXT_BASE, SyntheticConfig, generate
 
 __all__ = [
     "load_trace",
     "save_trace",
+    "save_trace_atomic",
     "TraceRecord",
     "DATA_BASE",
     "TEXT_BASE",

@@ -3,9 +3,12 @@
 Functional simulation is the slow half of a study; persisting traces
 lets a parameter sweep rerun the timing core alone.  The format is a
 columnar numpy archive — compact and fast to load.  Instruction
-back-references are not persisted: reloaded traces drive the timing
-core through the instruction-less code paths (positional store-operand
-split, redirect-based serialisation detection).
+back-references are not persisted; instead, format v2 persists the
+three *timing hints* the core would otherwise derive from them (the
+store address/data operand split, SYSCALL/ERET serialisation, and
+J/JAL decode redirects), so a reloaded trace times **identically** to
+the fresh instruction-bearing one.  Bump :data:`FORMAT_VERSION` on any
+change that can alter timing — the on-disk trace cache keys on it.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ import os
 
 import numpy as np
 
-from ..isa import OpClass
+from ..isa import Bank, OpClass, Opcode
 from .record import TraceRecord
 
 _OPCLASS_IDS = {opclass: idx for idx, opclass in enumerate(OpClass)}
@@ -22,8 +25,49 @@ _OPCLASS_FROM_ID = {idx: opclass for opclass, idx in _OPCLASS_IDS.items()}
 
 _NO_DEST = 255
 _MAX_SOURCES = 2
+#: ``store_addr_count`` sentinel for "unknown" (use the positional
+#: heuristic, as for synthetic traces).
+_NO_SPLIT = 255
 
-FORMAT_VERSION = 1
+#: v2: store operand split + serialise/decode-redirect flag bits.
+FORMAT_VERSION = 2
+
+_SERIALIZING_OPCODES = (Opcode.SYSCALL, Opcode.ERET)
+_DECODE_REDIRECT_OPCODES = (Opcode.J, Opcode.JAL)
+
+
+def _store_operands(record: TraceRecord) -> tuple[tuple[int, ...], int]:
+    """The (sources, addr_count) pair that reproduces the dependence
+    wiring the timing core derives from the instruction back-reference
+    (see ``OoOCore._wire_dependences``)."""
+    instr = record.instr
+    if instr is None:
+        # Already instruction-less: keep whatever split the record
+        # carries (round-trips loaded traces, leaves synthetic ones on
+        # the positional heuristic).
+        count = record.store_addr_count
+        return record.sources[:_MAX_SOURCES], \
+            count if count >= 0 else _NO_SPLIT
+    regs: list[int] = []
+    count = 0
+    if instr.rs1 != 0:
+        regs.append(instr.rs1)
+        count = 1
+    if not (instr.info.rs2_bank is Bank.INT and instr.rs2 == 0):
+        regs.append(instr.rs2)
+    return tuple(regs), count
+
+
+def _hint_flags(record: TraceRecord) -> int:
+    """Flag bits 5/6: the serialisation/decode-redirect timing hints."""
+    instr = record.instr
+    if instr is None:
+        serializes = record.serializes
+        redirect = record.decode_redirect
+    else:
+        serializes = instr.opcode in _SERIALIZING_OPCODES
+        redirect = instr.opcode in _DECODE_REDIRECT_OPCODES
+    return (serializes << 5) | (redirect << 6)
 
 
 def save_trace(path: str | os.PathLike, trace: list[TraceRecord]) -> None:
@@ -34,6 +78,7 @@ def save_trace(path: str | os.PathLike, trace: list[TraceRecord]) -> None:
     dest = np.empty(n, dtype=np.uint8)
     src = np.zeros((n, _MAX_SOURCES), dtype=np.uint8)
     nsrc = np.empty(n, dtype=np.uint8)
+    naddr = np.empty(n, dtype=np.uint8)
     mem_addr = np.empty(n, dtype=np.uint64)
     mem_size = np.empty(n, dtype=np.uint8)
     flags = np.empty(n, dtype=np.uint8)
@@ -42,20 +87,39 @@ def save_trace(path: str | os.PathLike, trace: list[TraceRecord]) -> None:
         pc[i] = record.pc
         opclass[i] = _OPCLASS_IDS[record.opclass]
         dest[i] = _NO_DEST if record.dest is None else record.dest
-        sources = record.sources[:_MAX_SOURCES]
+        if record.is_store:
+            sources, addr_count = _store_operands(record)
+        else:
+            sources, addr_count = record.sources[:_MAX_SOURCES], _NO_SPLIT
         nsrc[i] = len(sources)
+        naddr[i] = addr_count
         for j, reg in enumerate(sources):
             src[i, j] = reg
         mem_addr[i] = record.mem_addr
         mem_size[i] = record.mem_size
         flags[i] = (record.is_load | (record.is_store << 1)
                     | (record.is_control << 2) | (record.taken << 3)
-                    | (record.kernel << 4))
+                    | (record.kernel << 4) | _hint_flags(record))
         next_pc[i] = record.next_pc
     np.savez_compressed(
         path, version=np.array([FORMAT_VERSION]), pc=pc, opclass=opclass,
-        dest=dest, src=src, nsrc=nsrc, mem_addr=mem_addr, mem_size=mem_size,
-        flags=flags, next_pc=next_pc)
+        dest=dest, src=src, nsrc=nsrc, naddr=naddr, mem_addr=mem_addr,
+        mem_size=mem_size, flags=flags, next_pc=next_pc)
+
+
+def save_trace_atomic(path: str | os.PathLike,
+                      trace: list[TraceRecord]) -> None:
+    """Write *trace* to *path* via a same-directory temp file and an
+    atomic rename — concurrent writers (parallel experiment workers,
+    racing processes) can never expose a torn file."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp-{os.getpid()}.npz"
+    try:
+        save_trace(tmp, trace)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def load_trace(path: str | os.PathLike) -> list[TraceRecord]:
@@ -69,6 +133,7 @@ def load_trace(path: str | os.PathLike) -> list[TraceRecord]:
         dest = archive["dest"]
         src = archive["src"]
         nsrc = archive["nsrc"]
+        naddr = archive["naddr"]
         mem_addr = archive["mem_addr"]
         mem_size = archive["mem_size"]
         flags = archive["flags"]
@@ -76,6 +141,7 @@ def load_trace(path: str | os.PathLike) -> list[TraceRecord]:
     trace: list[TraceRecord] = []
     for i in range(len(pc)):
         flag = int(flags[i])
+        addr_count = int(naddr[i])
         trace.append(TraceRecord(
             pc=int(pc[i]),
             opclass=_OPCLASS_FROM_ID[int(opclass[i])],
@@ -89,5 +155,8 @@ def load_trace(path: str | os.PathLike) -> list[TraceRecord]:
             taken=bool(flag & 8),
             kernel=bool(flag & 16),
             next_pc=int(next_pc[i]),
+            serializes=bool(flag & 32),
+            decode_redirect=bool(flag & 64),
+            store_addr_count=-1 if addr_count == _NO_SPLIT else addr_count,
         ))
     return trace

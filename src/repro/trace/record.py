@@ -30,6 +30,14 @@ class TraceRecord:
     next_pc: int = 0                     # address of the next retired instr
     kernel: bool = False                 # executed in kernel mode
     instr: Instruction | None = None     # optional back-reference
+    # Timing hints persisted by ``trace.io`` so that instruction-less
+    # (deserialised) records drive the timing core exactly like the
+    # original instruction-bearing ones.  The defaults mean "unknown":
+    # the core falls back to its heuristics, which is the historical
+    # behaviour for synthetic traces.
+    serializes: bool = False             # SYSCALL/ERET pipeline flush
+    decode_redirect: bool = False        # J/JAL: target known at decode
+    store_addr_count: int = -1           # sources[:n] address, rest data
 
     @property
     def is_mem(self) -> bool:

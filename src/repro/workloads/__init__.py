@@ -7,7 +7,11 @@ from .suite import (
     WorkloadSpec,
     build_os_mix_trace,
     build_trace,
+    cached_trace,
     clear_trace_cache,
+    set_trace_cache_dir,
+    trace_cache_dir,
+    trace_cache_stats,
     trace_summary,
 )
 
@@ -18,6 +22,10 @@ __all__ = [
     "WorkloadSpec",
     "build_os_mix_trace",
     "build_trace",
+    "cached_trace",
     "clear_trace_cache",
+    "set_trace_cache_dir",
+    "trace_cache_dir",
+    "trace_cache_stats",
     "trace_summary",
 ]

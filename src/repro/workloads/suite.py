@@ -3,19 +3,36 @@
 Every workload is an assembly program that verifies its own result and
 exits with a checksum; :func:`build_trace` runs it on the functional
 simulator, asserts the checksum, and returns the dynamic trace the
-timing core consumes.  Traces are cached per (workload, scale) so a
-grid of machine configurations reuses one functional run.
+timing core consumes.  Traces are cached in two tiers so a grid of
+machine configurations reuses one functional run:
+
+* an in-process dictionary (as before), and
+* a persistent on-disk tier (``~/.cache/repro-traces`` by default,
+  overridable with ``REPRO_TRACE_CACHE`` / ``repro ... --trace-cache``)
+  shared by parallel experiment workers and by repeat runs — a warm
+  cache skips functional simulation entirely.
+
+Disk entries are keyed by (workload, scale, content digest, trace
+format version): the digest covers the generated assembly source and
+build parameters, so editing a workload generator or bumping
+``trace.io.FORMAT_VERSION`` invalidates stale entries instead of
+silently serving them.  Disk I/O failures degrade to memory-only
+caching; they never fail a run.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from ..asm import assemble
 from ..func.exceptions import SimError
 from ..func.run import run_bare
 from ..kernel import assemble_user, run_system
+from ..trace import io as trace_io
 from ..trace.record import TraceRecord
 from . import (
     bintree,
@@ -128,31 +145,132 @@ SUITE_NAMES = ("compress", "wc", "qsort", "bintree", "linked", "spmv",
 
 _trace_cache: dict[tuple, list[TraceRecord]] = {}
 
+#: Values of ``REPRO_TRACE_CACHE`` (or ``--trace-cache``) that disable
+#: the disk tier.
+_DISABLE_VALUES = frozenset({"", "0", "off", "none"})
+
+#: Sentinel distinguishing "never configured" from "explicitly None".
+_UNSET = object()
+
+_disk_dir: object = _UNSET
+
+_cache_stats = {"memory_hits": 0, "disk_hits": 0, "builds": 0}
+
+
+def _default_cache_dir() -> Path | None:
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env is not None:
+        if env.strip().lower() in _DISABLE_VALUES:
+            return None
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-traces"
+
+
+def trace_cache_dir() -> Path | None:
+    """The disk cache directory, or None when the disk tier is off."""
+    global _disk_dir
+    if _disk_dir is _UNSET:
+        _disk_dir = _default_cache_dir()
+    return _disk_dir  # type: ignore[return-value]
+
+
+def set_trace_cache_dir(path: str | os.PathLike | None) -> Path | None:
+    """Point the disk tier at *path* (None or an off-value disables it).
+
+    Returns the resolved directory.  Parallel experiment workers call
+    this so every process shares the parent's setting.
+    """
+    global _disk_dir
+    if path is None or (isinstance(path, str)
+                        and path.strip().lower() in _DISABLE_VALUES):
+        _disk_dir = None
+    else:
+        _disk_dir = Path(path).expanduser()
+    return _disk_dir
+
+
+def trace_cache_stats() -> dict[str, int]:
+    """Cache-tier counters since process start (copy): ``memory_hits``,
+    ``disk_hits``, and ``builds`` (functional simulations performed)."""
+    return dict(_cache_stats)
+
 
 def clear_trace_cache() -> None:
-    """Drop all cached traces (tests use this to bound memory)."""
+    """Drop all in-memory cached traces (tests use this to bound
+    memory).  The disk tier is unaffected."""
     _trace_cache.clear()
+
+
+def content_digest(*parts: str) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:12]
+
+
+def cached_trace(label: str, digest: str,
+                 build: Callable[[], list[TraceRecord]],
+                 ) -> list[TraceRecord]:
+    """Two-tier trace lookup: memory, then disk, then *build*.
+
+    *label* names the entry (it becomes part of the filename); *digest*
+    must cover everything that determines the trace's content.  New
+    builds are written to the disk tier atomically so concurrent
+    workers never observe a torn file.
+    """
+    key = (label, digest)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        _cache_stats["memory_hits"] += 1
+        return cached
+    directory = trace_cache_dir()
+    path = None
+    if directory is not None:
+        path = directory / \
+            f"{label}-{digest}.v{trace_io.FORMAT_VERSION}.npz"
+        try:
+            if path.exists():
+                trace = trace_io.load_trace(path)
+                _cache_stats["disk_hits"] += 1
+                _trace_cache[key] = trace
+                return trace
+        except (OSError, ValueError, KeyError):
+            pass  # unreadable/stale entry: rebuild and overwrite
+    trace = build()
+    _cache_stats["builds"] += 1
+    _trace_cache[key] = trace
+    if path is not None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            trace_io.save_trace_atomic(path, trace)
+        except OSError:
+            pass  # unwritable cache never fails the run
+    return trace
 
 
 def build_trace(name: str, scale: str = "small",
                 max_instructions: int = 3_000_000) -> list[TraceRecord]:
     """Functionally execute a workload and return its verified trace."""
-    key = (name, scale)
-    cached = _trace_cache.get(key)
-    if cached is not None:
-        return cached
     spec = WORKLOADS[name]
     params = spec.params(scale)
-    program = assemble(spec.source(**params), source_name=f"<{name}>")
-    result = run_bare(program, max_instructions=max_instructions,
-                      collect_trace=True)
-    expected = spec.expected_exit(**params)
-    if result.exit_code != expected:
-        raise SimError(
-            f"workload {name!r} ({scale}) self-check failed: "
-            f"exit {result.exit_code}, expected {expected}")
-    _trace_cache[key] = result.trace
-    return result.trace
+    source = spec.source(**params)
+
+    def build() -> list[TraceRecord]:
+        program = assemble(source, source_name=f"<{name}>")
+        result = run_bare(program, max_instructions=max_instructions,
+                          collect_trace=True)
+        expected = spec.expected_exit(**params)
+        if result.exit_code != expected:
+            raise SimError(
+                f"workload {name!r} ({scale}) self-check failed: "
+                f"exit {result.exit_code}, expected {expected}")
+        return result.trace
+
+    return cached_trace(f"{name}-{scale}",
+                        content_digest(source, str(max_instructions)), build)
 
 
 #: Workloads composing the multiprogrammed OS mix, with per-scale params.
@@ -167,29 +285,34 @@ def build_os_mix_trace(scale: str = "small", members=OS_MIX_MEMBERS,
                        max_instructions: int = 8_000_000,
                        ) -> list[TraceRecord]:
     """A multiprogrammed mix under the mini-OS (kernel in the trace)."""
-    key = ("os-mix", scale, tuple(members), timer_interval)
-    cached = _trace_cache.get(key)
-    if cached is not None:
-        return cached
     interval = timer_interval if timer_interval is not None \
         else OS_MIX_TIMER[scale]
-    programs = []
+    members = tuple(members)
+    sources = []
     expected = []
-    for slot, name in enumerate(members):
+    for name in members:
         spec = WORKLOADS[name]
         params = spec.params(scale)
-        programs.append(assemble_user(spec.source(**params), slot=slot,
-                                      source_name=f"<{name}>"))
+        sources.append(spec.source(**params))
         expected.append(spec.expected_exit(**params))
-    result = run_system(programs, timer_interval=interval,
-                        max_instructions=max_instructions,
-                        collect_trace=True)
-    if result.process_exit_codes != expected:
-        raise SimError(
-            f"OS mix self-check failed: exits {result.process_exit_codes}, "
-            f"expected {expected}")
-    _trace_cache[key] = result.trace
-    return result.trace
+
+    def build() -> list[TraceRecord]:
+        programs = [assemble_user(source, slot=slot,
+                                  source_name=f"<{name}>")
+                    for slot, (name, source) in
+                    enumerate(zip(members, sources))]
+        result = run_system(programs, timer_interval=interval,
+                            max_instructions=max_instructions,
+                            collect_trace=True)
+        if result.process_exit_codes != expected:
+            raise SimError(
+                f"OS mix self-check failed: exits "
+                f"{result.process_exit_codes}, expected {expected}")
+        return result.trace
+
+    digest = content_digest(*sources, ",".join(members), str(interval),
+                     str(max_instructions))
+    return cached_trace(f"os-mix-{scale}", digest, build)
 
 
 def trace_summary(trace: list[TraceRecord]) -> dict[str, float]:

@@ -6,7 +6,16 @@ import pytest
 
 from repro.asm import assemble
 from repro.func import run_bare
-from repro.workloads import build_trace
+from repro.workloads import build_trace, set_trace_cache_dir
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Keep the persistent trace cache out of the user's home directory:
+    the whole test session shares one throwaway cache directory."""
+    set_trace_cache_dir(tmp_path_factory.mktemp("trace-cache"))
+    yield
+    set_trace_cache_dir("off")
 
 
 def run_asm(body: str, collect_trace: bool = False, user_mode: bool = True,

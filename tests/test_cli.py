@@ -171,6 +171,20 @@ class TestSimulateJson:
         assert first["cycles"] == second["cycles"]
         assert first["counters"] == second["counters"]
 
+    def test_trace_file_run_reports_file_not_workload(self, tmp_path,
+                                                      capsys):
+        import json
+        trace_path = str(tmp_path / "w.npz")
+        assert main(["trace", "memops", trace_path, "--scale", "tiny"]) == 0
+        capsys.readouterr()
+        assert main(["simulate", "--trace-file", trace_path, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"] is None
+        assert report["scale"] is None
+        assert report["trace_file"] == trace_path
+        from repro.obs import validate_run_report
+        validate_run_report(report)
+
 
 class TestEvents:
     def test_capture_then_summarize(self, tmp_path, capsys):
@@ -222,9 +236,21 @@ class TestExperiment:
         assert main(["experiment", "A3", "--scale", "tiny"]) == 0
         assert "locality" in capsys.readouterr().out
 
+    def test_lowercase_id_accepted(self, capsys):
+        assert main(["experiment", "a3", "--scale", "tiny"]) == 0
+        assert "locality" in capsys.readouterr().out
+
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "Z9"])
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(["experiment", "A3", "--scale", "tiny",
+                     "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiment", "A3", "--scale", "tiny",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
 
 
 class TestTraceSeed:
@@ -268,6 +294,23 @@ class TestExperimentJson:
         manifest = json.loads(
             (tmp_path / "results" / "a3_tiny.json").read_text())
         assert manifest["schema"].startswith("repro.experiment/")
+
+    def test_manifest_records_engine_settings(self, tmp_path, capsys):
+        import json
+
+        from repro.workloads import set_trace_cache_dir, trace_cache_dir
+        cache = str(tmp_path / "cache")
+        previous = trace_cache_dir()
+        try:
+            assert main(["experiment", "A3", "--scale", "tiny", "--json",
+                         "--jobs", "2", "--trace-cache", cache]) == 0
+        finally:
+            set_trace_cache_dir(previous if previous is not None else "off")
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["engine"]["jobs"] == 2
+        assert manifest["engine"]["trace_cache"]["dir"] == cache
+        from repro.obs import validate_experiment_manifest
+        validate_experiment_manifest(manifest)
 
 
 class TestExperimentOutput:

@@ -1,0 +1,186 @@
+"""Tests for the parallel experiment engine and the trace cache.
+
+The contract under test: a grid executed with ``jobs=N`` produces the
+same result dict, the same rendered table, and the same captured run
+reports (modulo host wall-time fields) as the serial path, and the
+persistent trace cache turns repeat grid runs into zero functional
+simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import f2_headline, run_all
+from repro.experiments.engine import Engine, SimJob, TraceSpec, execute
+from repro.experiments.runner import capture_reports, mean, run_configs
+from repro.presets import DUAL_PORT, STRONG_DUAL_PORT, machine
+from repro.trace import SyntheticConfig
+from repro.workloads import (build_trace, clear_trace_cache,
+                             set_trace_cache_dir, trace_cache_dir,
+                             trace_cache_stats)
+
+
+def _strip_host(report: dict) -> dict:
+    """Run reports minus the inherently nondeterministic host fields."""
+    return {key: value for key, value in report.items() if key != "host"}
+
+
+class TestTraceSpec:
+    def test_workload_spec_builds_the_suite_trace(self):
+        spec = TraceSpec.workload("stream", "tiny")
+        assert [r.pc for r in spec.build()] == \
+            [r.pc for r in build_trace("stream", "tiny")]
+
+    def test_os_mix_dispatch(self):
+        assert TraceSpec.workload("os-mix", "tiny").kind == "os-mix"
+        full = TraceSpec.os_mix("tiny").build()
+        user = TraceSpec.os_mix("tiny", user_only=True).build()
+        assert 0 < len(user) < len(full)
+        assert not any(r.kernel for r in user)
+
+    def test_synthetic_spec_is_cached(self):
+        spec = TraceSpec.from_synthetic(SyntheticConfig(instructions=200,
+                                                        seed=3))
+        assert spec.build() is spec.build()  # memory-tier hit
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            TraceSpec("nonsense").build()
+
+
+class TestEngineDeterminism:
+    def test_parallel_f2_table_and_reports_match_serial(self):
+        grid = f2_headline.plan("tiny")
+        with capture_reports() as serial_runs:
+            serial = f2_headline.tabulate(
+                "tiny", execute(grid, Engine(jobs=1)))
+        with capture_reports() as parallel_runs:
+            parallel = f2_headline.tabulate(
+                "tiny", execute(grid, Engine(jobs=4)))
+        assert serial.render() == parallel.render()
+        assert len(parallel_runs) == len(grid)
+        assert [_strip_host(r) for r in serial_runs] == \
+            [_strip_host(r) for r in parallel_runs]
+
+    def test_result_keys_preserve_job_order(self):
+        jobs = f2_headline.plan("tiny")
+        results = execute(jobs, Engine(jobs=4))
+        assert list(results) == [job.key for job in jobs]
+
+    def test_duplicate_keys_rejected(self):
+        job = SimJob("same", TraceSpec.workload("stream", "tiny"),
+                     machine("1P"))
+        with pytest.raises(ValueError, match="unique"):
+            Engine(jobs=1).execute([job, job])
+
+    def test_jobs_floor_is_one(self):
+        assert Engine(jobs=0).jobs == 1
+        assert Engine(jobs=-3).jobs == 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert Engine().jobs == 6
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        assert Engine().jobs == 1
+
+    def test_run_all_accepts_engine(self):
+        import inspect
+        assert "engine" in inspect.signature(run_all).parameters
+        table = f2_headline.run("tiny", engine=Engine(jobs=2))
+        assert table.render() == f2_headline.run("tiny").render()
+
+
+class TestTraceCache:
+    @pytest.fixture()
+    def cache_dir(self, tmp_path):
+        previous = trace_cache_dir()
+        set_trace_cache_dir(tmp_path)
+        clear_trace_cache()
+        yield tmp_path
+        clear_trace_cache()
+        set_trace_cache_dir(previous if previous is not None else "off")
+
+    def test_cold_build_then_disk_hit(self, cache_dir):
+        before = trace_cache_stats()
+        build_trace("stream", "tiny")
+        after_cold = trace_cache_stats()
+        assert after_cold["builds"] == before["builds"] + 1
+        assert list(cache_dir.glob("stream-tiny-*.npz")), \
+            "cold build did not persist to the disk tier"
+        clear_trace_cache()  # drop the memory tier only
+        build_trace("stream", "tiny")
+        after_warm = trace_cache_stats()
+        assert after_warm["builds"] == after_cold["builds"]
+        assert after_warm["disk_hits"] == after_cold["disk_hits"] + 1
+
+    def test_memory_hit_preferred(self, cache_dir):
+        build_trace("stream", "tiny")
+        before = trace_cache_stats()
+        build_trace("stream", "tiny")
+        after = trace_cache_stats()
+        assert after["memory_hits"] == before["memory_hits"] + 1
+        assert after["disk_hits"] == before["disk_hits"]
+
+    def test_format_version_keys_the_cache(self, cache_dir, monkeypatch):
+        from repro.trace import io as trace_io
+        build_trace("stream", "tiny")
+        clear_trace_cache()
+        monkeypatch.setattr(trace_io, "FORMAT_VERSION",
+                            trace_io.FORMAT_VERSION + 1)
+        before = trace_cache_stats()
+        build_trace("stream", "tiny")
+        after = trace_cache_stats()
+        assert after["builds"] == before["builds"] + 1, \
+            "a format bump must invalidate the old cache entry"
+        assert after["disk_hits"] == before["disk_hits"]
+
+    def test_reloaded_trace_is_equivalent(self, cache_dir):
+        from repro.core import simulate
+        fresh = build_trace("qsort", "tiny")
+        clear_trace_cache()
+        loaded = build_trace("qsort", "tiny")  # disk tier, instr-less
+        assert loaded[0].instr is None and fresh[0].instr is not None
+        for config in ("1P", "1P-wide+LB+SC", "2P"):
+            assert simulate(fresh, machine(config)).cycles == \
+                simulate(loaded, machine(config)).cycles
+
+    def test_off_disables_disk_tier(self, cache_dir):
+        set_trace_cache_dir("off")
+        assert trace_cache_dir() is None
+        build_trace("stream", "tiny")
+        assert not list(cache_dir.glob("*.npz"))
+
+    def test_warm_grid_performs_no_builds(self, cache_dir):
+        grid = f2_headline.plan("tiny")
+        execute(grid, Engine(jobs=1))
+        clear_trace_cache()  # fresh process simulation: disk tier only
+        before = trace_cache_stats()
+        execute(grid, Engine(jobs=2))
+        after = trace_cache_stats()
+        assert after["builds"] == before["builds"], \
+            "warm-cache rerun repeated a functional simulation"
+
+
+class TestRunnerRegressions:
+    def test_mean_of_empty_sequence_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean([])
+        assert mean([2.0, 4.0]) == 3.0
+
+    def test_reference_configs_ignore_sweep_overrides(self, stream_trace):
+        plain = run_configs(stream_trace, ("1P", DUAL_PORT,
+                                           STRONG_DUAL_PORT))
+        swept = run_configs(stream_trace, ("1P", DUAL_PORT,
+                                           STRONG_DUAL_PORT),
+                            dcache_overrides={"write_buffer_depth": 0})
+        for reference in (DUAL_PORT, STRONG_DUAL_PORT):
+            assert swept[reference].cycles == plain[reference].cycles, \
+                f"{reference} must not absorb sweep overrides"
+        assert swept["1P"].cycles != plain["1P"].cycles
+
+    def test_explicit_override_scope_is_validated(self, stream_trace):
+        with pytest.raises(ValueError, match="override_scope"):
+            run_configs(stream_trace, ("1P",),
+                        dcache_overrides={"write_buffer_depth": 4},
+                        override_scope=("2P",))

@@ -56,6 +56,21 @@ class TestRunReport:
         assert report["seed"] is None
         validate_run_report(report)
 
+    def test_trace_file_run_has_no_workload(self, run_and_report):
+        result, _ = run_and_report
+        report = build_run_report(result, machine("2P+SC"),
+                                  trace_file="saved/stream.npz")
+        assert report["workload"] is None
+        assert report["scale"] is None
+        assert report["trace_file"] == "saved/stream.npz"
+        validate_run_report(report)
+
+    def test_workload_and_trace_file_are_exclusive(self, run_and_report):
+        result, _ = run_and_report
+        with pytest.raises(ValueError, match="not both"):
+            build_run_report(result, machine("2P+SC"), workload="stream",
+                            trace_file="saved/stream.npz")
+
 
 class TestRunValidation:
     def _valid(self, run_and_report):
@@ -97,6 +112,19 @@ class TestRunValidation:
             validate_run_report(report)
         assert len(excinfo.value.problems) == 2
 
+    def test_rejects_workload_with_trace_file(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["trace_file"] = "saved/stream.npz"
+        with pytest.raises(SchemaError, match="mutually"):
+            validate_run_report(report)
+
+    def test_rejects_non_string_trace_file(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["workload"] = None
+        report["trace_file"] = 7
+        with pytest.raises(SchemaError, match="trace_file"):
+            validate_run_report(report)
+
 
 class TestExperimentManifest:
     def _manifest(self, run_and_report):
@@ -123,4 +151,21 @@ class TestExperimentManifest:
         manifest = json.loads(json.dumps(self._manifest(run_and_report)))
         del manifest["table"]
         with pytest.raises(SchemaError, match="table"):
+            validate_experiment_manifest(manifest)
+
+    def test_engine_fields_recorded(self, run_and_report):
+        table = Table(title="T", columns=["name", "ipc"])
+        table.add_row("memops", 1.5)
+        cache = {"dir": "/tmp/cache", "memory_hits": 1, "disk_hits": 2,
+                 "builds": 3}
+        manifest = build_experiment_manifest(
+            "F2", "tiny", table, [run_and_report[1]],
+            jobs=4, trace_cache=cache)
+        assert manifest["engine"] == {"jobs": 4, "trace_cache": cache}
+        validate_experiment_manifest(manifest)
+
+    def test_rejects_bad_engine_jobs(self, run_and_report):
+        manifest = json.loads(json.dumps(self._manifest(run_and_report)))
+        manifest["engine"] = {"jobs": 0, "trace_cache": None}
+        with pytest.raises(SchemaError, match="jobs"):
             validate_experiment_manifest(manifest)

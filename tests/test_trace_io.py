@@ -49,6 +49,39 @@ class TestRoundTrip:
         assert sum(r.is_load for r in loaded) == \
             sum(r.is_load for r in stream_trace)
 
+    @pytest.mark.parametrize("config", ["1P", "1P-wide+LB+SC", "2P"])
+    def test_workload_trace_times_identically_after_reload(
+            self, tmp_path, qsort_trace, config):
+        # Workload traces carry decoded instructions; reloading drops
+        # them, so the timing hints (store operand split, serialization,
+        # decode redirect) must fully stand in for the decode.
+        path = tmp_path / "qsort.npz"
+        save_trace(path, qsort_trace)
+        loaded = load_trace(path)
+        assert loaded[0].instr is None
+        fresh = simulate(qsort_trace, machine(config))
+        reloaded = simulate(loaded, machine(config))
+        assert fresh.cycles == reloaded.cycles
+        assert fresh.stats.as_dict() == reloaded.stats.as_dict()
+
+    def test_timing_hints_survive_round_trip(self, tmp_path, qsort_trace):
+        path = tmp_path / "qsort.npz"
+        save_trace(path, qsort_trace)
+        saved_twice = tmp_path / "twice.npz"
+        save_trace(saved_twice, load_trace(path))
+        for first, second in zip(load_trace(path), load_trace(saved_twice)):
+            assert first.serializes == second.serializes
+            assert first.decode_redirect == second.decode_redirect
+            assert first.store_addr_count == second.store_addr_count
+
+    def test_atomic_save_leaves_no_temp_files(self, tmp_path):
+        from repro.trace import save_trace_atomic
+        trace = generate(SyntheticConfig(instructions=50, seed=1))
+        path = tmp_path / "atomic.npz"
+        save_trace_atomic(path, trace)
+        assert [p.name for p in tmp_path.iterdir()] == ["atomic.npz"]
+        assert len(load_trace(path)) == len(trace)
+
     def test_version_check(self, tmp_path):
         trace = generate(SyntheticConfig(instructions=10))
         path = tmp_path / "trace.npz"
