@@ -39,6 +39,20 @@ def test_timing_core_rate_all_techniques(benchmark):
     assert result.instructions == len(trace)
 
 
+def test_timing_core_rate_with_interval_metrics(benchmark):
+    """Telemetry on: the cost of sampling every cycle.  Compare against
+    test_timing_core_rate_single_port to see the overhead; the default
+    (off) path pays only an ``is None`` check and must stay in the
+    noise of that baseline."""
+    trace = build_trace("stream", "tiny")
+    result = benchmark.pedantic(
+        lambda: simulate(trace, machine("1P"), metrics_interval=1024),
+        rounds=3, iterations=1)
+    assert result.metrics is not None
+    assert result.metrics.check_conservation(
+        result.cycles, result.instructions) == []
+
+
 def test_assembler_rate(benchmark):
     spec = WORKLOADS["compress"]
     source = spec.source(**spec.params("small"))

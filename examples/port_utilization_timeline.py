@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Port-utilization timeline: *when* the cache ports are the bottleneck.
+
+Runs one workload with interval telemetry enabled on two
+configurations and renders the per-interval D-cache port utilization
+and IPC as ASCII timelines.  End-of-run averages hide phase behaviour
+— a workload can saturate one port for half the run and idle it for
+the rest; the timeline shows exactly where the paper's extra
+port-efficiency techniques would (and would not) pay off.
+"""
+
+import argparse
+
+from repro import OoOCore, build_trace, machine
+
+TIMELINE_WIDTH = 60
+LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, lo=0.0, hi=1.0):
+    """Map values onto a ten-level ASCII density ramp."""
+    span = hi - lo
+    chars = []
+    for value in values:
+        scaled = (min(max(value, lo), hi) - lo) / span if span else 0.0
+        chars.append(LEVELS[min(int(scaled * len(LEVELS)),
+                                len(LEVELS) - 1)])
+    return "".join(chars)
+
+
+def condense(values, width=TIMELINE_WIDTH):
+    """Average adjacent intervals down to at most *width* points."""
+    if len(values) <= width:
+        return list(values)
+    out = []
+    for index in range(width):
+        lo = index * len(values) // width
+        hi = max(lo + 1, (index + 1) * len(values) // width)
+        window = values[lo:hi]
+        out.append(sum(window) / len(window))
+    return out
+
+
+def show(name, result, issue_width):
+    metrics = result.metrics
+    utils = condense([metrics.port_utilization(i)
+                      for i in metrics.intervals])
+    ipcs = condense([i.ipc for i in metrics.intervals])
+    print(f"{name}: IPC {result.ipc:.3f} over {result.cycles} cycles "
+          f"({metrics.summary()})")
+    print(f"  port util |{sparkline(utils)}|")
+    print(f"  IPC       |{sparkline(ipcs, hi=issue_width)}|")
+    busy = sum(1 for i in metrics.intervals
+               if metrics.port_utilization(i) > 0.5)
+    print(f"  intervals with port util > 50%: {busy}/"
+          f"{len(metrics.intervals)}")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="stream")
+    parser.add_argument("--scale", choices=("tiny", "small", "full"),
+                        default="tiny")
+    parser.add_argument("--interval", type=int, default=64,
+                        help="telemetry sampling interval in cycles")
+    args = parser.parse_args()
+    trace = build_trace(args.workload, args.scale)
+    for name in ("1P", "1P-wide+LB+SC"):
+        config = machine(name)
+        result = OoOCore(config, metrics_interval=args.interval).run(trace)
+        problems = result.metrics.check_conservation(
+            result.cycles, result.instructions)
+        assert not problems, problems
+        show(f"{args.workload} on {name}", result,
+             config.core.issue_width)
+
+
+if __name__ == "__main__":
+    main()

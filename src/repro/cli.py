@@ -10,7 +10,11 @@
     repro simulate --workload stream --config 1P-wide+LB+SC
     repro simulate --workload synthetic --seed 7 --json
     repro simulate --events run.jsonl.gz
+    repro simulate --metrics-interval 512 --json
+    repro simulate --pipe-trace run.kanata --self-profile
     repro events run.jsonl.gz --event stall --limit 20
+    repro events run.jsonl.gz --type wb.drain --cycle-range 1000:2000
+    repro compare a.json b.json --tolerance 0.01
     repro experiment F2 --scale small
     repro experiment all
 
@@ -29,7 +33,8 @@ from .asm import AsmError, assemble
 from .core import simulate as core_simulate
 from .func import RunResult, SimError, run_bare
 from .isa import INSTRUCTION_BYTES
-from .obs import (JsonlTracer, build_run_report, iter_events,
+from .obs import (JsonlTracer, PipeTrace, SelfProfiler, build_run_report,
+                  compare_documents, iter_events, render_comparison,
                   summarize_events)
 from .presets import CONFIG_NAMES, EXTENDED_CONFIG_NAMES, machine
 from .trace import SyntheticConfig, generate, load_trace, save_trace
@@ -146,14 +151,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         label = f"{args.workload} ({args.scale})"
     config = machine(args.config, issue_width=args.issue_width)
     tracer = JsonlTracer(args.events) if args.events else None
+    pipe = PipeTrace() if args.pipe_trace else None
+    profiler = None
+    if args.self_profile is not None:
+        interval = args.metrics_interval or None
+        profiler = SelfProfiler(interval) if interval else SelfProfiler()
     start = time.perf_counter()
     try:
-        result = core_simulate(trace, config, tracer=tracer)
+        result = core_simulate(trace, config, tracer=tracer,
+                               metrics_interval=args.metrics_interval,
+                               pipe_trace=pipe, profiler=profiler)
     finally:
         if tracer is not None:
             tracer.close()
     wall_time = time.perf_counter() - start
     stats = result.stats
+
+    if pipe is not None:
+        pipe.write(args.pipe_trace)
+    profile_path = None
+    if profiler is not None:
+        profile_path = args.self_profile or (
+            f"BENCH_selfprofile_{workload or 'trace'}_{args.config}.json")
+        profiler.write(profile_path)
 
     if args.json:
         report = build_run_report(result, config, workload=workload,
@@ -186,8 +206,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print("  branch accuracy n/a (no branches)")
     if result.ledger is not None:
         print(f"  stalls: {result.ledger.summary()}")
+    if result.metrics is not None:
+        print(f"  metrics: {result.metrics.summary()}")
     if args.events:
         print(f"  events: {tracer.emitted} -> {args.events}")
+    if pipe is not None:
+        print(f"  pipe trace: {len(pipe.records)} instructions -> "
+              f"{args.pipe_trace}")
+    if profiler is not None:
+        print(f"  self-profile: {profiler.summary()} -> {profile_path}")
     if args.stats:
         print(stats.format(indent="  "))
     return 0
@@ -210,7 +237,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"unknown experiment {args.id!r}; "
                 f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'")
         ids = [exp_id]
-    engine = Engine(jobs=args.jobs, trace_cache=args.trace_cache)
+    engine = Engine(jobs=args.jobs, trace_cache=args.trace_cache,
+                    metrics_interval=args.metrics_interval)
     if args.output:
         os.makedirs(args.output, exist_ok=True)
     for exp_id in ids:
@@ -251,8 +279,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cycle_range(text: str) -> tuple[int | None, int | None]:
+    """``A:B`` -> (since, until); either side may be empty."""
+    head, sep, tail = text.partition(":")
+    if not sep:
+        raise SystemExit(f"--cycle-range wants FIRST:LAST, got {text!r}")
+    try:
+        since = int(head) if head else None
+        until = int(tail) if tail else None
+    except ValueError:
+        raise SystemExit(f"--cycle-range wants integer cycles, got {text!r}")
+    if since is not None and until is not None and until < since:
+        raise SystemExit(f"--cycle-range is empty: {text!r}")
+    return since, until
+
+
 def _cmd_events(args: argparse.Namespace) -> int:
     import gzip
+    if args.cycle_range:
+        if args.since is not None or args.until is not None:
+            raise SystemExit("--cycle-range replaces --since/--until; "
+                             "give one or the other")
+        args.since, args.until = _parse_cycle_range(args.cycle_range)
     events = set(args.event) if args.event else None
     try:
         if args.limit:
@@ -273,6 +321,35 @@ def _cmd_events(args: argparse.Namespace) -> int:
         print(f"error: {args.capture} is not a JSONL event capture "
               f"({exc})", file=sys.stderr)
         return 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    documents = []
+    for path in (args.a, args.b):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not JSON ({exc})", file=sys.stderr)
+            return 2
+        if not isinstance(document, dict):
+            print(f"error: {path} is not a JSON object", file=sys.stderr)
+            return 2
+        documents.append(document)
+    if args.tolerance < 0:
+        print("error: --tolerance cannot be negative", file=sys.stderr)
+        return 2
+    ignore = frozenset(args.ignore) if args.ignore else None
+    report = compare_documents(documents[0], documents[1],
+                               tolerance=args.tolerance, ignore=ignore)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_comparison(report, args.a, args.b, limit=args.limit))
+    return 0 if report["equal"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -328,6 +405,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--events", metavar="PATH",
                           help="capture a JSONL event trace (.gz to gzip); "
                                "inspect with 'repro events'")
+    simulate.add_argument("--metrics-interval", type=int, metavar="CYCLES",
+                          help="sample interval telemetry (IPC, port "
+                               "utilization, occupancies) every N cycles; "
+                               "series land in the --json report")
+    simulate.add_argument("--pipe-trace", metavar="PATH",
+                          help="export per-instruction stage timings as a "
+                               "Konata/Kanata pipeline trace")
+    simulate.add_argument("--self-profile", metavar="PATH", nargs="?",
+                          const="",
+                          help="profile the simulator itself (host time per "
+                               "component per interval) into PATH (default "
+                               "BENCH_selfprofile_<workload>_<config>.json)")
     simulate.add_argument("--stats", action="store_true",
                           help="dump every counter")
     simulate.set_defaults(func=_cmd_simulate)
@@ -335,16 +424,38 @@ def build_parser() -> argparse.ArgumentParser:
     events = sub.add_parser("events",
                             help="filter/summarize a captured event trace")
     events.add_argument("capture", help="JSONL file from simulate --events")
-    events.add_argument("--event", action="append", metavar="NAME",
-                        help="keep only this event type (repeatable)")
+    events.add_argument("--event", "--type", action="append", dest="event",
+                        metavar="NAME",
+                        help="keep only this event type (repeatable; "
+                             "--type is an alias)")
     events.add_argument("--since", type=int, metavar="CYCLE",
                         help="drop events before this cycle")
     events.add_argument("--until", type=int, metavar="CYCLE",
                         help="drop events after this cycle")
+    events.add_argument("--cycle-range", metavar="FIRST:LAST",
+                        help="keep cycles FIRST..LAST inclusive (either "
+                             "side may be empty; replaces --since/--until)")
     events.add_argument("--limit", type=int, metavar="N",
                         help="print the first N matching events as JSONL "
                              "instead of a summary")
     events.set_defaults(func=_cmd_events)
+
+    compare = sub.add_parser("compare",
+                             help="diff two --json reports/manifests")
+    compare.add_argument("a", help="baseline JSON document")
+    compare.add_argument("b", help="candidate JSON document")
+    compare.add_argument("--tolerance", type=float, default=0.0,
+                         metavar="REL",
+                         help="relative tolerance for numeric leaves "
+                              "(|a-b| <= REL*max(|a|,|b|); default 0)")
+    compare.add_argument("--ignore", action="append", metavar="KEY",
+                         help="skip subtrees under this key (repeatable; "
+                              "default: host, engine)")
+    compare.add_argument("--limit", type=int, default=20, metavar="N",
+                         help="show at most N deltas in the human output")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the repro.compare/1 delta report")
+    compare.set_defaults(func=_cmd_compare)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a table/figure")
@@ -368,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="persistent trace cache directory "
                                  "(default: REPRO_TRACE_CACHE or "
                                  "~/.cache/repro-traces; 'off' disables)")
+    experiment.add_argument("--metrics-interval", type=int,
+                            metavar="CYCLES",
+                            help="sample interval telemetry for every run "
+                                 "in the grid; series land in the --json "
+                                 "manifest's run reports")
     experiment.set_defaults(func=_cmd_experiment)
     return parser
 

@@ -21,6 +21,7 @@ instruction advances at most one stage per cycle):
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
@@ -29,6 +30,9 @@ from ..func.exceptions import SimError
 from ..isa import Opcode, OpClass
 from ..isa.opcodes import Bank
 from ..mem.hierarchy import MemorySystem
+from ..obs.metrics import IntervalMetrics
+from ..obs.pipetrace import PipeTrace
+from ..obs.selfprof import SelfProfiler
 from ..obs.stall import DEFAULT_INTERVAL, StallCause, StallLedger
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.counters import Stats
@@ -56,6 +60,9 @@ class CoreResult:
     load_latency: Histogram | None = None
     #: Per-cause lost-issue-slot ledger (see :mod:`repro.obs.stall`).
     ledger: StallLedger | None = None
+    #: Interval telemetry (only when the run asked for it; see
+    #: :mod:`repro.obs.metrics`).
+    metrics: IntervalMetrics | None = None
 
     @property
     def ipc(self) -> float:
@@ -75,7 +82,10 @@ class OoOCore:
 
     def __init__(self, machine: MachineConfig,
                  tracer: Tracer | None = None,
-                 stall_interval: int = DEFAULT_INTERVAL) -> None:
+                 stall_interval: int = DEFAULT_INTERVAL,
+                 metrics_interval: int | None = None,
+                 pipe_trace: PipeTrace | None = None,
+                 profiler: SelfProfiler | None = None) -> None:
         self.machine = machine
         self.cfg: CoreConfig = machine.core
         self.stats = Stats()
@@ -83,6 +93,15 @@ class OoOCore:
         self._tracing = self.tracer.enabled
         self.mem = MemorySystem(machine.mem, stats=self.stats,
                                 tracer=self.tracer)
+        # Optional telemetry: interval time series, per-instruction
+        # pipeline trace, host-time self-profile.  All default off and
+        # cost one `is None` check (metrics/profiler: per cycle;
+        # pipe trace: per commit) when disabled.
+        self.metrics = IntervalMetrics(
+            self.stats, ports=machine.mem.dcache.ports,
+            interval=metrics_interval) if metrics_interval else None
+        self._pipe = pipe_trace
+        self.profiler = profiler
         self.bpred = BranchPredictor(self.cfg.bpred, stats=self.stats)
         self.fu = FUPool(self.cfg.fu_specs, stats=self.stats)
         self.lsq = LoadStoreQueue(self.cfg, self.mem.dcache,
@@ -117,7 +136,28 @@ class OoOCore:
         if not trace:
             raise ValueError("empty trace")
         self._trace = trace
-        total = len(trace)
+        if self.profiler is not None:
+            start = time.perf_counter()
+            cycle = self._run_loop_profiled()
+            self.profiler.wall_time_s = time.perf_counter() - start
+        else:
+            cycle = self._run_loop()
+        if self.metrics is not None:
+            self.metrics.finalize(self._committed)
+        self.stats.set("core.cycles", cycle)
+        self.stats.set("core.committed", self._committed)
+        for cause, slots in self.ledger.lost.items():
+            if slots:
+                self.stats.set(f"stall.{cause.value}", slots)
+        return CoreResult(name=self.machine.name, cycles=cycle,
+                          instructions=self._committed, stats=self.stats,
+                          load_latency=self.load_latency,
+                          ledger=self.ledger, metrics=self.metrics)
+
+    def _run_loop(self) -> int:
+        """The plain (unprofiled) per-cycle loop; returns final cycle."""
+        total = len(self._trace)
+        metrics = self.metrics
         cycle = 0
         while self._trace_pos < total or self._rob or self._fetch_queue:
             self._cycle = cycle
@@ -130,18 +170,60 @@ class OoOCore:
             self._issue_stage(cycle)
             self._dispatch_stage(cycle)
             self._fetch_stage(cycle)
+            if metrics is not None:
+                self._sample_metrics(metrics, cycle)
             if cycle - self._last_activity > _WATCHDOG_CYCLES:
                 raise SimError(self._deadlock_report(cycle))
             cycle += 1
-        self.stats.set("core.cycles", cycle)
-        self.stats.set("core.committed", self._committed)
-        for cause, slots in self.ledger.lost.items():
-            if slots:
-                self.stats.set(f"stall.{cause.value}", slots)
-        return CoreResult(name=self.machine.name, cycles=cycle,
-                          instructions=self._committed, stats=self.stats,
-                          load_latency=self.load_latency,
-                          ledger=self.ledger)
+        return cycle
+
+    def _run_loop_profiled(self) -> int:
+        """The same loop with each stage group bracketed by host
+        timers feeding :class:`SelfProfiler` (see repro.obs.selfprof).
+        A separate loop so the default path pays nothing."""
+        total = len(self._trace)
+        profiler = self.profiler
+        metrics = self.metrics
+        perf = time.perf_counter
+        cycle = 0
+        while self._trace_pos < total or self._rob or self._fetch_queue:
+            self._cycle = cycle
+            t0 = perf()
+            self.mem.begin_cycle(cycle)
+            self.fu.begin_cycle(cycle)
+            self._process_events(cycle)
+            t1 = perf()
+            self._commit_stage(cycle)
+            t2 = perf()
+            self.lsq.schedule(cycle, self._schedule_load_completion)
+            t3 = perf()
+            self.mem.end_cycle()
+            t4 = perf()
+            self._issue_stage(cycle)
+            t5 = perf()
+            self._dispatch_stage(cycle)
+            t6 = perf()
+            self._fetch_stage(cycle)
+            t7 = perf()
+            profiler.add_cycle(cycle, (t1 - t0, t2 - t1, t3 - t2,
+                                       t4 - t3, t5 - t4, t6 - t5,
+                                       t7 - t6))
+            if metrics is not None:
+                self._sample_metrics(metrics, cycle)
+            if cycle - self._last_activity > _WATCHDOG_CYCLES:
+                raise SimError(self._deadlock_report(cycle))
+            cycle += 1
+        return cycle
+
+    def _sample_metrics(self, metrics: IntervalMetrics,
+                        cycle: int) -> None:
+        """End-of-cycle occupancy/port sample (telemetry on only)."""
+        dcache = self.mem.dcache
+        metrics.on_cycle(cycle, self._committed,
+                         len(self._rob), len(self._iq),
+                         len(self.lsq.loads), len(self.lsq.stores),
+                         len(dcache.write_buffer), dcache.ports_used,
+                         dcache.mshrs_busy())
 
     # ------------------------------------------------------------------
     # 1. events
@@ -229,6 +311,8 @@ class OoOCore:
             rob.popleft()
             commits += 1
             self._committed += 1
+            if self._pipe is not None:
+                self._pipe.record_commit(uop, cycle)
             if uop is self._waiting_serialize:
                 self._waiting_serialize = None
                 self._fetch_block_cause = StallCause.SERIALIZE
@@ -538,6 +622,11 @@ class OoOCore:
 
 def simulate(trace: Sequence[TraceRecord],
              machine: MachineConfig,
-             tracer: Tracer | None = None) -> CoreResult:
+             tracer: Tracer | None = None,
+             metrics_interval: int | None = None,
+             pipe_trace: PipeTrace | None = None,
+             profiler: SelfProfiler | None = None) -> CoreResult:
     """Convenience: run *trace* through a fresh machine instance."""
-    return OoOCore(machine, tracer=tracer).run(trace)
+    return OoOCore(machine, tracer=tracer,
+                   metrics_interval=metrics_interval,
+                   pipe_trace=pipe_trace, profiler=profiler).run(trace)

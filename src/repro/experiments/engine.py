@@ -112,10 +112,12 @@ def _init_worker(cache_dir: object) -> None:
     suite.set_trace_cache_dir(cache_dir)
 
 
-def _run_job(job: SimJob) -> tuple[CoreResult, dict]:
+def _run_job(item: tuple[SimJob, int | None]) -> tuple[CoreResult, dict]:
+    job, metrics_interval = item
     trace = job.trace.build()
     start = time.perf_counter()
-    result = OoOCore(job.machine).run(trace)
+    result = OoOCore(job.machine,
+                     metrics_interval=metrics_interval).run(trace)
     report = build_run_report(
         result, job.machine, wall_time=time.perf_counter() - start)
     return result, report
@@ -129,11 +131,17 @@ class Engine:
     process and every worker — a directory path, or ``"off"``/``None``
     semantics per :func:`repro.workloads.set_trace_cache_dir`; leaving
     it unset keeps the current (default) cache directory.
+    ``metrics_interval`` turns on per-job interval telemetry: every
+    simulation in the grid samples :mod:`repro.obs.metrics` series at
+    that cycle interval and the captured run reports carry them, in
+    the same deterministic job order, whatever the worker count.
     """
 
     def __init__(self, jobs: int | None = None,
-                 trace_cache: str | os.PathLike | None = None) -> None:
+                 trace_cache: str | os.PathLike | None = None,
+                 metrics_interval: int | None = None) -> None:
         self.jobs = max(1, jobs) if jobs is not None else _default_jobs()
+        self.metrics_interval = metrics_interval
         if trace_cache is not None:
             suite.set_trace_cache_dir(trace_cache)
 
@@ -153,7 +161,8 @@ class Engine:
         for spec in dict.fromkeys(job.trace for job in jobs):
             spec.build()
         if self.jobs <= 1 or len(jobs) <= 1:
-            return {job.key: run_one(job.trace.build(), job.machine)
+            return {job.key: run_one(job.trace.build(), job.machine,
+                                     self.metrics_interval)
                     for job in jobs}
         sink = current_report_sink()
         workers = min(self.jobs, len(jobs))
@@ -162,7 +171,10 @@ class Engine:
                 initargs=(suite.trace_cache_dir(),)) as pool:
             # map() preserves submission order — the merge below is
             # deterministic no matter which worker finishes first.
-            outcomes = pool.map(_run_job, jobs, chunksize=1)
+            outcomes = pool.map(
+                _run_job,
+                [(job, self.metrics_interval) for job in jobs],
+                chunksize=1)
         results: dict[object, CoreResult] = {}
         for job, (result, report) in zip(jobs, outcomes):
             results[job.key] = result

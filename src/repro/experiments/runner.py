@@ -88,10 +88,16 @@ def current_report_sink() -> list[dict] | None:
 
 
 def run_one(trace: Sequence[TraceRecord],
-            machine: MachineConfig) -> CoreResult:
-    """Simulate one trace on one machine."""
+            machine: MachineConfig,
+            metrics_interval: int | None = None) -> CoreResult:
+    """Simulate one trace on one machine.
+
+    ``metrics_interval`` turns on interval telemetry (see
+    :mod:`repro.obs.metrics`); the captured run report then carries the
+    per-interval series under its ``metrics`` key.
+    """
     start = time.perf_counter()
-    result = OoOCore(machine).run(trace)
+    result = OoOCore(machine, metrics_interval=metrics_interval).run(trace)
     sink = _report_sink.get()
     if sink is not None:
         sink.append(build_run_report(

@@ -134,7 +134,13 @@ class DataCacheSystem:
     def ports_free(self) -> int:
         return self.config.ports - self._ports_used
 
-    def _mshrs_busy(self) -> int:
+    @property
+    def ports_used(self) -> int:
+        """Ports already claimed this cycle (telemetry sampling)."""
+        return self._ports_used
+
+    def mshrs_busy(self) -> int:
+        """MSHRs with a fill still in flight this cycle."""
         cycle = self._cycle
         return sum(1 for ready in self._pending.values() if ready > cycle)
 
@@ -185,7 +191,7 @@ class DataCacheSystem:
             ready = cycle + self.config.hit_latency
             source = "hit"
         else:
-            if self._mshrs_busy() >= self.config.mshrs:
+            if self.mshrs_busy() >= self.config.mshrs:
                 self.stats.inc("dcache.load_mshr_full")
                 return AccessResult(AccessStatus.MSHR_FULL)
             self.stats.inc("dcache.load_misses")
@@ -216,7 +222,7 @@ class DataCacheSystem:
             self.stats.inc("dcache.store_hits")
             self.cache.mark_dirty(line)
         else:
-            if self._mshrs_busy() >= self.config.mshrs:
+            if self.mshrs_busy() >= self.config.mshrs:
                 self.stats.inc("dcache.store_mshr_full")
                 return AccessResult(AccessStatus.MSHR_FULL)
             self.stats.inc("dcache.store_misses")
@@ -236,7 +242,7 @@ class DataCacheSystem:
             return
         if self.cache.lookup(line, touch=False):
             return
-        if self._mshrs_busy() >= self.config.mshrs:
+        if self.mshrs_busy() >= self.config.mshrs:
             return
         self.stats.inc("dcache.prefetches")
         self._start_fill(line)

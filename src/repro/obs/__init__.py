@@ -15,10 +15,38 @@ Three layers, all optional from the timing core's point of view:
   combining configuration, counters, the stall ledger and host
   throughput, for ``repro simulate --json`` / ``repro experiment
   --json`` and the benchmark harness.
+* :mod:`repro.obs.metrics` — opt-in **interval time-series telemetry**
+  (IPC, port utilisation, buffer hit rates, occupancy histograms per
+  sampling interval) whose interval sums are conservation-checked
+  against the end-of-run counters.
+* :mod:`repro.obs.pipetrace` — per-instruction **pipeline-trace export**
+  in the Konata/Kanata text format, with a matching parser.
+* :mod:`repro.obs.compare` — **differential run comparison**: a
+  deterministic deep diff of two report documents with a relative
+  tolerance, behind ``repro compare``.
+* :mod:`repro.obs.selfprof` — **simulator self-profiling**: host
+  wall-clock attributed to pipeline stage groups per interval.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and stall taxonomy.
 """
 
+from .compare import (
+    COMPARE_SCHEMA,
+    compare_documents,
+    render_comparison,
+)
+from .metrics import (
+    DEFAULT_METRICS_INTERVAL,
+    Interval,
+    IntervalMetrics,
+)
+from .pipetrace import (
+    KONATA_HEADER,
+    ParsedOp,
+    PipeRecord,
+    PipeTrace,
+    parse_konata,
+)
 from .report import (
     SCHEMA_VERSION,
     SchemaError,
@@ -27,10 +55,25 @@ from .report import (
     validate_experiment_manifest,
     validate_run_report,
 )
+from .selfprof import SELFPROFILE_SCHEMA, SelfProfiler
 from .stall import StallCause, StallLedger
-from .tracer import NULL_TRACER, JsonlTracer, Tracer, iter_events, summarize_events
+from .tracer import (EVENT_SCHEMA, NULL_TRACER, JsonlTracer, Tracer,
+                     iter_events, summarize_events)
 
 __all__ = [
+    "COMPARE_SCHEMA",
+    "compare_documents",
+    "render_comparison",
+    "DEFAULT_METRICS_INTERVAL",
+    "Interval",
+    "IntervalMetrics",
+    "KONATA_HEADER",
+    "ParsedOp",
+    "PipeRecord",
+    "PipeTrace",
+    "parse_konata",
+    "SELFPROFILE_SCHEMA",
+    "SelfProfiler",
     "SCHEMA_VERSION",
     "SchemaError",
     "build_experiment_manifest",
@@ -39,6 +82,7 @@ __all__ = [
     "validate_run_report",
     "StallCause",
     "StallLedger",
+    "EVENT_SCHEMA",
     "NULL_TRACER",
     "JsonlTracer",
     "Tracer",

@@ -1,0 +1,138 @@
+"""Differential run comparison: diff two ``--json`` documents.
+
+The building block for perf-regression gating: given two run reports
+(``repro.run/1``) or two experiment manifests (``repro.experiment/1``),
+produce a **deterministic, machine-readable delta report** — every leaf
+that differs, with absolute and relative deltas for numeric leaves, in
+sorted path order.  ``repro compare a.json b.json`` renders it and
+exits non-zero when any delta exceeds the tolerance.
+
+Comparison is a deep structural walk with two rules:
+
+* subtrees under an **ignored key** are skipped.  The default ignore
+  set is ``{"host", "engine"}`` — the only nondeterministic content in
+  either document (wall times, throughput, cache hit counts), so two
+  runs of the same configuration compare equal by default;
+* numeric leaves compare within a **relative tolerance**: the delta is
+  in tolerance iff ``|a - b| <= tolerance * max(|a|, |b|)``.  With the
+  default tolerance of 0 any difference is out of tolerance.  Booleans,
+  strings and nulls must match exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+COMPARE_SCHEMA = "repro.compare/1"
+
+#: Keys whose subtrees are never compared (nondeterministic content).
+DEFAULT_IGNORE = frozenset({"host", "engine"})
+
+#: Sentinel rendered for a leaf missing on one side.
+_MISSING = "<missing>"
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _walk(a: object, b: object, path: str,
+          ignore: frozenset[str]) -> Iterator[dict[str, object]]:
+    """Yield one raw delta dict per differing leaf, in sorted order."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key in ignore:
+                continue
+            child = f"{path}.{key}" if path else key
+            if key not in a:
+                yield {"path": child, "a": _MISSING, "b": b[key],
+                       "note": "missing in a"}
+            elif key not in b:
+                yield {"path": child, "a": a[key], "b": _MISSING,
+                       "note": "missing in b"}
+            else:
+                yield from _walk(a[key], b[key], child, ignore)
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            yield {"path": f"{path}.length" if path else "length",
+                   "a": len(a), "b": len(b), "note": "length mismatch"}
+        for index, (left, right) in enumerate(zip(a, b)):
+            yield from _walk(left, right, f"{path}[{index}]", ignore)
+        return
+    if type(a) is not type(b) and not (_is_number(a) and _is_number(b)):
+        yield {"path": path, "a": a, "b": b, "note": "type mismatch"}
+        return
+    if _is_number(a) and _is_number(b):
+        if a != b:
+            absolute = abs(a - b)
+            scale = max(abs(a), abs(b))
+            yield {"path": path, "a": a, "b": b, "abs": absolute,
+                   "rel": absolute / scale if scale else 0.0}
+        return
+    if a != b:
+        yield {"path": path, "a": a, "b": b}
+
+
+def compare_documents(a: dict, b: dict, tolerance: float = 0.0,
+                      ignore: frozenset[str] | None = None,
+                      ) -> dict[str, object]:
+    """Diff two JSON documents into a ``repro.compare/1`` report.
+
+    Works on any pair of dicts; run reports and experiment manifests
+    are the intended inputs (their ``schema`` tags are recorded and a
+    mismatch is itself reported as a delta).  The report is fully
+    deterministic: deltas are sorted by path and no host state leaks in.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance cannot be negative")
+    ignore = DEFAULT_IGNORE if ignore is None else frozenset(ignore)
+    deltas = []
+    within = 0
+    for delta in _walk(a, b, "", ignore):
+        rel = delta.get("rel")
+        if rel is not None and rel <= tolerance:
+            within += 1
+            continue
+        deltas.append(delta)
+    return {
+        "schema": COMPARE_SCHEMA,
+        "schema_version": 1,
+        "tolerance": tolerance,
+        "ignored_keys": sorted(ignore),
+        "a": {"schema": a.get("schema")},
+        "b": {"schema": b.get("schema")},
+        "equal": not deltas,
+        "deltas": deltas,
+        "within_tolerance": within,
+    }
+
+
+def render_comparison(report: dict, label_a: str, label_b: str,
+                      limit: int = 20) -> str:
+    """Human-readable rendering of a comparison report."""
+    lines = [f"comparing {label_a} vs {label_b} "
+             f"(tolerance {report['tolerance']:g}, ignoring "
+             f"{', '.join(report['ignored_keys'])})"]
+    deltas = report["deltas"]
+    if not deltas:
+        suppressed = report["within_tolerance"]
+        verdict = "identical" if not suppressed else \
+            f"equal within tolerance ({suppressed} numeric deltas " \
+            f"suppressed)"
+        lines.append(f"  {verdict}")
+        return "\n".join(lines)
+    lines.append(f"  {len(deltas)} out-of-tolerance deltas"
+                 + (f" ({report['within_tolerance']} within tolerance)"
+                    if report["within_tolerance"] else "") + ":")
+    for delta in deltas[:limit]:
+        detail = ""
+        if "rel" in delta:
+            detail = f"  (abs {delta['abs']:g}, rel {delta['rel']:.2e})"
+        elif "note" in delta:
+            detail = f"  ({delta['note']})"
+        lines.append(f"    {delta['path']}: {delta['a']!r} -> "
+                     f"{delta['b']!r}{detail}")
+    if len(deltas) > limit:
+        lines.append(f"    ... and {len(deltas) - limit} more")
+    return "\n".join(lines)

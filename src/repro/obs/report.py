@@ -92,6 +92,8 @@ def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
         "stalls": result.ledger.as_dict() if result.ledger is not None
         else None,
         "load_latency": load_latency,
+        "metrics": result.metrics.as_dict()
+        if result.metrics is not None else None,
         "host": {
             "wall_time_s": wall_time,
             "sim_ips": sim_ips,
@@ -203,6 +205,40 @@ def validate_run_report(report: dict) -> None:
             if not problems and stalls["committed"] + stalls["total_lost"] \
                     != stalls["total_slots"]:
                 problems.append("run.stalls: ledger is not conservative")
+    metrics = report.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            problems.append("run: metrics must be an object or null")
+        else:
+            _require(metrics, {
+                "interval": int,
+                "ports": int,
+                "n_intervals": int,
+                "start_cycle": list,
+                "cycles": list,
+                "committed": list,
+                "ipc": list,
+                "port_util": list,
+                "counters": dict,
+                "occupancy_mean": dict,
+                "occupancy": dict,
+            }, problems, "run.metrics")
+            n = metrics.get("n_intervals")
+            if isinstance(n, int):
+                for key in ("start_cycle", "cycles", "committed", "ipc",
+                            "port_util"):
+                    series = metrics.get(key)
+                    if isinstance(series, list) and len(series) != n:
+                        problems.append(
+                            f"run.metrics: {key} has {len(series)} entries "
+                            f"for {n} intervals")
+            if not problems and isinstance(metrics.get("cycles"), list):
+                if sum(metrics["cycles"]) != report.get("cycles"):
+                    problems.append("run.metrics: interval cycles do not "
+                                    "sum to run cycles")
+                if sum(metrics["committed"]) != report.get("instructions"):
+                    problems.append("run.metrics: interval committed does "
+                                    "not sum to run instructions")
     host = report.get("host")
     if isinstance(host, dict) and "wall_time_s" not in host:
         problems.append("run.host: missing key 'wall_time_s'")

@@ -1,0 +1,123 @@
+"""Simulator self-profiling: where the *host's* time goes.
+
+The run reports already record end-to-end host throughput
+(``host.sim_ips``); this module breaks that wall-clock down by
+simulator component, per sampling interval, so the performance
+trajectory of the reproduction itself — not just of the simulated
+machine — gets measured and archived (``BENCH_*.json`` artefacts).
+
+When a :class:`SelfProfiler` is attached, the timing core switches to
+an instrumented run loop that brackets each pipeline stage group with
+``perf_counter`` and charges the elapsed time to one component:
+
+==============  ====================================================
+``events``      FU/AGU completion events, cycle bookkeeping
+``commit``      in-order retirement (incl. store write-buffer entry)
+``lsq``         LSQ port scheduling and the D-cache port accesses
+``writebuffer`` write-buffer drain into idle port cycles
+``issue``       wakeup/select and FU allocation
+``dispatch``    rename, dependence wiring, ROB/IQ/LSQ allocation
+``fetch``       I-cache, branch prediction, redirect tracking
+==============  ====================================================
+
+``other`` (reported, not a component) is the loop's untimed residue:
+``wall_time - sum(components)``.  Profiling is opt-in; the default run
+loop is untouched and pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import DEFAULT_METRICS_INTERVAL
+
+SELFPROFILE_SCHEMA = "repro.selfprofile/1"
+
+#: Stage-group components, in pipeline (reverse-stage) order.
+COMPONENTS = ("events", "commit", "lsq", "writebuffer", "issue",
+              "dispatch", "fetch")
+
+
+class SelfProfiler:
+    """Per-interval host-seconds accounting, one bucket list per
+    component."""
+
+    def __init__(self, interval: int = DEFAULT_METRICS_INTERVAL) -> None:
+        if interval < 1:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.seconds: dict[str, list[float]] = {name: []
+                                                for name in COMPONENTS}
+        self.cycles = 0
+        self.wall_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def add_cycle(self, cycle: int, samples: tuple[float, ...]) -> None:
+        """Charge one cycle's per-component stage timings (seconds,
+        ordered as :data:`COMPONENTS`)."""
+        bucket = cycle // self.interval
+        for name, elapsed in zip(COMPONENTS, samples):
+            series = self.seconds[name]
+            while len(series) <= bucket:
+                series.append(0.0)
+            series[bucket] += elapsed
+        self.cycles += 1
+
+    def component_total(self, name: str) -> float:
+        return sum(self.seconds[name])
+
+    @property
+    def accounted_s(self) -> float:
+        return sum(self.component_total(name) for name in COMPONENTS)
+
+    @property
+    def other_s(self) -> float:
+        """Wall time the stage brackets did not capture (loop overhead,
+        timer cost, result assembly)."""
+        return max(0.0, self.wall_time_s - self.accounted_s)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        n_buckets = max((len(series) for series in self.seconds.values()),
+                        default=0)
+        for series in self.seconds.values():
+            while len(series) < n_buckets:
+                series.append(0.0)
+        return {
+            "schema": SELFPROFILE_SCHEMA,
+            "schema_version": 1,
+            "interval": self.interval,
+            "cycles": self.cycles,
+            "n_intervals": n_buckets,
+            "components": list(COMPONENTS),
+            "seconds": {name: list(series)
+                        for name, series in self.seconds.items()},
+            "totals": {name: self.component_total(name)
+                       for name in COMPONENTS},
+            "wall_time_s": self.wall_time_s,
+            "accounted_s": self.accounted_s,
+            "other_s": self.other_s,
+            "cycles_per_second": (self.cycles / self.wall_time_s
+                                  if self.wall_time_s else None),
+        }
+
+    def write(self, path: str) -> None:
+        """Persist the profile as a ``BENCH_*.json`` artefact."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def summary(self) -> str:
+        """One human line: the top components by share."""
+        total = self.accounted_s
+        if not total:
+            return "no host time recorded"
+        ranked = sorted(((self.component_total(name), name)
+                         for name in COMPONENTS), reverse=True)
+        parts = [f"{name} {seconds / total:.0%}"
+                 for seconds, name in ranked[:3] if seconds > 0]
+        return f"host time: {', '.join(parts)} of {total:.3f}s staged"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SelfProfiler(interval={self.interval}, "
+                f"cycles={self.cycles}, wall={self.wall_time_s:.3f}s)")

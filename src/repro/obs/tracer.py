@@ -28,6 +28,28 @@ from collections.abc import Collection, Iterator
 from dataclasses import dataclass, field
 
 
+#: Every event a simulation can emit, mapped to the tuple of
+#: event-specific field names (every record also carries ``cycle`` and
+#: ``event``).  This is the authoritative schema: the table in
+#: ``docs/OBSERVABILITY.md`` is cross-checked against it by the test
+#: suite, and so is every event an instrumented run actually emits.
+EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
+    "stall": ("cause", "lost"),
+    "commit": ("n",),
+    "fetch.mispredict": ("pc", "seq"),
+    "branch.resolve": ("pc", "seq", "resume"),
+    "lsq.load": ("seq", "line", "source", "ready"),
+    "dcache.load": ("line", "source", "ready"),
+    "dcache.store": ("line",),
+    "dcache.fill": ("line", "ready", "victim"),
+    "wb.add": ("line", "merged"),
+    "wb.full": ("line",),
+    "wb.drain": ("line", "occupancy"),
+    "lb.insert": ("line", "evicted"),
+    "lb.invalidate": ("line", "reason"),
+}
+
+
 class Tracer:
     """Base tracer; also the disabled no-op implementation."""
 

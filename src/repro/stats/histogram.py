@@ -59,6 +59,14 @@ class Histogram:
                 return value
         return self.max  # pragma: no cover - numeric safety net
 
+    def percentile_or(self, fraction: float, default: int = 0) -> int:
+        """:meth:`percentile`, but *default* instead of raising for an
+        empty histogram — occupancy series legitimately stay empty when
+        a structure is absent (e.g. a zero-depth write buffer)."""
+        if not self._counts:
+            return default
+        return self.percentile(fraction)
+
     def fraction_at_most(self, value: int) -> float:
         """Fraction of samples ≤ *value*."""
         if not self._total:

@@ -231,6 +231,187 @@ class TestEvents:
             assert 10 <= json.loads(line)["cycle"] <= 20
 
 
+class TestSimulateTelemetry:
+    def test_metrics_interval_human_summary(self, capsys):
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--config", "1P", "--metrics-interval", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "intervals of 256 cycles" in out
+
+    def test_metrics_interval_in_json_report(self, capsys):
+        import json
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--config", "2P", "--metrics-interval", "128",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        metrics = report["metrics"]
+        assert metrics["interval"] == 128
+        assert sum(metrics["cycles"]) == report["cycles"]
+        assert sum(metrics["committed"]) == report["instructions"]
+        from repro.obs import validate_run_report
+        validate_run_report(report)
+
+    def test_metrics_default_off(self, capsys):
+        import json
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["metrics"] is None
+
+    def test_pipe_trace_written_and_parses(self, tmp_path, capsys):
+        from repro.obs import parse_konata
+        path = str(tmp_path / "run.kanata")
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--config", "1P", "--pipe-trace", path]) == 0
+        out = capsys.readouterr().out
+        assert f"-> {path}" in out
+        ops = parse_konata(path)
+        assert ops and str(len(ops)) in out
+
+    def test_self_profile_custom_path(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "BENCH_p.json")
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--self-profile", path]) == 0
+        assert "self-profile:" in capsys.readouterr().out
+        document = json.loads(open(path).read())
+        assert document["schema"] == "repro.selfprofile/1"
+        assert document["wall_time_s"] > 0
+
+    def test_self_profile_default_name(self, tmp_path, capsys,
+                                       monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--config", "2P", "--self-profile"]) == 0
+        assert (tmp_path / "BENCH_selfprofile_memops_2P.json").exists()
+
+
+class TestCompare:
+    def test_equal_runs_exit_zero(self, tmp_path, capsys):
+        paths = []
+        for name in ("a.json", "b.json"):
+            assert main(["simulate", "--workload", "synthetic", "--scale",
+                         "tiny", "--seed", "4", "--metrics-interval",
+                         "256", "--json"]) == 0
+            path = tmp_path / name
+            path.write_text(capsys.readouterr().out)
+            paths.append(str(path))
+        assert main(["compare", *paths]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_different_runs_exit_one(self, tmp_path, capsys):
+        for name, config in (("a.json", "1P"), ("b.json", "2P")):
+            assert main(["simulate", "--workload", "memops", "--scale",
+                         "tiny", "--config", config, "--json"]) == 0
+            (tmp_path / name).write_text(capsys.readouterr().out)
+        assert main(["compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 1
+        out = capsys.readouterr().out
+        assert "out-of-tolerance" in out
+        assert "config.dcache.ports" in out
+
+    def test_json_delta_report(self, tmp_path, capsys):
+        import json
+        for name, config in (("a.json", "1P"), ("b.json", "2P")):
+            assert main(["simulate", "--workload", "memops", "--scale",
+                         "tiny", "--config", config, "--json"]) == 0
+            (tmp_path / name).write_text(capsys.readouterr().out)
+        assert main(["compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json"), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.compare/1"
+        assert report["deltas"]
+
+    def test_tolerance_suppresses_small_deltas(self, tmp_path, capsys):
+        import json
+        base = {"schema": "repro.run/1", "cycles": 1000}
+        (tmp_path / "a.json").write_text(json.dumps(base))
+        (tmp_path / "b.json").write_text(
+            json.dumps({**base, "cycles": 1001}))
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        assert main(["compare", a, b]) == 1
+        capsys.readouterr()
+        assert main(["compare", a, b, "--tolerance", "0.01"]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_unreadable_inputs_exit_two(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text("{}")
+        assert main(["compare", str(good), str(tmp_path / "nope.json")]) \
+            == 2
+        assert "cannot read" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["compare", str(good), str(bad)]) == 2
+        assert "not JSON" in capsys.readouterr().err
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2]")
+        assert main(["compare", str(good), str(array)]) == 2
+        assert "not a JSON object" in capsys.readouterr().err
+
+    def test_negative_tolerance_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "r.json"
+        path.write_text("{}")
+        assert main(["compare", str(path), str(path),
+                     "--tolerance", "-1"]) == 2
+        assert "negative" in capsys.readouterr().err
+
+
+class TestEventsFilters:
+    def test_type_alias(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "run.jsonl")
+        assert main(["simulate", "--workload", "stream", "--scale", "tiny",
+                     "--events", path]) == 0
+        capsys.readouterr()
+        assert main(["events", path, "--type", "commit",
+                     "--limit", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(json.loads(line)["event"] == "commit"
+                   for line in lines)
+
+    def test_cycle_range(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "run.jsonl")
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--events", path]) == 0
+        capsys.readouterr()
+        assert main(["events", path, "--cycle-range", "10:20",
+                     "--limit", "100"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert 10 <= json.loads(line)["cycle"] <= 20
+
+    def test_cycle_range_open_ended(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "run.jsonl")
+        assert main(["simulate", "--workload", "memops", "--scale", "tiny",
+                     "--events", path]) == 0
+        capsys.readouterr()
+        assert main(["events", path, "--cycle-range", "50:",
+                     "--limit", "10"]) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            assert json.loads(line)["cycle"] >= 50
+
+    def test_cycle_range_conflicts_with_since(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="cycle-range"):
+            main(["events", str(path), "--cycle-range", "1:2",
+                  "--since", "1"])
+
+    def test_cycle_range_malformed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="FIRST:LAST"):
+            main(["events", str(path), "--cycle-range", "123"])
+        with pytest.raises(SystemExit, match="integer"):
+            main(["events", str(path), "--cycle-range", "a:b"])
+        with pytest.raises(SystemExit, match="empty"):
+            main(["events", str(path), "--cycle-range", "20:10"])
+
+
 class TestExperiment:
     def test_single_experiment(self, capsys):
         assert main(["experiment", "A3", "--scale", "tiny"]) == 0
@@ -294,6 +475,18 @@ class TestExperimentJson:
         manifest = json.loads(
             (tmp_path / "results" / "a3_tiny.json").read_text())
         assert manifest["schema"].startswith("repro.experiment/")
+
+    def test_metrics_interval_reaches_every_run(self, capsys):
+        import json
+        assert main(["experiment", "A3", "--scale", "tiny", "--json",
+                     "--metrics-interval", "512"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["runs"]
+        for run in manifest["runs"]:
+            assert run["metrics"]["interval"] == 512
+            assert sum(run["metrics"]["cycles"]) == run["cycles"]
+        from repro.obs import validate_experiment_manifest
+        validate_experiment_manifest(manifest)
 
     def test_manifest_records_engine_settings(self, tmp_path, capsys):
         import json

@@ -58,6 +58,15 @@ def test_stall_breakdown(monkeypatch, capsys):
     assert "#" in out  # the bar chart rendered
 
 
+def test_port_utilization_timeline(monkeypatch, capsys):
+    run_example("port_utilization_timeline.py", ["--scale", "tiny"],
+                monkeypatch)
+    out = capsys.readouterr().out
+    assert "port util |" in out
+    assert "1P-wide+LB+SC" in out
+    assert "intervals with port util > 50%" in out
+
+
 def test_locality_sweep(monkeypatch, capsys):
     run_example("locality_sweep.py", ["--instructions", "6000"],
                 monkeypatch)

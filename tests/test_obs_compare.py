@@ -1,0 +1,195 @@
+"""Tests for differential run comparison (``repro.obs.compare``)."""
+
+import pytest
+
+from repro.obs import COMPARE_SCHEMA, compare_documents, render_comparison
+
+
+def _report(**overrides):
+    base = {
+        "schema": "repro.run/1",
+        "cycles": 1000,
+        "ipc": 1.5,
+        "counters": {"dcache.port_uses": 400, "lb.hits": 25},
+        "series": [1, 2, 3],
+        "host": {"wall_time_s": 0.123},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestEquality:
+    def test_identical_documents(self):
+        report = compare_documents(_report(), _report())
+        assert report["schema"] == COMPARE_SCHEMA
+        assert report["equal"] is True
+        assert report["deltas"] == []
+
+    def test_host_ignored_by_default(self):
+        a = _report(host={"wall_time_s": 0.1})
+        b = _report(host={"wall_time_s": 99.9})
+        assert compare_documents(a, b)["equal"] is True
+
+    def test_engine_ignored_at_any_depth(self):
+        a = _report(nested={"engine": {"jobs": 1}})
+        b = _report(nested={"engine": {"jobs": 8}})
+        assert compare_documents(a, b)["equal"] is True
+
+    def test_custom_ignore_replaces_default(self):
+        a = _report(host={"wall_time_s": 0.1})
+        b = _report(host={"wall_time_s": 0.2})
+        report = compare_documents(a, b, ignore=frozenset({"series"}))
+        assert not report["equal"]
+        assert any(d["path"] == "host.wall_time_s"
+                   for d in report["deltas"])
+
+
+class TestDeltas:
+    def test_numeric_delta_has_abs_and_rel(self):
+        a, b = _report(cycles=1000), _report(cycles=1100)
+        (delta,) = compare_documents(a, b)["deltas"]
+        assert delta["path"] == "cycles"
+        assert delta["abs"] == 100
+        assert delta["rel"] == pytest.approx(100 / 1100)
+
+    def test_missing_keys_reported_both_ways(self):
+        a, b = _report(), _report()
+        del a["ipc"]
+        del b["cycles"]
+        report = compare_documents(a, b)
+        notes = {d["path"]: d["note"] for d in report["deltas"]}
+        assert notes == {"cycles": "missing in b", "ipc": "missing in a"}
+
+    def test_list_length_mismatch(self):
+        a, b = _report(series=[1, 2, 3]), _report(series=[1, 2])
+        report = compare_documents(a, b)
+        assert any(d["path"] == "series.length" for d in report["deltas"])
+
+    def test_list_elements_compared(self):
+        a, b = _report(series=[1, 2, 3]), _report(series=[1, 9, 3])
+        (delta,) = compare_documents(a, b)["deltas"]
+        assert delta["path"] == "series[1]"
+
+    def test_type_mismatch(self):
+        a, b = _report(cycles=1000), _report(cycles="1000")
+        (delta,) = compare_documents(a, b)["deltas"]
+        assert delta["note"] == "type mismatch"
+
+    def test_string_mismatch(self):
+        a, b = _report(schema="repro.run/1"), _report(schema="repro.run/2")
+        report = compare_documents(a, b)
+        assert report["a"]["schema"] == "repro.run/1"
+        assert report["b"]["schema"] == "repro.run/2"
+        assert any(d["path"] == "schema" for d in report["deltas"])
+
+    def test_deltas_sorted_by_path(self):
+        a = _report(cycles=1, ipc=1.0)
+        b = _report(cycles=2, ipc=2.0)
+        b["counters"]["lb.hits"] = 99
+        paths = [d["path"] for d in compare_documents(a, b)["deltas"]]
+        assert paths == sorted(paths)
+
+    def test_int_float_equal_values_match(self):
+        a, b = _report(ipc=2), _report(ipc=2.0)
+        assert compare_documents(a, b)["equal"] is True
+
+    def test_bool_is_not_numeric(self):
+        a, b = _report(flag=True), _report(flag=1)
+        (delta,) = compare_documents(a, b)["deltas"]
+        assert delta["note"] == "type mismatch"
+
+
+class TestTolerance:
+    def test_within_tolerance_suppressed_and_counted(self):
+        a, b = _report(cycles=1000), _report(cycles=1005)
+        report = compare_documents(a, b, tolerance=0.01)
+        assert report["equal"] is True
+        assert report["within_tolerance"] == 1
+
+    def test_out_of_tolerance_kept(self):
+        a, b = _report(cycles=1000), _report(cycles=1500)
+        report = compare_documents(a, b, tolerance=0.01)
+        assert report["equal"] is False
+
+    def test_tolerance_never_excuses_strings(self):
+        a, b = _report(schema="x"), _report(schema="y")
+        assert not compare_documents(a, b, tolerance=1.0)["equal"]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_documents(_report(), _report(), tolerance=-0.1)
+
+    def test_zero_versus_nonzero(self):
+        a, b = _report(cycles=0), _report(cycles=10)
+        report = compare_documents(a, b, tolerance=0.5)
+        assert report["equal"] is False  # rel == 1.0 against zero
+
+
+class TestDeterminism:
+    def test_report_is_pure_function_of_inputs(self):
+        import json
+        a = _report(cycles=900, host={"wall_time_s": 0.5})
+        b = _report(cycles=1000, host={"wall_time_s": 0.9})
+        first = json.dumps(compare_documents(a, b), sort_keys=True)
+        second = json.dumps(compare_documents(a, b), sort_keys=True)
+        assert first == second
+
+
+class TestRendering:
+    def test_identical_renders_cleanly(self):
+        text = render_comparison(compare_documents(_report(), _report()),
+                                 "a.json", "b.json")
+        assert "identical" in text
+
+    def test_deltas_render_with_detail(self):
+        report = compare_documents(_report(cycles=1000),
+                                   _report(cycles=1100))
+        text = render_comparison(report, "a.json", "b.json")
+        assert "cycles" in text and "rel" in text
+
+    def test_limit_truncates(self):
+        a = _report(counters={f"c{i}": i for i in range(30)})
+        b = _report(counters={f"c{i}": i + 1 for i in range(30)})
+        text = render_comparison(compare_documents(a, b), "a", "b",
+                                 limit=5)
+        assert "more" in text
+
+    def test_within_tolerance_mentioned(self):
+        report = compare_documents(_report(cycles=1000),
+                                   _report(cycles=1001), tolerance=0.1)
+        text = render_comparison(report, "a", "b")
+        assert "within tolerance" in text
+
+
+class TestRealRunReports:
+    def test_same_config_runs_compare_identical(self):
+        from repro.core import OoOCore
+        from repro.obs import build_run_report
+        from repro.presets import machine
+        from repro.workloads import build_trace
+        trace = build_trace("memops", "tiny")
+        reports = []
+        for wall in (0.1, 9.9):  # host content must not matter
+            result = OoOCore(machine("2P"),
+                             metrics_interval=256).run(trace)
+            reports.append(build_run_report(result, machine("2P"),
+                                            workload="memops",
+                                            scale="tiny", wall_time=wall))
+        assert compare_documents(*reports)["equal"] is True
+
+    def test_different_config_runs_differ(self):
+        from repro.core import OoOCore
+        from repro.obs import build_run_report
+        from repro.presets import machine
+        from repro.workloads import build_trace
+        trace = build_trace("memops", "tiny")
+        reports = []
+        for name in ("1P", "2P"):
+            result = OoOCore(machine(name)).run(trace)
+            reports.append(build_run_report(result, machine(name),
+                                            workload="memops",
+                                            scale="tiny", wall_time=0.1))
+        report = compare_documents(*reports)
+        assert report["equal"] is False
+        assert any(d["path"] == "config.dcache.ports"
+                   for d in report["deltas"])

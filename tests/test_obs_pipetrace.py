@@ -1,0 +1,119 @@
+"""Tests for the Konata/Kanata pipeline-trace exporter.
+
+The acceptance property: every exported trace loads back through our
+own :func:`parse_konata`, which validates the header and every command
+line — so a passing round trip certifies the output is well-formed
+Kanata text, and the reconciliation checks certify it describes the
+run that produced it.
+"""
+
+import io
+
+import pytest
+
+from repro.core import OoOCore
+from repro.obs import KONATA_HEADER, PipeRecord, PipeTrace, parse_konata
+from repro.presets import machine
+from repro.workloads import build_trace
+
+
+def _export(workload="memops", config="1P", scale="tiny"):
+    trace = build_trace(workload, scale)
+    pipe = PipeTrace()
+    result = OoOCore(machine(config), pipe_trace=pipe).run(trace)
+    buffer = io.StringIO()
+    pipe.write(buffer)
+    return result, pipe, buffer.getvalue()
+
+
+class TestRecordUnit:
+    def test_stage_starts_in_order(self):
+        record = PipeRecord(seq=0, pc=0x1000, label="alu", fetch=10,
+                            dispatch=12, issue=14, complete=16, commit=18)
+        assert record.stage_starts() == [
+            ("F", 10), ("D", 12), ("X", 14), ("C", 16)]
+
+    def test_empty_stage_windows_dropped(self):
+        record = PipeRecord(seq=0, pc=0, label="alu", fetch=5,
+                            dispatch=5, issue=7, complete=7, commit=9)
+        stages = [stage for stage, _ in record.stage_starts()]
+        assert stages == ["F", "X"]
+
+    def test_out_of_order_complete_forced_monotonic(self):
+        # A store's "complete" (address resolve) can precede its issue.
+        record = PipeRecord(seq=1, pc=0, label="store", fetch=3,
+                            dispatch=4, issue=8, complete=6, commit=10)
+        starts = record.stage_starts()
+        cycles = [cycle for _, cycle in starts]
+        assert cycles == sorted(cycles)
+        assert starts[0] == ("F", 3)
+
+
+class TestRoundTrip:
+    def test_header_and_full_parse(self):
+        result, pipe, text = _export()
+        assert text.startswith(KONATA_HEADER + "\n")
+        ops = parse_konata(io.StringIO(text))
+        assert len(ops) == len(pipe.records) == result.instructions
+
+    def test_ops_match_records(self):
+        result, pipe, text = _export()
+        ops = parse_konata(io.StringIO(text))
+        for op, record in zip(ops, pipe.records):
+            assert op.sim_id == record.seq
+            assert op.pc == record.pc
+            assert record.label in op.label
+            assert op.stages["F"] == record.fetch
+            assert op.retired_cycle == max(record.commit, record.fetch)
+            assert not op.flushed
+
+    def test_stage_cycles_monotonic_and_bounded(self):
+        result, _, text = _export(workload="qsort")
+        for op in parse_konata(io.StringIO(text)):
+            cycles = [op.stages[s] for s in "FDXC" if s in op.stages]
+            assert cycles == sorted(cycles)
+            assert 0 <= cycles[0] <= op.retired_cycle <= result.cycles
+
+    def test_file_destination_round_trips(self, tmp_path):
+        trace = build_trace("memops", "tiny")
+        pipe = PipeTrace()
+        OoOCore(machine("2P"), pipe_trace=pipe).run(trace)
+        path = str(tmp_path / "run.kanata")
+        assert pipe.write(path) == len(pipe.records)
+        assert len(parse_konata(path)) == len(pipe.records)
+
+    def test_commit_order_is_program_order(self):
+        _, pipe, text = _export()
+        seqs = [op.sim_id for op in parse_konata(io.StringIO(text))]
+        assert seqs == sorted(seqs)
+
+
+class TestParserRejectsMalformed:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_konata(io.StringIO("I\t0\t0\t0\n"))
+
+    def test_unknown_command(self):
+        text = KONATA_HEADER + "\nQ\t1\t2\n"
+        with pytest.raises(ValueError, match="line 2"):
+            parse_konata(io.StringIO(text))
+
+    def test_truncated_fields(self):
+        text = KONATA_HEADER + "\nI\t0\n"
+        with pytest.raises(ValueError, match="malformed"):
+            parse_konata(io.StringIO(text))
+
+    def test_stage_for_unknown_op(self):
+        text = KONATA_HEADER + "\nS\t42\t0\tF\n"
+        with pytest.raises(ValueError, match="malformed"):
+            parse_konata(io.StringIO(text))
+
+
+class TestTracingIsInert:
+    def test_results_identical_with_and_without(self):
+        trace = build_trace("memops", "tiny")
+        config = machine("1P")
+        plain = OoOCore(config).run(trace)
+        traced = OoOCore(config, pipe_trace=PipeTrace()).run(trace)
+        assert plain.cycles == traced.cycles
+        assert plain.stats.as_dict() == traced.stats.as_dict()

@@ -1,0 +1,96 @@
+"""Tests for simulator self-profiling (``repro.obs.selfprof``)."""
+
+import json
+
+import pytest
+
+from repro.core import OoOCore
+from repro.obs import SELFPROFILE_SCHEMA, SelfProfiler
+from repro.obs.selfprof import COMPONENTS
+from repro.presets import machine
+from repro.workloads import build_trace
+
+
+class TestProfilerUnit:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            SelfProfiler(0)
+
+    def test_buckets_by_interval(self):
+        profiler = SelfProfiler(interval=10)
+        profiler.add_cycle(3, tuple(0.001 for _ in COMPONENTS))
+        profiler.add_cycle(15, tuple(0.002 for _ in COMPONENTS))
+        assert profiler.cycles == 2
+        assert profiler.seconds["fetch"] == pytest.approx([0.001, 0.002])
+        assert profiler.component_total("commit") == pytest.approx(0.003)
+
+    def test_other_is_unaccounted_residue(self):
+        profiler = SelfProfiler()
+        profiler.add_cycle(0, tuple(0.01 for _ in COMPONENTS))
+        profiler.wall_time_s = 0.1
+        assert profiler.accounted_s == pytest.approx(0.07)
+        assert profiler.other_s == pytest.approx(0.03)
+
+    def test_as_dict_pads_series(self):
+        profiler = SelfProfiler(interval=10)
+        profiler.add_cycle(25, tuple(0.001 for _ in COMPONENTS))
+        snapshot = profiler.as_dict()
+        assert snapshot["schema"] == SELFPROFILE_SCHEMA
+        assert snapshot["n_intervals"] == 3
+        assert all(len(series) == 3
+                   for series in snapshot["seconds"].values())
+
+    def test_summary(self):
+        assert SelfProfiler().summary() == "no host time recorded"
+        profiler = SelfProfiler()
+        profiler.add_cycle(0, tuple(0.01 for _ in COMPONENTS))
+        assert "host time" in profiler.summary()
+
+
+class TestProfiledRun:
+    def test_profile_covers_the_run(self):
+        trace = build_trace("memops", "tiny")
+        profiler = SelfProfiler(interval=256)
+        result = OoOCore(machine("1P"), profiler=profiler).run(trace)
+        assert profiler.cycles == result.cycles
+        assert profiler.wall_time_s > 0
+        assert 0 < profiler.accounted_s <= profiler.wall_time_s
+        assert all(profiler.component_total(name) > 0
+                   for name in COMPONENTS)
+
+    def test_profiled_loop_is_deterministic(self):
+        """The instrumented loop must simulate the same machine."""
+        trace = build_trace("stream", "tiny")
+        config = machine("2P+SC")
+        plain = OoOCore(config).run(trace)
+        profiled = OoOCore(config, profiler=SelfProfiler()).run(trace)
+        assert plain.cycles == profiled.cycles
+        assert plain.instructions == profiled.instructions
+        assert plain.stats.as_dict() == profiled.stats.as_dict()
+
+    def test_artifact_round_trips(self, tmp_path):
+        trace = build_trace("memops", "tiny")
+        profiler = SelfProfiler(interval=512)
+        OoOCore(machine("1P"), profiler=profiler).run(trace)
+        path = tmp_path / "BENCH_profile.json"
+        profiler.write(str(path))
+        document = json.loads(path.read_text())
+        assert document["schema"] == SELFPROFILE_SCHEMA
+        assert document["components"] == list(COMPONENTS)
+        assert document["cycles"] == profiler.cycles
+        assert sum(document["totals"].values()) == \
+            pytest.approx(document["accounted_s"])
+        assert document["cycles_per_second"] > 0
+
+    def test_combines_with_metrics_and_pipetrace(self):
+        from repro.obs import PipeTrace
+        trace = build_trace("memops", "tiny")
+        profiler = SelfProfiler()
+        pipe = PipeTrace()
+        result = OoOCore(machine("1P"), metrics_interval=256,
+                         pipe_trace=pipe, profiler=profiler).run(trace)
+        assert result.metrics is not None
+        assert result.metrics.check_conservation(
+            result.cycles, result.instructions) == []
+        assert len(pipe.records) == result.instructions
+        assert profiler.cycles == result.cycles

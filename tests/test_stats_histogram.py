@@ -109,6 +109,43 @@ class TestBucketEdges:
         assert hist.fraction_at_most(10) == 1.0
 
 
+class TestPercentileOr:
+    """Edge cases of the empty-safe percentile used by the occupancy
+    summaries (a structure that never fills records no samples)."""
+
+    def test_empty_returns_default(self):
+        hist = Histogram()
+        assert hist.percentile_or(0.5) == 0
+        assert hist.percentile_or(0.99, default=-1) == -1
+
+    def test_single_bucket_every_fraction(self):
+        hist = Histogram()
+        hist.record(7, count=1000)
+        for q in (0.001, 0.5, 0.999, 1.0):
+            assert hist.percentile_or(q) == 7
+
+    def test_single_sample(self):
+        hist = Histogram()
+        hist.record(3)
+        assert hist.percentile_or(0.5) == 3
+        assert hist.percentile_or(1.0) == 3
+
+    def test_matches_percentile_when_nonempty(self):
+        hist = Histogram()
+        for value in range(1, 11):
+            hist.record(value)
+        for q in (0.1, 0.5, 0.9, 1.0):
+            assert hist.percentile_or(q) == hist.percentile(q)
+
+    def test_bad_fraction_still_raises_when_nonempty(self):
+        hist = Histogram()
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.percentile_or(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile_or(1.5)
+
+
 class TestMergeAndDict:
     def test_merge(self):
         first, second = Histogram(), Histogram()
