@@ -12,6 +12,9 @@
     repro simulate --events run.jsonl.gz
     repro simulate --metrics-interval 512 --json
     repro simulate --pipe-trace run.kanata --self-profile
+    repro simulate --workload qsort --validate
+    repro fuzz --seed 1 --count 50 --artifacts fuzz-artifacts
+    repro fuzz --replay fuzz-artifacts/seed17.repro
     repro events run.jsonl.gz --event stall --limit 20
     repro events run.jsonl.gz --type wb.drain --cycle-range 1000:2000
     repro compare a.json b.json --tolerance 0.01
@@ -156,11 +159,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.self_profile is not None:
         interval = args.metrics_interval or None
         profiler = SelfProfiler(interval) if interval else SelfProfiler()
+    validator = None
+    if args.validate:
+        from .validate import InvariantChecker
+        validator = InvariantChecker(tracer=tracer)
     start = time.perf_counter()
     try:
         result = core_simulate(trace, config, tracer=tracer,
                                metrics_interval=args.metrics_interval,
-                               pipe_trace=pipe, profiler=profiler)
+                               pipe_trace=pipe, profiler=profiler,
+                               validator=validator)
     finally:
         if tracer is not None:
             tracer.close()
@@ -179,9 +187,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         report = build_run_report(result, config, workload=workload,
                                   scale=scale, seed=args.seed,
                                   trace_file=trace_file,
-                                  wall_time=wall_time)
+                                  wall_time=wall_time,
+                                  violations=validator.violations
+                                  if validator is not None else None)
         print(json.dumps(report, indent=2))
-        return 0
+        return 0 if validator is None or validator.ok else 1
 
     dcache = config.mem.dcache
     lb_loads = int(stats["lsq.lb_loads"]) if dcache.has_line_buffer \
@@ -215,8 +225,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{args.pipe_trace}")
     if profiler is not None:
         print(f"  self-profile: {profiler.summary()} -> {profile_path}")
+    if validator is not None:
+        if validator.ok:
+            print("  validation: all invariants hold")
+        else:
+            print(f"  validation: {len(validator.violations)} violations; "
+                  f"first: {validator.violations[0]}")
     if args.stats:
         print(stats.format(indent="  "))
+    if validator is not None and not validator.ok:
+        return 1
     return 0
 
 
@@ -277,6 +295,58 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                              else table.render() + "\n")
             print(f"written to {path}\n")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import os
+
+    from .trace import fuzz as fuzz_mod
+    if args.replay:
+        try:
+            payload = fuzz_mod.load_artifact(args.replay)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        failures = fuzz_mod.replay_artifact(payload, args.max_instructions)
+        if failures:
+            print(f"{args.replay}: still failing:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"{args.replay}: passes on every config")
+        return 0
+    configs = tuple(args.config) if args.config else fuzz_mod.DEFAULT_CONFIGS
+    for name in configs:
+        machine(name)  # reject unknown names before the campaign
+    config = fuzz_mod.FuzzConfig(
+        seed=args.seed, count=args.count, configs=configs,
+        units=args.units, max_instructions=args.max_instructions,
+        shrink=not args.no_shrink)
+    progress = (lambda line: print(f"  {line}")) if args.verbose else None
+    report = fuzz_mod.run_fuzz(config, progress=progress)
+    last = args.seed + args.count - 1
+    if report.ok:
+        print(f"{report.programs} programs (seeds {args.seed}..{last}) x "
+              f"{len(configs)} configs: ok")
+        return 0
+    print(f"{len(report.failures)} of {report.programs} programs failed:")
+    if args.artifacts:
+        os.makedirs(args.artifacts, exist_ok=True)
+    for failure in report.failures:
+        extra = (f" (+{len(failure.failures) - 1} more)"
+                 if len(failure.failures) > 1 else "")
+        print(f"  seed {failure.seed}: {failure.failures[0]}{extra}")
+        if failure.shrunk_source is not None:
+            instructions = sum(
+                1 for line in failure.shrunk_source.splitlines()
+                if line.startswith("    "))
+            print(f"    shrunk to ~{instructions} instructions")
+        if args.artifacts:
+            path = os.path.join(args.artifacts,
+                                f"seed{failure.seed}.repro")
+            fuzz_mod.save_artifact(path, failure, configs)
+            print(f"    reproducer -> {path}")
+    return 1
 
 
 def _parse_cycle_range(text: str) -> tuple[int | None, int | None]:
@@ -417,9 +487,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="profile the simulator itself (host time per "
                                "component per interval) into PATH (default "
                                "BENCH_selfprofile_<workload>_<config>.json)")
+    simulate.add_argument("--validate", action="store_true",
+                          help="attach the microarchitectural invariant "
+                               "checker (see docs/VALIDATION.md); "
+                               "violations land in the --json report and "
+                               "flip the exit status")
     simulate.add_argument("--stats", action="store_true",
                           help="dump every counter")
     simulate.set_defaults(func=_cmd_simulate)
+
+    fuzz = sub.add_parser("fuzz",
+                          help="differential-fuzz the timing core against "
+                               "the functional golden model")
+    fuzz.add_argument("--seed", type=int, default=1,
+                      help="first program seed (default 1)")
+    fuzz.add_argument("--count", type=int, default=20,
+                      help="number of programs (consecutive seeds)")
+    fuzz.add_argument("--config", action="append", metavar="NAME",
+                      help="machine configuration to check (repeatable; "
+                           "default: 1P, 2P, 1P-wide+LB+SC)")
+    fuzz.add_argument("--units", type=int, default=24,
+                      help="body units per generated program")
+    fuzz.add_argument("--max-instructions", type=int, default=200_000)
+    fuzz.add_argument("--artifacts", metavar="DIR",
+                      help="save each failing program as a replayable "
+                           ".repro reproducer in this directory")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip reducing failing programs to minimal "
+                           "reproducers")
+    fuzz.add_argument("--replay", metavar="FILE",
+                      help="re-check a saved .repro artifact instead of "
+                           "fuzzing")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="print per-seed progress")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     events = sub.add_parser("events",
                             help="filter/summarize a captured event trace")

@@ -25,11 +25,16 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from typing import TYPE_CHECKING
+
 from ..mem.dcache import AccessStatus, DataCacheSystem
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.counters import Stats
 from .config import CoreConfig
 from .uop import Uop
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..validate.base import Validator
 
 _INFINITY = float("inf")
 
@@ -42,11 +47,13 @@ class LoadStoreQueue:
 
     def __init__(self, config: CoreConfig, dcache: DataCacheSystem,
                  stats: Stats | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 validator: "Validator | None" = None) -> None:
         self.config = config
         self.dcache = dcache
         self.stats = stats if stats is not None else Stats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._validate = validator
         self.loads: list[Uop] = []
         self.stores: list[Uop] = []
         self._cycle = 0
@@ -185,6 +192,9 @@ class LoadStoreQueue:
         if self.tracer.enabled:
             self.tracer.emit(self._cycle, "lsq.load", seq=load.seq,
                              line=load.line, source=source, ready=ready)
+        if self._validate is not None:
+            self._validate.on_load_serviced(self, load, ready, source,
+                                            self._cycle)
         complete(load, ready)
 
     # ------------------------------------------------------------------

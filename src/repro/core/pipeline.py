@@ -21,10 +21,11 @@ instruction advances at most one stage per cycle):
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..func.exceptions import SimError
 from ..isa import Opcode, OpClass
@@ -44,7 +45,15 @@ from .fu import FUPool
 from .lsq import LoadStoreQueue
 from .uop import Uop
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..validate.base import Validator
+
 _WATCHDOG_CYCLES = 50_000
+
+#: ``REPRO_VALIDATE=1`` attaches a strict invariant checker to every
+#: core that was not given an explicit validator — the switch CI uses
+#: to run the whole tier-1 suite under invariant checking.
+_ENV_VALIDATE = os.environ.get("REPRO_VALIDATE", "") not in ("", "0")
 
 
 @dataclass
@@ -63,6 +72,9 @@ class CoreResult:
     #: Interval telemetry (only when the run asked for it; see
     #: :mod:`repro.obs.metrics`).
     metrics: IntervalMetrics | None = None
+    #: Architectural end-state digests (registers, memory) from an
+    #: attached golden-model validator; ``None`` without one.
+    digests: dict[str, str] | None = None
 
     @property
     def ipc(self) -> float:
@@ -85,12 +97,17 @@ class OoOCore:
                  stall_interval: int = DEFAULT_INTERVAL,
                  metrics_interval: int | None = None,
                  pipe_trace: PipeTrace | None = None,
-                 profiler: SelfProfiler | None = None) -> None:
+                 profiler: SelfProfiler | None = None,
+                 validator: "Validator | None" = None) -> None:
         self.machine = machine
         self.cfg: CoreConfig = machine.core
         self.stats = Stats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._tracing = self.tracer.enabled
+        if validator is None and _ENV_VALIDATE:
+            from ..validate.invariants import InvariantChecker
+            validator = InvariantChecker(tracer=self.tracer, strict=True)
+        self._validate = validator
         self.mem = MemorySystem(machine.mem, stats=self.stats,
                                 tracer=self.tracer)
         # Optional telemetry: interval time series, per-instruction
@@ -105,7 +122,8 @@ class OoOCore:
         self.bpred = BranchPredictor(self.cfg.bpred, stats=self.stats)
         self.fu = FUPool(self.cfg.fu_specs, stats=self.stats)
         self.lsq = LoadStoreQueue(self.cfg, self.mem.dcache,
-                                  stats=self.stats, tracer=self.tracer)
+                                  stats=self.stats, tracer=self.tracer,
+                                  validator=validator)
         # Stall attribution: one slot-conservation ledger per run.
         self.ledger = StallLedger(
             max(self.cfg.issue_width, self.cfg.commit_width),
@@ -144,6 +162,10 @@ class OoOCore:
             cycle = self._run_loop()
         if self.metrics is not None:
             self.metrics.finalize(self._committed)
+        digests = None
+        if self._validate is not None:
+            self._validate.on_drain(self, cycle)
+            digests = self._validate.digests()
         self.stats.set("core.cycles", cycle)
         self.stats.set("core.committed", self._committed)
         for cause, slots in self.ledger.lost.items():
@@ -152,7 +174,8 @@ class OoOCore:
         return CoreResult(name=self.machine.name, cycles=cycle,
                           instructions=self._committed, stats=self.stats,
                           load_latency=self.load_latency,
-                          ledger=self.ledger, metrics=self.metrics)
+                          ledger=self.ledger, metrics=self.metrics,
+                          digests=digests)
 
     def _run_loop(self) -> int:
         """The plain (unprofiled) per-cycle loop; returns final cycle."""
@@ -170,6 +193,8 @@ class OoOCore:
             self._issue_stage(cycle)
             self._dispatch_stage(cycle)
             self._fetch_stage(cycle)
+            if self._validate is not None:
+                self._validate.on_cycle(self, cycle)
             if metrics is not None:
                 self._sample_metrics(metrics, cycle)
             if cycle - self._last_activity > _WATCHDOG_CYCLES:
@@ -208,6 +233,8 @@ class OoOCore:
             profiler.add_cycle(cycle, (t1 - t0, t2 - t1, t3 - t2,
                                        t4 - t3, t5 - t4, t6 - t5,
                                        t7 - t6))
+            if self._validate is not None:
+                self._validate.on_cycle(self, cycle)
             if metrics is not None:
                 self._sample_metrics(metrics, cycle)
             if cycle - self._last_activity > _WATCHDOG_CYCLES:
@@ -313,6 +340,8 @@ class OoOCore:
             self._committed += 1
             if self._pipe is not None:
                 self._pipe.record_commit(uop, cycle)
+            if self._validate is not None:
+                self._validate.on_commit(uop, cycle)
             if uop is self._waiting_serialize:
                 self._waiting_serialize = None
                 self._fetch_block_cause = StallCause.SERIALIZE
@@ -625,8 +654,10 @@ def simulate(trace: Sequence[TraceRecord],
              tracer: Tracer | None = None,
              metrics_interval: int | None = None,
              pipe_trace: PipeTrace | None = None,
-             profiler: SelfProfiler | None = None) -> CoreResult:
+             profiler: SelfProfiler | None = None,
+             validator: "Validator | None" = None) -> CoreResult:
     """Convenience: run *trace* through a fresh machine instance."""
     return OoOCore(machine, tracer=tracer,
                    metrics_interval=metrics_interval,
-                   pipe_trace=pipe_trace, profiler=profiler).run(trace)
+                   pipe_trace=pipe_trace, profiler=profiler,
+                   validator=validator).run(trace)

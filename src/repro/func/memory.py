@@ -9,6 +9,7 @@ the device instead of backing storage.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable
 
 PAGE_SHIFT = 12
@@ -107,6 +108,22 @@ class Memory:
     def mapped_bytes(self) -> int:
         """Bytes of backing store currently allocated."""
         return len(self._pages) * PAGE_SIZE
+
+    def content_digest(self) -> str:
+        """SHA-256 over all non-zero pages (number + contents).
+
+        All-zero pages are skipped: pages allocate on first *touch*, so
+        two runs of the same program can differ in which untouched-but-
+        read pages exist without differing in content.  Device state is
+        not memory content and is excluded.
+        """
+        hasher = hashlib.sha256()
+        for number in sorted(self._pages):
+            page = self._pages[number]
+            if any(page):
+                hasher.update(number.to_bytes(8, "little"))
+                hasher.update(page)
+        return hasher.hexdigest()
 
     # -- bulk access (image loading, string helpers) ------------------------
     def write_bytes(self, address: int, blob: bytes) -> None:

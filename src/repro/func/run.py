@@ -28,6 +28,9 @@ class RunResult:
     traps_taken: int = 0
     timer_interrupts: int = 0
     trace: list[TraceRecord] = field(default_factory=list)
+    #: Architectural end-state digests (``compute_digests=True`` only);
+    #: comparable against :attr:`repro.core.pipeline.CoreResult.digests`.
+    digests: dict[str, str] | None = None
 
     @property
     def user_retired(self) -> int:
@@ -37,12 +40,15 @@ class RunResult:
 def run_bare(program: Program, max_instructions: int = 5_000_000,
              collect_trace: bool = False,
              stack_top: int = DEFAULT_STACK_TOP,
-             user_mode: bool = True) -> RunResult:
+             user_mode: bool = True,
+             compute_digests: bool = False) -> RunResult:
     """Run a single program without the mini-OS.
 
     Syscalls are serviced by the host; the trace (if collected) contains
     only user-mode instructions.  Pass ``user_mode=False`` for bare-metal
     programs that use privileged instructions (MFSR/MTSR/HALT).
+    ``compute_digests`` hashes the final architectural state for
+    differential comparison (see :mod:`repro.validate`).
     """
     memory = Memory()
     console = ConsoleDevice()
@@ -57,6 +63,10 @@ def run_bare(program: Program, max_instructions: int = 5_000_000,
         interp.state.status = 0
     interp.state.write_reg(_SP, stack_top)
     exit_code = interp.run(max_instructions)
+    digests = None
+    if compute_digests:
+        digests = {"registers": interp.state.digest(),
+                   "memory": memory.content_digest()}
     return RunResult(
         exit_code=exit_code,
         console=console.text(),
@@ -67,4 +77,5 @@ def run_bare(program: Program, max_instructions: int = 5_000_000,
         traps_taken=interp.traps_taken,
         timer_interrupts=interp.timer_interrupts,
         trace=trace,
+        digests=digests,
     )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import struct
 
 from ..isa import (
@@ -83,6 +84,17 @@ class ArchState:
         if not 0 <= index < SYSREG_COUNT:
             raise IndexError(f"system register {index} out of range")
         self.sysregs[index] = value & _MASK64
+
+    def digest(self) -> str:
+        """SHA-256 over registers, pc and system registers — the
+        architectural register digest used by the validation layer."""
+        hasher = hashlib.sha256()
+        for value in self.regs:
+            hasher.update(value.to_bytes(8, "little"))
+        hasher.update(self.pc.to_bytes(8, "little"))
+        for value in self.sysregs:
+            hasher.update(value.to_bytes(8, "little"))
+        return hasher.hexdigest()
 
     # -- mode bits ---------------------------------------------------------
     @property

@@ -171,6 +171,10 @@ class DataCacheSystem:
         """Forwarding check against buffered retired stores."""
         return self.write_buffer.load_check(line, byte_mask)
 
+    def fill_pending(self, line: int) -> bool:
+        """Is a fill for *line* still in flight this cycle?"""
+        return self._pending.get(line, 0) > self._cycle
+
     # ------------------------------------------------------------------
     # Port-consuming accesses
     # ------------------------------------------------------------------

@@ -38,6 +38,13 @@ class LineBuffer:
         self.cycle = 0
         self._lines: OrderedDict[int, None] = OrderedDict()
 
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def contains(self, line: int) -> bool:
+        """Non-mutating probe: no LRU refresh, no stats (validation)."""
+        return line in self._lines
+
     def lookup(self, line: int) -> bool:
         """Probe for *line*; refreshes LRU position on hit."""
         if line in self._lines:

@@ -106,6 +106,14 @@ class WriteBuffer:
         return entry
 
     # ------------------------------------------------------------------
+    def covers(self, line: int, byte_mask: int) -> bool:
+        """Non-counting probe: would a load at (*line*, *byte_mask*)
+        forward from a buffered entry?  Used by the validation layer,
+        which must not perturb the ``load_check`` statistics."""
+        return any(entry.line == line and
+                   entry.byte_mask & byte_mask == byte_mask
+                   for entry in self._entries)
+
     def load_check(self, line: int, byte_mask: int) -> str:
         """How a load at (*line*, *byte_mask*) interacts with the buffer.
 

@@ -50,12 +50,15 @@ def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
                      scale: str | None = None,
                      seed: int | None = None,
                      trace_file: str | None = None,
-                     wall_time: float | None = None) -> dict[str, object]:
+                     wall_time: float | None = None,
+                     violations: list | None = None) -> dict[str, object]:
     """Assemble the versioned JSON document for one simulation.
 
     ``workload`` names a generated workload; ``trace_file`` records the
     path of a pre-saved trace.  The two are mutually exclusive — a
     simulation driven from a file has ``workload: null``.
+    ``violations`` carries the findings of an attached validator (see
+    :mod:`repro.validate`); ``None`` means validation did not run.
     """
     if workload is not None and trace_file is not None:
         raise ValueError("a run report names a workload or a trace_file, "
@@ -94,6 +97,9 @@ def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
         "load_latency": load_latency,
         "metrics": result.metrics.as_dict()
         if result.metrics is not None else None,
+        "digests": result.digests,
+        "validation": ({"violations": [v.as_dict() for v in violations]}
+                       if violations is not None else None),
         "host": {
             "wall_time_s": wall_time,
             "sim_ips": sim_ips,
@@ -239,6 +245,28 @@ def validate_run_report(report: dict) -> None:
                 if sum(metrics["committed"]) != report.get("instructions"):
                     problems.append("run.metrics: interval committed does "
                                     "not sum to run instructions")
+    digests = report.get("digests")
+    if digests is not None:
+        if not isinstance(digests, dict):
+            problems.append("run: digests must be an object or null")
+        else:
+            _require(digests, {"registers": str, "memory": str},
+                     problems, "run.digests")
+    validation = report.get("validation")
+    if validation is not None:
+        if not isinstance(validation, dict):
+            problems.append("run: validation must be an object or null")
+        elif not isinstance(validation.get("violations"), list):
+            problems.append("run.validation: missing violations list")
+        else:
+            for index, entry in enumerate(validation["violations"]):
+                if not isinstance(entry, dict):
+                    problems.append(f"run.validation.violations[{index}]: "
+                                    f"must be an object")
+                    continue
+                _require(entry, {"cycle": int, "check": str,
+                                 "detail": str}, problems,
+                         f"run.validation.violations[{index}]")
     host = report.get("host")
     if isinstance(host, dict) and "wall_time_s" not in host:
         problems.append("run.host: missing key 'wall_time_s'")

@@ -47,6 +47,7 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "wb.drain": ("line", "occupancy"),
     "lb.insert": ("line", "evicted"),
     "lb.invalidate": ("line", "reason"),
+    "validate.violation": ("check", "detail"),
 }
 
 

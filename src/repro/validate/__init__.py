@@ -1,0 +1,19 @@
+"""Differential validation: golden-model replay, invariant checking.
+
+See ``docs/VALIDATION.md`` for the invariant catalogue and workflow.
+"""
+
+from .base import (MAX_VIOLATIONS, ValidationError, ValidationSuite,
+                   Validator, Violation)
+from .golden import GoldenChecker
+from .invariants import InvariantChecker
+
+__all__ = [
+    "MAX_VIOLATIONS",
+    "GoldenChecker",
+    "InvariantChecker",
+    "ValidationError",
+    "ValidationSuite",
+    "Validator",
+    "Violation",
+]

@@ -1,0 +1,145 @@
+"""Validator plumbing shared by the golden-model and invariant checkers.
+
+A :class:`Validator` plugs into :class:`repro.core.pipeline.OoOCore`
+through four hooks — per committed uop, per serviced load, per cycle,
+and once at drain — following the repo's zero-overhead-when-off
+discipline: the core holds ``None`` by default and every hook site is a
+single ``is None`` check.
+
+Violations are collected (bounded) and, when a tracer is attached,
+emitted as ``validate.violation`` events so they land in the same JSONL
+stream as the rest of the run.  ``strict=True`` turns the first
+violation into a :class:`ValidationError` so CI fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..func.exceptions import SimError
+from ..obs.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..core.lsq import LoadStoreQueue
+    from ..core.pipeline import OoOCore
+    from ..core.uop import Uop
+
+#: Default cap on collected violations — a broken invariant usually
+#: fires every cycle, and the first few instances carry all the signal.
+MAX_VIOLATIONS = 100
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed rule break."""
+
+    cycle: int
+    check: str
+    detail: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {"cycle": self.cycle, "check": self.check,
+                "detail": self.detail}
+
+    def __str__(self) -> str:
+        return f"[cycle {self.cycle}] {self.check}: {self.detail}"
+
+
+class ValidationError(SimError):
+    """Raised by a strict validator on the first violation."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class Validator:
+    """Base class: no-op hooks plus violation bookkeeping."""
+
+    def __init__(self, tracer: Tracer | None = None, strict: bool = False,
+                 max_violations: int = MAX_VIOLATIONS) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.strict = strict
+        self.max_violations = max_violations
+        self.violations: list[Violation] = []
+
+    # -- hook points (called by the core when a validator is attached) --
+    def on_commit(self, uop: "Uop", cycle: int) -> None:
+        """One uop left the ROB head this cycle."""
+
+    def on_load_serviced(self, lsq: "LoadStoreQueue", load: "Uop",
+                         ready: int, source: str, cycle: int) -> None:
+        """The LSQ routed a load (``source`` names where the data
+        comes from: sq/wb/lb/hit/miss/secondary)."""
+
+    def on_cycle(self, core: "OoOCore", cycle: int) -> None:
+        """End of one simulated cycle (all stages done)."""
+
+    def on_drain(self, core: "OoOCore", cycle: int) -> None:
+        """The run loop exited; the machine should be empty."""
+
+    def digests(self) -> dict[str, str] | None:
+        """Architectural end-state digests, when the validator tracks
+        them (the golden checker does; invariant checking does not)."""
+        return None
+
+    # -- reporting -----------------------------------------------------
+    def report(self, cycle: int, check: str, detail: str) -> None:
+        """Record one violation (raises in strict mode)."""
+        violation = Violation(cycle, check, detail)
+        if self.strict:
+            raise ValidationError(violation)
+        if len(self.violations) >= self.max_violations:
+            return
+        self.violations.append(violation)
+        if self.tracer.enabled:
+            self.tracer.emit(cycle, "validate.violation", check=check,
+                             detail=detail)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ValidationSuite(Validator):
+    """Fans every hook out to a list of child validators."""
+
+    def __init__(self, children: list[Validator]) -> None:
+        super().__init__()
+        self.children = list(children)
+
+    def on_commit(self, uop: "Uop", cycle: int) -> None:
+        for child in self.children:
+            child.on_commit(uop, cycle)
+
+    def on_load_serviced(self, lsq: "LoadStoreQueue", load: "Uop",
+                         ready: int, source: str, cycle: int) -> None:
+        for child in self.children:
+            child.on_load_serviced(lsq, load, ready, source, cycle)
+
+    def on_cycle(self, core: "OoOCore", cycle: int) -> None:
+        for child in self.children:
+            child.on_cycle(core, cycle)
+
+    def on_drain(self, core: "OoOCore", cycle: int) -> None:
+        for child in self.children:
+            child.on_drain(core, cycle)
+
+    def digests(self) -> dict[str, str] | None:
+        for child in self.children:
+            digests = child.digests()
+            if digests is not None:
+                return digests
+        return None
+
+    @property
+    def all_violations(self) -> list[Violation]:
+        collected = list(self.violations)
+        for child in self.children:
+            collected.extend(child.violations)
+        return collected
+
+    @property
+    def ok(self) -> bool:
+        return all(child.ok for child in self.children)

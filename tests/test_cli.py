@@ -520,3 +520,68 @@ class TestExperimentOutput:
                      "--output", out, "--csv"]) == 0
         written = (tmp_path / "results" / "a3_tiny.csv").read_text()
         assert written.splitlines()[0].startswith("locality,")
+
+
+class TestSimulateValidate:
+    def test_clean_run_reports_ok(self, capsys):
+        assert main(["simulate", "--workload", "qsort", "--scale", "tiny",
+                     "--validate"]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_json_report_carries_empty_violations(self, capsys):
+        import json
+        assert main(["simulate", "--workload", "stream", "--scale", "tiny",
+                     "--validate", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["validation"] == {"violations": []}
+        from repro.obs import validate_run_report
+        validate_run_report(report)
+
+    def test_violations_flip_exit_status(self, monkeypatch, capsys):
+        from repro.core.lsq import LoadStoreQueue
+        monkeypatch.setattr(LoadStoreQueue, "add_load",
+                            lambda self, uop: self.loads.insert(0, uop))
+        assert main(["simulate", "--workload", "qsort", "--scale", "tiny",
+                     "--validate"]) == 1
+        assert "lsq.load_order" in capsys.readouterr().out
+
+
+class TestFuzz:
+    def test_clean_campaign(self, capsys):
+        assert main(["fuzz", "--seed", "1", "--count", "3",
+                     "--config", "1P"]) == 0
+        assert "3 programs" in capsys.readouterr().out
+
+    def test_verbose_progress(self, capsys):
+        assert main(["fuzz", "--seed", "1", "--count", "1",
+                     "--config", "1P", "--verbose"]) == 0
+        assert "seed 1: ok" in capsys.readouterr().out
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError, match="unknown configuration"):
+            main(["fuzz", "--count", "1", "--config", "bogus"])
+
+    def test_failure_writes_artifact_and_replays(self, monkeypatch,
+                                                 tmp_path, capsys):
+        from repro.core.lsq import LoadStoreQueue
+        artifacts = str(tmp_path / "artifacts")
+        monkeypatch.setattr(LoadStoreQueue, "add_load",
+                            lambda self, uop: self.loads.insert(0, uop))
+        assert main(["fuzz", "--seed", "1", "--count", "1",
+                     "--config", "1P", "--artifacts", artifacts]) == 1
+        out = capsys.readouterr().out
+        assert "seed 1" in out and "shrunk" in out
+        artifact = str(tmp_path / "artifacts" / "seed1.repro")
+        # Bug still present: the reproducer still fails.
+        assert main(["fuzz", "--replay", artifact]) == 1
+        monkeypatch.undo()
+        # Bug fixed: the reproducer passes.
+        assert main(["fuzz", "--replay", artifact]) == 0
+        out = capsys.readouterr().out
+        assert "passes" in out
+
+    def test_replay_rejects_non_artifact(self, tmp_path, capsys):
+        bogus = tmp_path / "x.repro"
+        bogus.write_text("{}", encoding="utf-8")
+        assert main(["fuzz", "--replay", str(bogus)]) == 2
+        assert "error" in capsys.readouterr().err

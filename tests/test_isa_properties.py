@@ -1,0 +1,51 @@
+"""Word-level properties of the ISA over the *full* opcode table.
+
+Two round trips, both starting from an arbitrary valid 32-bit
+instruction word:
+
+* ``encode(decode(word)) == word`` for every opcode;
+* ``assemble(disassemble(word))`` re-encodes to the identical word for
+  every opcode whose canonical text is position-independent.  PC-relative
+  control transfers (branches, ``j``/``jal``) are excluded by
+  construction: their textual operand is a label or absolute address,
+  not the encoded relative immediate, so their text form cannot round
+  trip in isolation.
+"""
+
+from hypothesis import given, settings
+
+from repro.asm import assemble
+from repro.isa import decode, encode
+from repro.isa.opcodes import OPCODE_INFO
+
+from tests.test_isa_encoding import _instruction_strategy
+
+#: Opcodes whose assembly text encodes a PC-relative immediate.
+_PC_RELATIVE = frozenset(
+    op for op, info in OPCODE_INFO.items()
+    if info.is_control and info.has_imm)
+
+
+class TestWordRoundTrips:
+    @settings(max_examples=400, deadline=None)
+    @given(_instruction_strategy())
+    def test_encode_decode_word_fixed_point(self, instr):
+        word = encode(instr)
+        assert encode(decode(word)) == word
+
+    @settings(max_examples=400, deadline=None)
+    @given(_instruction_strategy())
+    def test_assemble_disassemble_word_fixed_point(self, instr):
+        if instr.opcode in _PC_RELATIVE:
+            return
+        word = encode(instr)
+        text = decode(word).disassemble()
+        program = assemble(f".text\nmain:\n    {text}\n")
+        assert len(program.text) == 1, text
+        assert encode(program.text[0]) == word, text
+
+    def test_every_opcode_is_reachable_by_the_text_property(self):
+        # The exclusion list must stay exactly the PC-relative transfers;
+        # growing it would silently weaken the property above.
+        assert sorted(op.value for op in _PC_RELATIVE) == \
+            ["beq", "bge", "bgeu", "blt", "bltu", "bne", "j", "jal"]

@@ -173,3 +173,106 @@ class TestWriteBufferLoadCheck:
         wb.add(1, 0x0F)
         wb.add(1, 0xF0)
         assert wb.load_check(1, 0x3C) == "forward"
+
+
+class TestValidationProbes:
+    """The non-counting probes used by ``repro.validate`` must agree
+    with the real lookups without perturbing stats or LRU state."""
+
+    def test_wb_covers_matches_forwarding(self):
+        wb = WriteBuffer(4, False, line_size=32)
+        wb.add(1, 0xFF)
+        assert wb.covers(1, 0x0F)
+        assert not wb.covers(1, 0x100)   # byte 8 not buffered
+        assert not wb.covers(2, 0x0F)    # different line
+
+    def test_wb_covers_does_not_count(self):
+        stats = Stats()
+        wb = WriteBuffer(4, False, line_size=32, stats=stats)
+        wb.add(1, 0xFF)
+        wb.covers(1, 0x0F)
+        assert stats["wb.load_forwards"] == 0
+
+    def test_wb_zero_depth_covers_nothing(self):
+        wb = WriteBuffer(0, True, line_size=32)
+        assert not wb.covers(1, 1)
+
+    def test_lb_contains_matches_lookup(self):
+        lb = LineBuffer(2, LineBufferOnStore.UPDATE)
+        lb.insert(7)
+        assert lb.contains(7)
+        assert not lb.contains(8)
+
+    def test_lb_contains_does_not_refresh_lru(self):
+        lb = LineBuffer(2, LineBufferOnStore.UPDATE)
+        lb.insert(1)
+        lb.insert(2)
+        lb.contains(1)      # must NOT make 1 the MRU entry
+        lb.insert(3)        # evicts 1, the true LRU
+        assert not lb.contains(1)
+        assert lb.contains(2) and lb.contains(3)
+
+    def test_lb_contains_does_not_count(self):
+        stats = Stats()
+        lb = LineBuffer(1, LineBufferOnStore.UPDATE, name="lb",
+                        stats=stats)
+        lb.insert(1)
+        lb.contains(1)
+        lb.contains(9)
+        assert stats["lb.hits"] == 0
+        assert stats["lb.misses"] == 0
+
+    def test_lb_len(self):
+        lb = LineBuffer(2, LineBufferOnStore.UPDATE)
+        assert len(lb) == 0
+        lb.insert(1)
+        lb.insert(2)
+        lb.insert(3)
+        assert len(lb) == 2
+
+
+class TestWriteBufferDcacheEdges:
+    """Edge cases at the D-cache boundary: coalescing into in-flight
+    fills, draining on idle port cycles (the barrier/commit-stall
+    path), and the zero-entry configuration."""
+
+    def _dcache(self, **overrides):
+        from tests.test_mem_dcache import make_dcache
+        return make_dcache(**overrides)
+
+    def test_store_coalesces_into_in_flight_fill(self):
+        dcache = self._dcache(ports=2)
+        dcache.store_access(5)            # miss: starts a fill
+        busy = dcache.mshrs_busy()
+        dcache.begin_cycle(1)
+        dcache.store_access(5)            # fill still in flight: merge
+        assert dcache.stats["dcache.store_mshr_merges"] == 1
+        assert dcache.mshrs_busy() == busy
+
+    def test_drain_empties_buffer_on_idle_ports(self):
+        # With commit stalled (e.g. at a serialising barrier) nothing
+        # competes for ports, so repeated drain calls must empty the
+        # buffer completely.
+        dcache = self._dcache(ports=1, write_buffer_depth=4, mshrs=4)
+        for line in (1, 2, 3):
+            assert dcache.buffer_store(line, 0xFF)
+        cycle = 0
+        while not dcache.write_buffer.empty:
+            cycle += 1
+            dcache.begin_cycle(cycle)
+            dcache.drain_write_buffer()
+            assert cycle < 500, "write buffer never drained"
+        assert dcache.stats["wb.drains"] == 3
+
+    def test_drain_yields_to_demand_traffic(self):
+        dcache = self._dcache(ports=1)
+        dcache.buffer_store(1, 0xFF)
+        dcache.load_access(2)             # demand load takes the port
+        dcache.drain_write_buffer()       # no port left: nothing drains
+        assert len(dcache.write_buffer) == 1
+
+    def test_zero_depth_buffer_rejects_all_stores(self):
+        dcache = self._dcache(write_buffer_depth=0)
+        assert not dcache.buffer_store(1, 0xFF)
+        assert dcache.write_buffer.full
+        assert dcache.write_buffer.empty

@@ -50,6 +50,29 @@ class TestVictimCacheUnit:
         assert stats["victim.hits"] == 1
         assert stats["victim.misses"] == 1
 
+    def test_full_buffer_overflow_returns_dirty_victim(self):
+        # The caller owns the writeback of a pushed-out dirty line; a
+        # full-buffer insert must hand it back, not drop it.
+        vc = VictimCache(2)
+        vc.insert(1, dirty=True)
+        vc.insert(2, dirty=False)
+        assert vc.insert(3, dirty=False) == (1, True)
+
+    def test_occupancy_never_exceeds_capacity(self):
+        stats = Stats()
+        vc = VictimCache(2, stats=stats)
+        for line in range(10):
+            vc.insert(line, dirty=line % 2 == 0)
+            assert len(vc) <= 2
+        assert stats["victim.overflows"] == 8
+
+    def test_reinsert_when_full_does_not_overflow(self):
+        vc = VictimCache(2)
+        vc.insert(1, False)
+        vc.insert(2, False)
+        assert vc.insert(1, True) is None   # refresh, not a new entry
+        assert len(vc) == 2
+
 
 class TestVictimIntegration:
     def _conflict_dcache(self, victim_entries=4):

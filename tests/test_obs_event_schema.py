@@ -74,16 +74,40 @@ def _capture(workload, config, **overrides):
     return [json.loads(line) for line in buffer if line.strip()]
 
 
+def _capture_injected_violation():
+    """``validate.violation``: run with the invariant checker attached
+    and an intentionally broken LSQ (loads enqueued out of age order),
+    so the checker has something real to report into the stream."""
+    from repro.core.lsq import LoadStoreQueue
+    from repro.validate import InvariantChecker
+    trace = build_trace("qsort", "tiny")
+    buffer = io.StringIO()
+    tracer = JsonlTracer(buffer)
+    original = LoadStoreQueue.add_load
+    LoadStoreQueue.add_load = lambda self, uop: self.loads.insert(0, uop)
+    try:
+        OoOCore(machine("1P"), tracer=tracer,
+                validator=InvariantChecker(tracer=tracer)).run(trace)
+    finally:
+        LoadStoreQueue.add_load = original
+    tracer.close()
+    buffer.seek(0)
+    import json
+    return [json.loads(line) for line in buffer if line.strip()]
+
+
 @pytest.fixture(scope="module")
 def all_captured_events():
-    """Three runs chosen so every schema'd event type fires at least
+    """Four runs chosen so every schema'd event type fires at least
     once: a port-starved streaming run, a branchy run on the line-buffer
-    configuration, and a store-heavy run with invalidate-on-store."""
+    configuration, a store-heavy run with invalidate-on-store, and a
+    validated run with an injected invariant violation."""
     records = []
     records += _capture("stream", "1P")
     records += _capture("qsort", BEST_SINGLE_PORT)
     records += _capture("compress", "1P+LB",
                         line_buffer_on_store=LineBufferOnStore.INVALIDATE)
+    records += _capture_injected_violation()
     return records
 
 

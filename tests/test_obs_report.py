@@ -126,6 +126,67 @@ class TestRunValidation:
             validate_run_report(report)
 
 
+class TestDigestsAndValidationFields:
+    def _valid(self, run_and_report):
+        return json.loads(json.dumps(run_and_report[1]))
+
+    def test_unvalidated_run_has_null_fields(self, run_and_report):
+        _, report = run_and_report
+        assert report["digests"] is None
+        assert report["validation"] is None
+
+    def test_validated_run_embeds_violations(self, run_and_report):
+        from repro.validate import Violation
+        result, _ = run_and_report
+        violations = [Violation(cycle=9, check="rob.order", detail="x")]
+        report = build_run_report(result, machine("2P+SC"),
+                                  violations=violations)
+        assert report["validation"] == {
+            "violations": [{"cycle": 9, "check": "rob.order",
+                            "detail": "x"}]}
+        validate_run_report(report)
+
+    def test_clean_validated_run_has_empty_list(self, run_and_report):
+        result, _ = run_and_report
+        report = build_run_report(result, machine("2P+SC"), violations=[])
+        assert report["validation"] == {"violations": []}
+        validate_run_report(report)
+
+    def test_digests_from_golden_checked_run(self):
+        from repro.asm import assemble
+        from repro.func import run_bare
+        from repro.validate import GoldenChecker
+        source = (".equ SYS_EXIT, 1\n.text\nmain:\n    li t0, 5\n"
+                  "    li a0, 0\n    li a7, SYS_EXIT\n    syscall 0\n")
+        program = assemble(source)
+        func = run_bare(program, collect_trace=True, compute_digests=True)
+        checker = GoldenChecker(program, trace=func.trace)
+        config = machine("1P")
+        result = OoOCore(config, validator=checker).run(func.trace)
+        report = build_run_report(result, config,
+                                  violations=checker.violations)
+        assert report["digests"] == func.digests
+        validate_run_report(report)
+
+    def test_rejects_malformed_digests(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["digests"] = {"registers": "abc"}       # memory missing
+        with pytest.raises(SchemaError, match="digests"):
+            validate_run_report(report)
+        report["digests"] = "abc"
+        with pytest.raises(SchemaError, match="digests"):
+            validate_run_report(report)
+
+    def test_rejects_malformed_validation(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["validation"] = {"violations": [{"cycle": "late"}]}
+        with pytest.raises(SchemaError, match="violations"):
+            validate_run_report(report)
+        report["validation"] = {}
+        with pytest.raises(SchemaError, match="violations"):
+            validate_run_report(report)
+
+
 class TestExperimentManifest:
     def _manifest(self, run_and_report):
         table = Table(title="T", columns=["name", "ipc"])

@@ -1,0 +1,81 @@
+"""Property tests for trace serialisation (format v2).
+
+Arbitrary well-formed instruction-less records — including the v2
+timing hints (``serializes``, ``decode_redirect``,
+``store_addr_count``) — must survive a save/load cycle exactly, so a
+reloaded trace drives the timing core identically to the original.
+"""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import OpClass
+from repro.trace.io import load_trace, save_trace
+from repro.trace.record import TraceRecord
+
+_NON_MEM_CLASSES = [OpClass.ALU, OpClass.MUL, OpClass.DIV, OpClass.FP_ADD,
+                    OpClass.FP_MUL, OpClass.FP_DIV, OpClass.BRANCH,
+                    OpClass.JUMP, OpClass.SYSTEM]
+
+
+@st.composite
+def _trace_records(draw):
+    kind = draw(st.sampled_from(["plain", "load", "store"]))
+    pc = draw(st.integers(0, (1 << 48) - 1)) * 4
+    sources = tuple(draw(st.lists(st.integers(0, 63), max_size=2)))
+    mem_size = draw(st.sampled_from([1, 2, 4, 8])) \
+        if kind != "plain" else 0
+    store_addr_count = -1
+    if kind == "store":
+        store_addr_count = draw(st.sampled_from(
+            [-1] + list(range(len(sources) + 1))))
+    opclass = {"plain": draw(st.sampled_from(_NON_MEM_CLASSES)),
+               "load": OpClass.LOAD, "store": OpClass.STORE}[kind]
+    return TraceRecord(
+        pc=pc,
+        opclass=opclass,
+        dest=draw(st.one_of(st.none(), st.integers(0, 63))),
+        sources=sources,
+        mem_addr=draw(st.integers(0, (1 << 48) - 1)) if mem_size else 0,
+        mem_size=mem_size,
+        is_load=kind == "load",
+        is_store=kind == "store",
+        is_control=draw(st.booleans()) if kind == "plain" else False,
+        taken=draw(st.booleans()),
+        next_pc=draw(st.integers(0, (1 << 48) - 1)) * 4,
+        kernel=draw(st.booleans()),
+        serializes=draw(st.booleans()),
+        decode_redirect=draw(st.booleans()),
+        store_addr_count=store_addr_count,
+    )
+
+
+def _round_trip(trace):
+    buffer = io.BytesIO()
+    save_trace(buffer, trace)
+    buffer.seek(0)
+    return load_trace(buffer)
+
+
+class TestRecordRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_trace_records(), max_size=30))
+    def test_records_survive_exactly(self, trace):
+        assert _round_trip(trace) == trace
+
+    @settings(max_examples=60, deadline=None)
+    @given(_trace_records())
+    def test_timing_hints_survive(self, record):
+        loaded = _round_trip([record])[0]
+        assert loaded.serializes == record.serializes
+        assert loaded.decode_redirect == record.decode_redirect
+        assert loaded.store_addr_count == record.store_addr_count
+
+    @settings(max_examples=60, deadline=None)
+    @given(_trace_records())
+    def test_flag_bits_are_independent(self, record):
+        loaded = _round_trip([record])[0]
+        for name in ("is_load", "is_store", "is_control", "taken",
+                     "kernel"):
+            assert getattr(loaded, name) == getattr(record, name), name
