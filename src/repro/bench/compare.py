@@ -1,0 +1,181 @@
+"""Validation and regression comparison for benchmark manifests.
+
+A benchmark manifest mixes two kinds of content with different
+comparison rules:
+
+* **deterministic** content — the matrix itself and each cell's
+  simulated ``instructions`` / ``cycles`` / ``ipc`` — must match
+  *exactly* between a baseline and a candidate from the same source
+  revision.  A mismatch means the simulator's functional behaviour
+  changed, which no throughput tolerance should paper over.
+* **throughput** content — the per-cell median kIPS — compares within
+  a relative tolerance, because host timing is noisy.
+
+:func:`compare_bench` runs both comparisons through
+:func:`repro.obs.compare.compare_documents` and reports them
+separately, so ``repro bench --compare`` can exit 1 for "slower" and
+2 for "different" (see the CLI).
+"""
+
+from __future__ import annotations
+
+import datetime
+import socket
+from pathlib import Path
+
+from ..obs.compare import compare_documents, render_comparison
+from ..obs.report import SchemaError, _require
+from .harness import BENCH_SCHEMA
+
+#: Relative tolerance ``--compare`` applies to throughput by default.
+DEFAULT_TOLERANCE = 0.1
+
+
+def default_bench_path(directory: str | Path = ".") -> Path:
+    """The conventional manifest name: ``BENCH_<host>_<date>.json``."""
+    stamp = datetime.date.today().isoformat()
+    return Path(directory) / f"BENCH_{socket.gethostname()}_{stamp}.json"
+
+
+def validate_bench_manifest(manifest: dict) -> None:
+    """Raise :class:`~repro.obs.report.SchemaError` unless *manifest*
+    is a structurally valid ``repro.bench/1`` document."""
+    problems: list[str] = []
+    if not isinstance(manifest, dict):
+        raise SchemaError(["bench manifest must be an object"])
+    _require(manifest, {
+        "schema": str,
+        "schema_version": int,
+        "mode": str,
+        "settings": dict,
+        "matrix": list,
+        "results": list,
+        "tracegen": list,
+        "host": dict,
+    }, problems, "bench")
+    if manifest.get("schema") not in (None, BENCH_SCHEMA):
+        problems.append(f"bench: schema is {manifest['schema']!r}, "
+                        f"expected {BENCH_SCHEMA!r}")
+    if manifest.get("mode") not in (None, "quick", "full"):
+        problems.append(f"bench: mode is {manifest['mode']!r}, "
+                        f"expected 'quick' or 'full'")
+    settings = manifest.get("settings")
+    if isinstance(settings, dict):
+        _require(settings, {"repeats": int, "warmup": int},
+                 problems, "bench.settings")
+    for index, cell in enumerate(manifest.get("matrix") or ()):
+        if not isinstance(cell, dict):
+            problems.append(f"bench.matrix[{index}]: must be an object")
+            continue
+        _require(cell, {"workload": str, "scale": str, "config": str},
+                 problems, f"bench.matrix[{index}]")
+    for index, result in enumerate(manifest.get("results") or ()):
+        if not isinstance(result, dict):
+            problems.append(f"bench.results[{index}]: must be an object")
+            continue
+        context = f"bench.results[{index}]"
+        _require(result, {
+            "label": str,
+            "workload": str,
+            "scale": str,
+            "config": str,
+            "instructions": int,
+            "cycles": int,
+            "ipc": (int, float),
+            "seconds": dict,
+            "kips": dict,
+            "cps": (int, float),
+        }, problems, context)
+        for key in ("seconds", "kips"):
+            stats = result.get(key)
+            if not isinstance(stats, dict):
+                continue
+            _require(stats, {"values": list, "median": (int, float),
+                             "iqr": (int, float)},
+                     problems, f"{context}.{key}")
+            values = stats.get("values")
+            if isinstance(values, list) and not all(
+                    isinstance(value, (int, float)) and
+                    not isinstance(value, bool) for value in values):
+                problems.append(f"{context}.{key}: values must be "
+                                f"numbers")
+    for index, timing in enumerate(manifest.get("tracegen") or ()):
+        if not isinstance(timing, dict):
+            problems.append(f"bench.tracegen[{index}]: must be an "
+                            f"object")
+            continue
+        _require(timing, {"label": str, "instructions": int,
+                          "cold_s": (int, float),
+                          "warm_s": (int, float)},
+                 problems, f"bench.tracegen[{index}]")
+    if problems:
+        raise SchemaError(problems)
+
+
+def _deterministic_view(manifest: dict) -> dict:
+    """The exact-match subset of a manifest."""
+    return {
+        "schema": manifest.get("schema"),
+        "mode": manifest.get("mode"),
+        "matrix": manifest.get("matrix"),
+        "results": [{key: result.get(key)
+                     for key in ("label", "workload", "scale", "config",
+                                 "instructions", "cycles", "ipc")}
+                    for result in manifest.get("results") or ()],
+    }
+
+
+def _throughput_view(manifest: dict) -> dict:
+    """The tolerance-compared subset: per-cell median kIPS."""
+    return {"kips": {result["label"]: result["kips"]["median"]
+                     for result in manifest.get("results") or ()}}
+
+
+def compare_bench(baseline: dict, candidate: dict,
+                  tolerance: float = DEFAULT_TOLERANCE) -> dict:
+    """Compare two benchmark manifests.
+
+    Returns a report with two embedded ``repro.compare/1`` documents:
+    ``deterministic`` (tolerance 0 — simulated results must match
+    exactly) and ``throughput`` (median kIPS within *tolerance*).
+    ``ok`` is true iff both compare clean; ``deterministic_ok`` false
+    means the two manifests disagree about *what was simulated*, not
+    just how fast.
+    """
+    deterministic = compare_documents(_deterministic_view(baseline),
+                                      _deterministic_view(candidate),
+                                      tolerance=0.0, ignore=frozenset())
+    throughput = compare_documents(_throughput_view(baseline),
+                                   _throughput_view(candidate),
+                                   tolerance=tolerance,
+                                   ignore=frozenset())
+    return {
+        "schema": "repro.bench.compare/1",
+        "schema_version": 1,
+        "tolerance": tolerance,
+        "deterministic": deterministic,
+        "throughput": throughput,
+        "deterministic_ok": deterministic["equal"],
+        "throughput_ok": throughput["equal"],
+        "ok": deterministic["equal"] and throughput["equal"],
+    }
+
+
+def render_bench_comparison(report: dict, label_a: str,
+                            label_b: str) -> str:
+    """Human-readable rendering of a :func:`compare_bench` report."""
+    lines = []
+    if report["deterministic_ok"]:
+        lines.append("deterministic results: identical")
+    else:
+        lines.append("deterministic results DIFFER — the two manifests "
+                     "did not simulate the same thing:")
+        lines.append(render_comparison(report["deterministic"],
+                                       label_a, label_b))
+    verdict = "within tolerance" if report["throughput_ok"] else \
+        "OUT OF TOLERANCE"
+    lines.append(f"throughput (tolerance "
+                 f"{report['tolerance']:g}): {verdict}")
+    lines.append(render_comparison(report["throughput"],
+                                   label_a, label_b))
+    return "\n".join(lines)

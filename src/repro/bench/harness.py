@@ -1,0 +1,201 @@
+"""The benchmark harness: timed simulation over a pinned matrix.
+
+Methodology
+-----------
+
+* The matrix is **pinned** (module constants, not flags) so every
+  manifest measures the same work and any two manifests from the same
+  source revision are comparable.  ``--quick`` selects a tiny-scale
+  matrix for CI smoke runs; the full matrix uses the ``small`` scale.
+* Every cell is simulated ``warmup`` times untimed (page cache, JIT-
+  warmed dict layouts, branch predictors — the host's, not the
+  simulated one), then ``repeats`` times timed.  The manifest stores
+  every timed wall-clock sample plus the **median** and the **IQR**
+  (inter-quartile range), which are robust to the one-off scheduler
+  hiccups that poison means.
+* Simulated results (instructions, cycles) are recorded per cell:
+  they must be identical run-to-run, which is what lets
+  :func:`repro.bench.compare.compare_bench` split "the simulator got
+  slower" from "the simulator computes something different".
+* Trace generation is timed separately — once **cold** (memory tier
+  cleared, disk tier disabled, so the functional simulator really
+  runs) and once **warm** (straight from the in-memory cache) per
+  distinct workload.
+
+All timings land under per-cell ``seconds``/``kips``/``tracegen``
+subtrees; everything else in a manifest is deterministic.
+"""
+
+from __future__ import annotations
+
+import platform
+import socket
+import sys
+import time
+from dataclasses import dataclass
+
+from ..core.pipeline import OoOCore
+from ..presets import machine as preset_machine
+from ..workloads import suite
+
+#: Schema tag carried by every benchmark manifest.
+SCHEMA_VERSION = 1
+BENCH_SCHEMA = f"repro.bench/{SCHEMA_VERSION}"
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One matrix cell: simulate *workload* at *scale* on *config*."""
+
+    workload: str
+    scale: str
+    config: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}@{self.scale}/{self.config}"
+
+
+#: CI smoke matrix: the port-bandwidth extremes plus the techniques
+#: config, over short memory-heavy and control-heavy workloads.
+QUICK_MATRIX = (
+    BenchCell("stream", "tiny", "1P"),
+    BenchCell("stream", "tiny", "2P"),
+    BenchCell("memops", "tiny", "1P-wide+LB+SC"),
+    BenchCell("memops", "tiny", "2P"),
+    BenchCell("qsort", "tiny", "1P"),
+    BenchCell("qsort", "tiny", "2P+SC"),
+)
+
+#: The full matrix: small-scale runs across the paper's main configs.
+FULL_MATRIX = (
+    BenchCell("stream", "small", "1P"),
+    BenchCell("stream", "small", "1P-wide+LB+SC"),
+    BenchCell("stream", "small", "2P"),
+    BenchCell("memops", "small", "1P"),
+    BenchCell("memops", "small", "1P-wide+LB+SC"),
+    BenchCell("memops", "small", "2P"),
+    BenchCell("qsort", "small", "1P"),
+    BenchCell("qsort", "small", "2P+SC"),
+    BenchCell("linked", "small", "1P"),
+    BenchCell("linked", "small", "2P+SC"),
+)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _iqr(values: list[float]) -> float:
+    """Inter-quartile range via linear interpolation."""
+    ordered = sorted(values)
+    if len(ordered) < 2:
+        return 0.0
+
+    def quantile(q: float) -> float:
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        return ordered[low] + (ordered[high] - ordered[low]) \
+            * (position - low)
+
+    return quantile(0.75) - quantile(0.25)
+
+
+def _summarize(values: list[float]) -> dict[str, object]:
+    return {"values": values, "median": _median(values),
+            "iqr": _iqr(values)}
+
+
+def _bench_cell(cell: BenchCell, warmup: int, repeats: int,
+                ) -> dict[str, object]:
+    trace = suite.build_trace(cell.workload, cell.scale)
+    config = preset_machine(cell.config)
+    for _ in range(warmup):
+        OoOCore(config).run(trace)
+    samples: list[float] = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = OoOCore(config).run(trace)
+        samples.append(time.perf_counter() - start)
+    seconds = _summarize(samples)
+    return {
+        "label": cell.label,
+        "workload": cell.workload,
+        "scale": cell.scale,
+        "config": cell.config,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "seconds": seconds,
+        "kips": _summarize([result.instructions / 1000 / s
+                            for s in samples]),
+        "cps": result.cycles / seconds["median"],
+    }
+
+
+def _time_trace_gen(matrix: tuple[BenchCell, ...]) -> list[dict]:
+    """Cold and warm trace-generation timings per distinct workload.
+
+    Cold = functional simulation from scratch: the in-memory tier is
+    cleared and the disk tier disabled for the duration, then both are
+    restored (the cold build is left in memory, so subsequent cells
+    still get cache hits)."""
+    timings = []
+    previous_dir = suite.trace_cache_dir()
+    for workload, scale in dict.fromkeys((cell.workload, cell.scale)
+                                         for cell in matrix):
+        suite.set_trace_cache_dir(None)
+        suite.clear_trace_cache()
+        try:
+            start = time.perf_counter()
+            suite.build_trace(workload, scale)
+            cold = time.perf_counter() - start
+        finally:
+            suite.set_trace_cache_dir(previous_dir)
+        start = time.perf_counter()
+        trace = suite.build_trace(workload, scale)
+        warm = time.perf_counter() - start
+        timings.append({"label": f"{workload}@{scale}",
+                        "workload": workload, "scale": scale,
+                        "instructions": len(trace),
+                        "cold_s": cold, "warm_s": warm})
+    return timings
+
+
+def run_bench(quick: bool = False, repeats: int | None = None,
+              warmup: int = 1) -> dict[str, object]:
+    """Run the benchmark matrix and assemble a ``repro.bench/1``
+    manifest.  ``repeats`` defaults to 3 for ``--quick`` and 5
+    otherwise."""
+    matrix = QUICK_MATRIX if quick else FULL_MATRIX
+    if repeats is None:
+        repeats = 3 if quick else 5
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup cannot be negative")
+    start = time.perf_counter()
+    results = [_bench_cell(cell, warmup, repeats) for cell in matrix]
+    tracegen = _time_trace_gen(matrix)
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "settings": {"repeats": repeats, "warmup": warmup},
+        "matrix": [{"workload": cell.workload, "scale": cell.scale,
+                    "config": cell.config} for cell in matrix],
+        "results": results,
+        "tracegen": tracegen,
+        "host": {
+            "hostname": socket.gethostname(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "wall_time_s": time.perf_counter() - start,
+        },
+    }

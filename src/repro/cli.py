@@ -20,6 +20,10 @@
     repro compare a.json b.json --tolerance 0.01
     repro experiment F2 --scale small
     repro experiment all
+    repro experiment T2 --jobs 4 --progress --spans fleet.json
+    repro simulate --workload stream --spans run_spans.json
+    repro bench --quick --json
+    repro bench --compare BENCH_host_2026-01-01.json --tolerance 0.1
 
 Also runnable as ``python -m repro``.
 """
@@ -36,9 +40,11 @@ from .asm import AsmError, assemble
 from .core import simulate as core_simulate
 from .func import RunResult, SimError, run_bare
 from .isa import INSTRUCTION_BYTES
-from .obs import (JsonlTracer, PipeTrace, SelfProfiler, build_run_report,
-                  compare_documents, iter_events, render_comparison,
-                  summarize_events)
+from .obs import (JsonlTracer, PipeTrace, SelfProfiler, SpanRecorder,
+                  build_run_report, compare_documents, count_spans,
+                  iter_events, render_comparison, summarize_events,
+                  write_chrome_trace)
+from .obs import spans as obs_spans
 from .presets import CONFIG_NAMES, EXTENDED_CONFIG_NAMES, machine
 from .trace import SyntheticConfig, generate, load_trace, save_trace
 from .workloads import SUITE_NAMES, WORKLOADS, build_os_mix_trace, build_trace
@@ -141,17 +147,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    recorder = SpanRecorder("repro simulate") if args.spans else None
     trace_file = None
-    if args.trace_file:
-        if args.seed is not None:
-            raise SystemExit("--seed cannot be combined with --trace-file")
-        trace = load_trace(args.trace_file)
-        workload, scale, trace_file = None, None, args.trace_file
-        label = args.trace_file
-    else:
-        trace = _build_named_trace(args.workload, args.scale, args.seed)
-        workload, scale = args.workload, args.scale
-        label = f"{args.workload} ({args.scale})"
+    with obs_spans.activate(recorder):
+        if args.trace_file:
+            if args.seed is not None:
+                raise SystemExit("--seed cannot be combined with "
+                                 "--trace-file")
+            trace = load_trace(args.trace_file)
+            workload, scale, trace_file = None, None, args.trace_file
+            label = args.trace_file
+        else:
+            trace = _build_named_trace(args.workload, args.scale,
+                                       args.seed)
+            workload, scale = args.workload, args.scale
+            label = f"{args.workload} ({args.scale})"
     config = machine(args.config, issue_width=args.issue_width)
     tracer = JsonlTracer(args.events) if args.events else None
     pipe = PipeTrace() if args.pipe_trace else None
@@ -168,7 +178,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result = core_simulate(trace, config, tracer=tracer,
                                metrics_interval=args.metrics_interval,
                                pipe_trace=pipe, profiler=profiler,
-                               validator=validator)
+                               validator=validator, spans=recorder)
     finally:
         if tracer is not None:
             tracer.close()
@@ -177,6 +187,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     if pipe is not None:
         pipe.write(args.pipe_trace)
+    if recorder is not None:
+        write_chrome_trace(args.spans, recorder.events())
     profile_path = None
     if profiler is not None:
         profile_path = args.self_profile or (
@@ -223,6 +235,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if pipe is not None:
         print(f"  pipe trace: {len(pipe.records)} instructions -> "
               f"{args.pipe_trace}")
+    if recorder is not None:
+        print(f"  spans: {count_spans(recorder.events())} -> "
+              f"{args.spans} (load in https://ui.perfetto.dev)")
     if profiler is not None:
         print(f"  self-profile: {profiler.summary()} -> {profile_path}")
     if validator is not None:
@@ -242,7 +257,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import os
 
     from .experiments import ALL_EXPERIMENTS
-    from .experiments.engine import Engine
+    from .experiments.engine import Engine, EngineJobError
     from .experiments.runner import capture_reports
     from .obs import build_experiment_manifest
     from .workloads import trace_cache_dir, trace_cache_stats
@@ -256,45 +271,143 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'")
         ids = [exp_id]
     engine = Engine(jobs=args.jobs, trace_cache=args.trace_cache,
-                    metrics_interval=args.metrics_interval)
+                    metrics_interval=args.metrics_interval,
+                    progress=args.progress,
+                    collect_spans=bool(args.spans))
     if args.output:
         os.makedirs(args.output, exist_ok=True)
-    for exp_id in ids:
-        if args.json:
-            start = time.perf_counter()
-            before = trace_cache_stats()
-            with capture_reports() as runs:
-                table = ALL_EXPERIMENTS[exp_id](args.scale, engine=engine)
-            cache = {key: value - before[key]
-                     for key, value in trace_cache_stats().items()}
-            directory = trace_cache_dir()
-            cache["dir"] = str(directory) if directory else None
-            manifest = build_experiment_manifest(
-                exp_id, args.scale, table, runs,
-                wall_time=time.perf_counter() - start,
-                jobs=engine.jobs, trace_cache=cache)
-            document = json.dumps(manifest, indent=2)
+    status = 0
+    try:
+        for exp_id in ids:
+            if args.json:
+                start = time.perf_counter()
+                before = trace_cache_stats()
+                with capture_reports() as runs:
+                    table = ALL_EXPERIMENTS[exp_id](args.scale,
+                                                    engine=engine)
+                cache = {key: value - before[key]
+                         for key, value in trace_cache_stats().items()}
+                directory = trace_cache_dir()
+                cache["dir"] = str(directory) if directory else None
+                manifest = build_experiment_manifest(
+                    exp_id, args.scale, table, runs,
+                    wall_time=time.perf_counter() - start,
+                    jobs=engine.jobs, trace_cache=cache,
+                    engine_summary=engine.last_summary)
+                document = json.dumps(manifest, indent=2)
+                if args.output:
+                    path = os.path.join(
+                        args.output, f"{exp_id.lower()}_{args.scale}.json")
+                    with open(path, "w", encoding="utf-8") as handle:
+                        handle.write(document + "\n")
+                    print(f"written to {path}")
+                else:
+                    print(document)
+                continue
+            table = ALL_EXPERIMENTS[exp_id](args.scale, engine=engine)
+            print(table.render())
+            print()
             if args.output:
+                extension = "csv" if args.csv else "txt"
                 path = os.path.join(
-                    args.output, f"{exp_id.lower()}_{args.scale}.json")
+                    args.output,
+                    f"{exp_id.lower()}_{args.scale}.{extension}")
                 with open(path, "w", encoding="utf-8") as handle:
-                    handle.write(document + "\n")
-                print(f"written to {path}")
-            else:
-                print(document)
-            continue
-        table = ALL_EXPERIMENTS[exp_id](args.scale, engine=engine)
-        print(table.render())
-        print()
-        if args.output:
-            extension = "csv" if args.csv else "txt"
-            path = os.path.join(args.output,
-                                f"{exp_id.lower()}_{args.scale}.{extension}")
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(table.to_csv() if args.csv
-                             else table.render() + "\n")
-            print(f"written to {path}\n")
-    return 0
+                    handle.write(table.to_csv() if args.csv
+                                 else table.render() + "\n")
+                print(f"written to {path}\n")
+    except EngineJobError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        status = 1
+    if args.spans and engine.span_events is not None:
+        write_chrome_trace(args.spans, engine.span_events)
+        print(f"spans: {count_spans(engine.span_events)} -> "
+              f"{args.spans} (load in https://ui.perfetto.dev)",
+              file=sys.stderr)
+    return status
+
+
+def _load_manifest(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not JSON ({exc})")
+    if not isinstance(document, dict):
+        raise SystemExit(f"error: {path} is not a JSON object")
+    return document
+
+
+def _render_bench(manifest: dict) -> str:
+    lines = [f"repro bench ({manifest['mode']}, "
+             f"{manifest['settings']['repeats']} repeats, "
+             f"{manifest['settings']['warmup']} warmup):"]
+    for result in manifest["results"]:
+        kips = result["kips"]
+        lines.append(
+            f"  {result['label']:<28} {kips['median']:8.1f} kIPS "
+            f"(iqr {kips['iqr']:.1f})  {result['instructions']:>8} "
+            f"instr  {result['cycles']:>8} cycles")
+    lines.append("trace generation (cold = functional simulation):")
+    for timing in manifest["tracegen"]:
+        lines.append(f"  {timing['label']:<28} cold {timing['cold_s']:.3f}s"
+                     f"  warm {timing['warm_s']:.4f}s"
+                     f"  ({timing['instructions']} records)")
+    lines.append(f"total wall time "
+                 f"{manifest['host']['wall_time_s']:.1f}s")
+    return "\n".join(lines)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (compare_bench, default_bench_path,
+                        render_bench_comparison, run_bench,
+                        validate_bench_manifest)
+    from .obs import SchemaError
+    if args.candidate and not args.compare:
+        raise SystemExit("--candidate only applies with --compare")
+    if args.tolerance < 0:
+        raise SystemExit("--tolerance cannot be negative")
+
+    if args.compare and args.candidate:
+        # Pure comparison of two saved manifests; nothing is run.
+        baseline = _load_manifest(args.compare)
+        candidate = _load_manifest(args.candidate)
+        labels = (args.compare, args.candidate)
+    else:
+        if args.compare:
+            baseline = _load_manifest(args.compare)
+        candidate = run_bench(quick=args.quick, repeats=args.repeats,
+                              warmup=args.warmup)
+        path = args.output or str(default_bench_path())
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(candidate, handle, indent=2)
+            handle.write("\n")
+        if args.json:
+            print(json.dumps(candidate, indent=2))
+        else:
+            print(_render_bench(candidate))
+        print(f"manifest -> {path}", file=sys.stderr)
+        if not args.compare:
+            return 0
+        labels = (args.compare, path)
+
+    for label, manifest in zip(labels, (baseline, candidate)):
+        try:
+            validate_bench_manifest(manifest)
+        except SchemaError as exc:
+            print(f"error: {label} is not a valid bench manifest: {exc}",
+                  file=sys.stderr)
+            return 2
+    report = compare_bench(baseline, candidate, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_bench_comparison(report, *labels))
+    if not report["deterministic_ok"]:
+        return 2
+    return 0 if report["ok"] else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -487,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="profile the simulator itself (host time per "
                                "component per interval) into PATH (default "
                                "BENCH_selfprofile_<workload>_<config>.json)")
+    simulate.add_argument("--spans", metavar="PATH",
+                          help="record host-time spans (pipeline chunks, "
+                               "stage slices, memory refills, trace cache "
+                               "I/O) as a Chrome-trace JSON loadable in "
+                               "Perfetto")
     simulate.add_argument("--validate", action="store_true",
                           help="attach the microarchitectural invariant "
                                "checker (see docs/VALIDATION.md); "
@@ -585,7 +703,45 @@ def build_parser() -> argparse.ArgumentParser:
                             help="sample interval telemetry for every run "
                                  "in the grid; series land in the --json "
                                  "manifest's run reports")
+    experiment.add_argument("--spans", metavar="PATH",
+                            help="record one merged fleet timeline (parent "
+                                 "warm-up + every worker's jobs) as a "
+                                 "Chrome-trace JSON loadable in Perfetto")
+    experiment.add_argument("--progress", action="store_true",
+                            help="live single-line fleet progress on "
+                                 "stderr (jobs done/total, ETA, aggregate "
+                                 "kIPS, trace-cache hit ratio)")
     experiment.set_defaults(func=_cmd_experiment)
+
+    bench = sub.add_parser("bench",
+                           help="benchmark the simulator itself (host "
+                                "throughput over a pinned matrix)")
+    bench.add_argument("--quick", action="store_true",
+                       help="the tiny-scale CI smoke matrix instead of "
+                            "the full small-scale one")
+    bench.add_argument("--repeats", type=int, metavar="N",
+                       help="timed repetitions per cell (default: 3 for "
+                            "--quick, 5 otherwise)")
+    bench.add_argument("--warmup", type=int, default=1, metavar="N",
+                       help="untimed warmup runs per cell (default 1)")
+    bench.add_argument("--output", metavar="PATH",
+                       help="manifest path (default "
+                            "BENCH_<host>_<date>.json)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the repro.bench/1 manifest (and the "
+                            "comparison report, with --compare) as JSON")
+    bench.add_argument("--compare", metavar="BASELINE",
+                       help="compare against this saved manifest; exits 1 "
+                            "if throughput regressed beyond --tolerance, "
+                            "2 if simulated results differ")
+    bench.add_argument("--candidate", metavar="PATH",
+                       help="with --compare: diff this saved manifest "
+                            "instead of running the matrix")
+    bench.add_argument("--tolerance", type=float, default=0.1,
+                       metavar="REL",
+                       help="relative throughput tolerance for --compare "
+                            "(default 0.1)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

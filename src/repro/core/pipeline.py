@@ -34,6 +34,7 @@ from ..mem.hierarchy import MemorySystem
 from ..obs.metrics import IntervalMetrics
 from ..obs.pipetrace import PipeTrace
 from ..obs.selfprof import SelfProfiler
+from ..obs.spans import SpanRecorder
 from ..obs.stall import DEFAULT_INTERVAL, StallCause, StallLedger
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.counters import Stats
@@ -98,6 +99,7 @@ class OoOCore:
                  metrics_interval: int | None = None,
                  pipe_trace: PipeTrace | None = None,
                  profiler: SelfProfiler | None = None,
+                 spans: SpanRecorder | None = None,
                  validator: "Validator | None" = None) -> None:
         self.machine = machine
         self.cfg: CoreConfig = machine.core
@@ -108,8 +110,17 @@ class OoOCore:
             from ..validate.invariants import InvariantChecker
             validator = InvariantChecker(tracer=self.tracer, strict=True)
         self._validate = validator
+        # Span tracing rides on the self-profiler's instrumented loop:
+        # the per-stage brackets it already takes are the span slices
+        # (one shared instrumentation layer, see repro.obs.selfprof).
+        if spans is not None:
+            if profiler is None:
+                profiler = SelfProfiler(spans=spans)
+            elif profiler.spans is None:
+                profiler.spans = spans
+        self.spans = spans
         self.mem = MemorySystem(machine.mem, stats=self.stats,
-                                tracer=self.tracer)
+                                tracer=self.tracer, spans=spans)
         # Optional telemetry: interval time series, per-instruction
         # pipeline trace, host-time self-profile.  All default off and
         # cost one `is None` check (metrics/profiler: per cycle;
@@ -155,9 +166,17 @@ class OoOCore:
             raise ValueError("empty trace")
         self._trace = trace
         if self.profiler is not None:
+            recorder = self.profiler.spans
+            if recorder is not None:
+                recorder.begin("core.run", "sim",
+                               config=self.machine.name,
+                               records=len(trace))
             start = time.perf_counter()
             cycle = self._run_loop_profiled()
             self.profiler.wall_time_s = time.perf_counter() - start
+            self.profiler.finish()
+            if recorder is not None:
+                recorder.end(cycles=cycle, instructions=self._committed)
         else:
             cycle = self._run_loop()
         if self.metrics is not None:
@@ -655,9 +674,10 @@ def simulate(trace: Sequence[TraceRecord],
              metrics_interval: int | None = None,
              pipe_trace: PipeTrace | None = None,
              profiler: SelfProfiler | None = None,
+             spans: SpanRecorder | None = None,
              validator: "Validator | None" = None) -> CoreResult:
     """Convenience: run *trace* through a fresh machine instance."""
     return OoOCore(machine, tracer=tracer,
                    metrics_interval=metrics_interval,
                    pipe_trace=pipe_trace, profiler=profiler,
-                   validator=validator).run(trace)
+                   spans=spans, validator=validator).run(trace)

@@ -20,6 +20,25 @@ step.  This module runs the grid:
 Every distinct trace is warmed once in the parent before the fan-out:
 forked workers inherit the in-memory cache, spawned workers load the
 disk tier, and no worker ever repeats a functional simulation.
+
+Fleet observability (all opt-in, all free when off):
+
+* ``collect_spans=True`` records host-time spans — the parent's trace
+  warm-up, each worker's per-job lifecycle, and the timing core's
+  pipeline chunks — against one shared epoch; after ``execute`` the
+  merged, Perfetto-loadable event stream is on ``Engine.span_events``.
+* ``progress=True`` (or a stream) drives a live single-line display
+  from per-job started/finished/failed events the workers push
+  through a queue (see :mod:`repro.experiments.progress`).
+* ``Engine.last_summary`` carries the post-run fleet summary —
+  per-worker utilisation, queue wait, the slowest jobs, and any
+  failures — which ``repro experiment --json`` embeds in the
+  manifest's ``engine`` block.
+
+A job that raises inside a worker no longer surfaces as a bare
+multiprocessing traceback: the engine wraps it in
+:class:`EngineJobError` carrying the job key, configuration name,
+trace identity and generator seed, and records it in the run summary.
 """
 
 from __future__ import annotations
@@ -27,18 +46,23 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from collections.abc import Sequence
 from dataclasses import dataclass
+from queue import Empty
 
 from ..core.config import MachineConfig
 from ..core.pipeline import CoreResult, OoOCore
+from ..obs import spans as obs_spans
 from ..obs.report import build_run_report
+from ..obs.spans import SpanRecorder, merge_events
 from ..trace.record import TraceRecord
 from ..trace.synthetic import SyntheticConfig, generate
 from ..workloads import suite
-from .runner import current_report_sink, run_one
+from .progress import ProgressDisplay
+from .runner import current_report_sink
 
-__all__ = ["Engine", "SimJob", "TraceSpec", "execute"]
+__all__ = ["Engine", "EngineJobError", "SimJob", "TraceSpec", "execute"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +91,20 @@ class TraceSpec:
     @staticmethod
     def from_synthetic(config: SyntheticConfig) -> "TraceSpec":
         return TraceSpec("synthetic", "synthetic", None, config)
+
+    @property
+    def seed(self) -> int | None:
+        """The generator seed, for synthetic traces."""
+        return self.synthetic.seed if self.synthetic is not None else None
+
+    def describe(self) -> str:
+        """Compact human identity (failure reports, summaries)."""
+        label = f"{self.kind}:{self.name}" if self.name else self.kind
+        if self.scale:
+            label += f"@{self.scale}"
+        if self.seed is not None:
+            label += f" seed={self.seed}"
+        return label
 
     def build(self) -> list[TraceRecord]:
         """Materialise the trace through the suite's two-tier cache."""
@@ -97,6 +135,28 @@ class SimJob:
     machine: MachineConfig
 
 
+class EngineJobError(RuntimeError):
+    """A grid job failed; the message carries the job's identity —
+    key, configuration name, trace (and seed) — plus the original
+    traceback, instead of a bare multiprocessing dump.  ``failures``
+    holds one context dict per failed job."""
+
+    def __init__(self, failures: list[dict]) -> None:
+        first = failures[0]
+        seed = first.get("seed")
+        lines = [
+            f"{len(failures)} engine job(s) failed; first: "
+            f"job {first['key']} (config {first['config']}, "
+            f"trace {first['trace']}"
+            + (f", seed {seed}" if seed is not None else "")
+            + f") raised {first['error']}"]
+        if first.get("traceback"):
+            lines.append("worker traceback:")
+            lines.append(first["traceback"].rstrip())
+        super().__init__("\n".join(lines))
+        self.failures = failures
+
+
 def _default_jobs() -> int:
     """Worker count when none is given: ``REPRO_JOBS`` or 1."""
     env = os.environ.get("REPRO_JOBS", "").strip()
@@ -108,19 +168,84 @@ def _default_jobs() -> int:
     return 1
 
 
-def _init_worker(cache_dir: object) -> None:
+def _job_context(job: SimJob) -> dict[str, object]:
+    return {"key": str(job.key), "config": job.machine.name,
+            "trace": job.trace.describe(), "seed": job.trace.seed}
+
+
+def _run_job_outcome(job: SimJob, metrics_interval: int | None,
+                     recorder: SpanRecorder | None) -> dict:
+    """Simulate one job, catching any failure into the outcome."""
+    outcome: dict = {"pid": os.getpid(), "started": time.time()}
+    depth = recorder.depth if recorder is not None else 0
+    try:
+        if recorder is not None:
+            recorder.begin("job", "engine", key=str(job.key),
+                           config=job.machine.name)
+        trace = job.trace.build()
+        start = time.perf_counter()
+        result = OoOCore(job.machine, metrics_interval=metrics_interval,
+                         spans=recorder).run(trace)
+        wall = time.perf_counter() - start
+        if recorder is not None:
+            recorder.end(instructions=result.instructions,
+                         cycles=result.cycles)
+        outcome.update(ok=True, result=result, wall=wall,
+                       report=build_run_report(result, job.machine,
+                                               wall_time=wall))
+    except Exception as exc:
+        if recorder is not None:
+            while recorder.depth > depth:
+                recorder.end()
+        outcome.update(ok=False, context=_job_context(job),
+                       error={"type": type(exc).__name__,
+                              "message": str(exc),
+                              "traceback": traceback.format_exc()})
+    outcome["finished"] = time.time()
+    return outcome
+
+
+# Per-worker-process state, installed by the pool initializer.
+_worker_state: dict = {"queue": None, "epoch": None}
+
+
+def _init_worker(cache_dir: object, progress_queue, epoch_us) -> None:
     suite.set_trace_cache_dir(cache_dir)
+    _worker_state["queue"] = progress_queue
+    _worker_state["epoch"] = epoch_us
 
 
-def _run_job(item: tuple[SimJob, int | None]) -> tuple[CoreResult, dict]:
+def _run_job(item: tuple[SimJob, int | None]) -> dict:
     job, metrics_interval = item
-    trace = job.trace.build()
-    start = time.perf_counter()
-    result = OoOCore(job.machine,
-                     metrics_interval=metrics_interval).run(trace)
-    report = build_run_report(
-        result, job.machine, wall_time=time.perf_counter() - start)
-    return result, report
+    queue = _worker_state["queue"]
+    key = str(job.key)
+    if queue is not None:
+        queue.put(("started", key))
+    recorder = None
+    if _worker_state["epoch"] is not None:
+        recorder = SpanRecorder(f"engine worker {os.getpid()}",
+                                epoch_us=_worker_state["epoch"])
+    with obs_spans.activate(recorder):
+        outcome = _run_job_outcome(job, metrics_interval, recorder)
+    if recorder is not None:
+        outcome["spans"] = recorder.events()
+    if queue is not None:
+        if outcome["ok"]:
+            queue.put(("finished", key, outcome["wall"],
+                       outcome["result"].instructions))
+        else:
+            queue.put(("failed", key))
+    return outcome
+
+
+def _feed_display(display: ProgressDisplay, event: tuple) -> None:
+    kind = event[0]
+    if kind == "started":
+        display.job_started(event[1])
+    elif kind == "finished":
+        display.job_finished(event[1], event[2], event[3])
+    elif kind == "failed":
+        display.job_failed(event[1])
 
 
 class Engine:
@@ -135,52 +260,200 @@ class Engine:
     simulation in the grid samples :mod:`repro.obs.metrics` series at
     that cycle interval and the captured run reports carry them, in
     the same deterministic job order, whatever the worker count.
+
+    ``progress`` turns on the live fleet display (``True`` writes to
+    stderr; a stream object redirects it).  ``collect_spans`` records
+    a host-time span timeline across the parent and every worker;
+    after ``execute`` the merged event stream is on ``span_events``
+    (export with :func:`repro.obs.spans.write_chrome_trace`).  Each
+    ``execute`` also leaves a fleet summary on ``last_summary``.
     """
 
     def __init__(self, jobs: int | None = None,
                  trace_cache: str | os.PathLike | None = None,
-                 metrics_interval: int | None = None) -> None:
+                 metrics_interval: int | None = None,
+                 progress: object = False,
+                 collect_spans: bool = False) -> None:
         self.jobs = max(1, jobs) if jobs is not None else _default_jobs()
         self.metrics_interval = metrics_interval
+        self.progress = progress
+        self.collect_spans = collect_spans
+        self.span_events: list[dict] | None = None
+        self.last_summary: dict | None = None
+        # One recorder and epoch for the engine's lifetime, so several
+        # execute() calls (e.g. ``repro experiment all --spans``) land
+        # on a single coherent timeline.
+        self._recorder: SpanRecorder | None = None
+        self._epoch: int | None = None
+        self._worker_events: list[list[dict]] = []
+        if collect_spans:
+            self._epoch = obs_spans.timestamp_us()
+            self._recorder = SpanRecorder("engine", epoch_us=self._epoch)
         if trace_cache is not None:
             suite.set_trace_cache_dir(trace_cache)
+
+    # ------------------------------------------------------------------
+    def _make_display(self, total: int) -> ProgressDisplay | None:
+        if not self.progress:
+            return None
+        if hasattr(self.progress, "write"):
+            return ProgressDisplay(total, stream=self.progress,
+                                   force=True)
+        return ProgressDisplay(total)
 
     def execute(self, sim_jobs: Sequence[SimJob],
                 ) -> dict[object, CoreResult]:
         """Run every job; returns ``{job.key: CoreResult}`` in job
         order.  Captured run reports (see
         :func:`repro.experiments.runner.capture_reports`) are appended
-        to the active sink in the same order."""
+        to the active sink in the same order.  Raises
+        :class:`EngineJobError` if any job failed (after every job has
+        run and ``last_summary`` has recorded the failures)."""
         jobs = list(sim_jobs)
         keys = [job.key for job in jobs]
         if len(set(keys)) != len(keys):
             raise ValueError("SimJob keys must be unique within a grid")
+        recorder = self._recorder
+        epoch = self._epoch
+        display = self._make_display(len(jobs))
+        fanout_start = time.time()
         # Warm every distinct trace once, in the parent: forked workers
         # inherit the in-memory tier, spawned workers read the disk
         # tier, and tabulate() helpers get cache hits.
-        for spec in dict.fromkeys(job.trace for job in jobs):
-            spec.build()
+        with obs_spans.activate(recorder):
+            specs = dict.fromkeys(job.trace for job in jobs)
+            if recorder is not None:
+                recorder.begin("engine.warm", "engine",
+                               traces=len(specs))
+            for spec in specs:
+                try:
+                    spec.build()
+                except Exception:
+                    # Warm-up is an optimisation only; the owning job
+                    # will hit the same error and report it with
+                    # full context (key, config, trace, seed).
+                    pass
+            if recorder is not None:
+                recorder.end()
         if self.jobs <= 1 or len(jobs) <= 1:
-            return {job.key: run_one(job.trace.build(), job.machine,
-                                     self.metrics_interval)
-                    for job in jobs}
+            outcomes = self._execute_inline(jobs, recorder, display)
+        else:
+            outcomes = self._execute_pool(jobs, epoch, display)
+        elapsed = time.time() - fanout_start
+        if display is not None:
+            display.close()
         sink = current_report_sink()
+        results: dict[object, CoreResult] = {}
+        failures: list[dict] = []
+        for job, outcome in zip(jobs, outcomes):
+            if outcome["ok"]:
+                results[job.key] = outcome["result"]
+                if sink is not None:
+                    sink.append(outcome["report"])
+            else:
+                failures.append({**outcome["context"],
+                                 "error": f"{outcome['error']['type']}: "
+                                          f"{outcome['error']['message']}",
+                                 "traceback":
+                                     outcome["error"]["traceback"]})
+        self.last_summary = self._build_summary(jobs, outcomes,
+                                                fanout_start, elapsed,
+                                                failures)
+        if self.collect_spans:
+            self._worker_events.extend(
+                outcome["spans"] for outcome in outcomes
+                if outcome.get("spans"))
+            self.span_events = merge_events(recorder.events(),
+                                            *self._worker_events)
+        if failures:
+            raise EngineJobError(failures)
+        return results
+
+    def _execute_inline(self, jobs: list[SimJob],
+                        recorder: SpanRecorder | None,
+                        display: ProgressDisplay | None) -> list[dict]:
+        outcomes = []
+        with obs_spans.activate(recorder):
+            for job in jobs:
+                if display is not None:
+                    display.job_started(str(job.key))
+                outcome = _run_job_outcome(job, self.metrics_interval,
+                                           recorder)
+                outcomes.append(outcome)
+                if display is None:
+                    continue
+                if outcome["ok"]:
+                    display.job_finished(str(job.key), outcome["wall"],
+                                         outcome["result"].instructions)
+                else:
+                    display.job_failed(str(job.key))
+        return outcomes
+
+    def _execute_pool(self, jobs: list[SimJob], epoch: int | None,
+                      display: ProgressDisplay | None) -> list[dict]:
         workers = min(self.jobs, len(jobs))
+        queue = multiprocessing.Queue() if display is not None else None
+        items = [(job, self.metrics_interval) for job in jobs]
         with multiprocessing.Pool(
                 processes=workers, initializer=_init_worker,
-                initargs=(suite.trace_cache_dir(),)) as pool:
-            # map() preserves submission order — the merge below is
-            # deterministic no matter which worker finishes first.
-            outcomes = pool.map(
-                _run_job,
-                [(job, self.metrics_interval) for job in jobs],
-                chunksize=1)
-        results: dict[object, CoreResult] = {}
-        for job, (result, report) in zip(jobs, outcomes):
-            results[job.key] = result
-            if sink is not None:
-                sink.append(report)
-        return results
+                initargs=(suite.trace_cache_dir(), queue, epoch)) as pool:
+            # map() preserves submission order — the merge in execute()
+            # is deterministic no matter which worker finishes first.
+            if display is None:
+                return pool.map(_run_job, items, chunksize=1)
+            pending = pool.map_async(_run_job, items, chunksize=1)
+            while True:
+                try:
+                    _feed_display(display, queue.get(timeout=0.05))
+                except Empty:
+                    if pending.ready():
+                        break
+            while True:
+                try:
+                    _feed_display(display, queue.get_nowait())
+                except Empty:
+                    break
+            return pending.get()
+
+    @staticmethod
+    def _build_summary(jobs: list[SimJob], outcomes: list[dict],
+                       fanout_start: float, elapsed: float,
+                       failures: list[dict]) -> dict:
+        """The post-run ``engine`` summary: per-worker utilisation,
+        queue wait, slowest jobs, failures.  Host-time content — the
+        manifest's ``engine`` subtree is ignored by ``repro compare``
+        by default, like ``host``."""
+        workers: dict[int, dict] = {}
+        waits = []
+        timed = []
+        for job, outcome in zip(jobs, outcomes):
+            worker = workers.setdefault(
+                outcome["pid"], {"pid": outcome["pid"], "jobs": 0,
+                                 "busy_s": 0.0})
+            worker["jobs"] += 1
+            waits.append(max(0.0, outcome["started"] - fanout_start))
+            busy = outcome["finished"] - outcome["started"]
+            worker["busy_s"] += busy
+            if outcome["ok"]:
+                timed.append({"key": str(job.key),
+                              "wall_s": outcome["wall"]})
+        for worker in workers.values():
+            worker["utilization"] = (worker["busy_s"] / elapsed
+                                     if elapsed > 0 else None)
+        timed.sort(key=lambda entry: -entry["wall_s"])
+        return {
+            "elapsed_s": elapsed,
+            "jobs": {"total": len(jobs),
+                     "ok": len(jobs) - len(failures),
+                     "failed": len(failures)},
+            "workers": sorted(workers.values(),
+                              key=lambda worker: worker["pid"]),
+            "queue_wait_s": ({"mean": sum(waits) / len(waits),
+                              "max": max(waits)} if waits else None),
+            "slowest": timed[:5],
+            "failed": [{key: value for key, value in failure.items()
+                        if key != "traceback"} for failure in failures],
+        }
 
 
 def execute(sim_jobs: Sequence[SimJob],

@@ -26,6 +26,10 @@ Three layers, all optional from the timing core's point of view:
   tolerance, behind ``repro compare``.
 * :mod:`repro.obs.selfprof` — **simulator self-profiling**: host
   wall-clock attributed to pipeline stage groups per interval.
+* :mod:`repro.obs.spans` — **host-time span tracing**: nested
+  begin/end spans over the simulator's own wall-clock, exported in the
+  Chrome Trace Event Format for Perfetto, with per-worker tracks that
+  merge into one fleet timeline.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and stall taxonomy.
 """
@@ -56,6 +60,17 @@ from .report import (
     validate_run_report,
 )
 from .selfprof import SELFPROFILE_SCHEMA, SelfProfiler
+from .spans import (
+    NULL_SPANS,
+    Span,
+    SpanRecorder,
+    SpanTracer,
+    chrome_trace,
+    count_spans,
+    merge_events,
+    parse_chrome_trace,
+    write_chrome_trace,
+)
 from .stall import StallCause, StallLedger
 from .tracer import (EVENT_SCHEMA, NULL_TRACER, JsonlTracer, Tracer,
                      iter_events, summarize_events)
@@ -74,6 +89,15 @@ __all__ = [
     "parse_konata",
     "SELFPROFILE_SCHEMA",
     "SelfProfiler",
+    "NULL_SPANS",
+    "Span",
+    "SpanRecorder",
+    "SpanTracer",
+    "chrome_trace",
+    "count_spans",
+    "merge_events",
+    "parse_chrome_trace",
+    "write_chrome_trace",
     "SCHEMA_VERSION",
     "SchemaError",
     "build_experiment_manifest",

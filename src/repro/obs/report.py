@@ -112,6 +112,7 @@ def build_experiment_manifest(experiment: str, scale: str, table: "Table",
                               wall_time: float | None = None,
                               jobs: int | None = None,
                               trace_cache: dict[str, object] | None = None,
+                              engine_summary: dict[str, object] | None = None,
                               ) -> dict[str, object]:
     """Wrap one experiment's table and its per-run reports.
 
@@ -119,8 +120,15 @@ def build_experiment_manifest(experiment: str, scale: str, table: "Table",
     ``trace_cache`` the cache directory and hit/build counters (see
     :func:`repro.workloads.trace_cache_stats`), so a manifest shows
     whether a regeneration was parallel and how much functional
-    simulation it actually performed.
+    simulation it actually performed.  ``engine_summary`` embeds the
+    engine's post-run fleet summary (``Engine.last_summary``:
+    per-worker utilisation, queue wait, slowest jobs, failures).  The
+    whole ``engine`` block is host-time content, ignored by ``repro
+    compare`` by default.
     """
+    engine: dict[str, object] = {"jobs": jobs, "trace_cache": trace_cache}
+    if engine_summary is not None:
+        engine["summary"] = engine_summary
     return {
         "schema": EXPERIMENT_SCHEMA,
         "schema_version": SCHEMA_VERSION,
@@ -128,10 +136,7 @@ def build_experiment_manifest(experiment: str, scale: str, table: "Table",
         "scale": scale,
         "table": table.as_dict(),
         "runs": runs,
-        "engine": {
-            "jobs": jobs,
-            "trace_cache": trace_cache,
-        },
+        "engine": engine,
         "host": {"wall_time_s": wall_time},
     }
 
@@ -309,6 +314,31 @@ def validate_experiment_manifest(manifest: dict) -> None:
             if cache is not None and not isinstance(cache, dict):
                 problems.append("experiment.engine: trace_cache must be "
                                 "an object or null")
+            summary = engine.get("summary")
+            if summary is not None:
+                if not isinstance(summary, dict):
+                    problems.append("experiment.engine: summary must be "
+                                    "an object or null")
+                else:
+                    _require(summary, {
+                        "elapsed_s": (int, float),
+                        "jobs": dict,
+                        "workers": list,
+                        "slowest": list,
+                        "failed": list,
+                    }, problems, "experiment.engine.summary")
+                    for index, worker in enumerate(
+                            summary.get("workers") or ()):
+                        if not isinstance(worker, dict):
+                            problems.append(
+                                f"experiment.engine.summary.workers"
+                                f"[{index}]: must be an object")
+                            continue
+                        _require(worker, {"pid": int, "jobs": int,
+                                          "busy_s": (int, float)},
+                                 problems,
+                                 f"experiment.engine.summary."
+                                 f"workers[{index}]")
     for index, run in enumerate(manifest.get("runs") or ()):
         try:
             validate_run_report(run)

@@ -23,6 +23,13 @@ an instrumented run loop that brackets each pipeline stage group with
 ``other`` (reported, not a component) is the loop's untimed residue:
 ``wall_time - sum(components)``.  Profiling is opt-in; the default run
 loop is untouched and pays nothing.
+
+The profiler is also the pipeline's **span instrumentation layer**:
+hand it a :class:`~repro.obs.spans.SpanRecorder` and every completed
+sampling interval is emitted as one ``pipeline.chunk`` span whose
+children are the per-component slices — the same attribution the
+report carries, on a Perfetto timeline (see ``repro simulate
+--spans``).  The report output is unchanged either way.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from __future__ import annotations
 import json
 
 from .metrics import DEFAULT_METRICS_INTERVAL
+from .spans import SpanRecorder
 
 SELFPROFILE_SCHEMA = "repro.selfprofile/1"
 
@@ -42,7 +50,8 @@ class SelfProfiler:
     """Per-interval host-seconds accounting, one bucket list per
     component."""
 
-    def __init__(self, interval: int = DEFAULT_METRICS_INTERVAL) -> None:
+    def __init__(self, interval: int = DEFAULT_METRICS_INTERVAL,
+                 spans: SpanRecorder | None = None) -> None:
         if interval < 1:
             raise ValueError("interval must be positive")
         self.interval = interval
@@ -50,18 +59,58 @@ class SelfProfiler:
                                                 for name in COMPONENTS}
         self.cycles = 0
         self.wall_time_s = 0.0
+        self.spans = spans
+        self._span_bucket: int | None = None
+        self._span_start_us = 0
+        self._span_first_cycle = 0
 
     # ------------------------------------------------------------------
     def add_cycle(self, cycle: int, samples: tuple[float, ...]) -> None:
         """Charge one cycle's per-component stage timings (seconds,
         ordered as :data:`COMPONENTS`)."""
         bucket = cycle // self.interval
+        if self.spans is not None and bucket != self._span_bucket:
+            if self._span_bucket is not None:
+                self._flush_span_chunk()
+            self._span_bucket = bucket
+            self._span_first_cycle = cycle
+            self._span_start_us = self.spans.now_us()
         for name, elapsed in zip(COMPONENTS, samples):
             series = self.seconds[name]
             while len(series) <= bucket:
                 series.append(0.0)
             series[bucket] += elapsed
         self.cycles += 1
+
+    def _flush_span_chunk(self) -> None:
+        """Emit the finished interval as a ``pipeline.chunk`` span with
+        one child slice per component, laid out back-to-back from the
+        chunk's host start time (component durations come from the
+        stage brackets, so the slices always fit inside the chunk)."""
+        recorder = self.spans
+        bucket = self._span_bucket
+        start = self._span_start_us
+        recorder.add("B", "pipeline.chunk", "pipeline", start,
+                     {"first_cycle": self._span_first_cycle,
+                      "interval": self.interval})
+        cursor = start
+        for name in COMPONENTS:
+            series = self.seconds[name]
+            duration = int(series[bucket] * 1e6) \
+                if bucket < len(series) else 0
+            recorder.add("B", name, "pipeline", cursor)
+            recorder.add("E", name, "pipeline", cursor + duration)
+            cursor += duration
+        recorder.add("E", "pipeline.chunk", "pipeline",
+                     max(cursor, recorder.now_us()))
+
+    def finish(self) -> None:
+        """Flush the trailing (possibly partial) span chunk; called by
+        the timing core when the run loop drains.  A profiler without a
+        recorder ignores this."""
+        if self.spans is not None and self._span_bucket is not None:
+            self._flush_span_chunk()
+            self._span_bucket = None
 
     def component_total(self, name: str) -> float:
         return sum(self.seconds[name])

@@ -32,6 +32,7 @@ from ..asm import assemble
 from ..func.exceptions import SimError
 from ..func.run import run_bare
 from ..kernel import assemble_user, run_system
+from ..obs import spans as obs_spans
 from ..trace import io as trace_io
 from ..trace.record import TraceRecord
 from . import (
@@ -226,6 +227,7 @@ def cached_trace(label: str, digest: str,
     if cached is not None:
         _cache_stats["memory_hits"] += 1
         return cached
+    recorder = obs_spans.current()
     directory = trace_cache_dir()
     path = None
     if directory is not None:
@@ -233,19 +235,33 @@ def cached_trace(label: str, digest: str,
             f"{label}-{digest}.v{trace_io.FORMAT_VERSION}.npz"
         try:
             if path.exists():
-                trace = trace_io.load_trace(path)
+                if recorder is None:
+                    trace = trace_io.load_trace(path)
+                else:
+                    with recorder.span("trace.load", "workload",
+                                       label=label):
+                        trace = trace_io.load_trace(path)
                 _cache_stats["disk_hits"] += 1
                 _trace_cache[key] = trace
                 return trace
         except (OSError, ValueError, KeyError):
             pass  # unreadable/stale entry: rebuild and overwrite
-    trace = build()
+    if recorder is None:
+        trace = build()
+    else:
+        with recorder.span("trace.build", "workload", label=label):
+            trace = build()
     _cache_stats["builds"] += 1
     _trace_cache[key] = trace
     if path is not None:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            trace_io.save_trace_atomic(path, trace)
+            if recorder is None:
+                trace_io.save_trace_atomic(path, trace)
+            else:
+                with recorder.span("trace.save", "workload",
+                                   label=label):
+                    trace_io.save_trace_atomic(path, trace)
         except OSError:
             pass  # unwritable cache never fails the run
     return trace

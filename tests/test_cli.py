@@ -585,3 +585,57 @@ class TestFuzz:
         bogus.write_text("{}", encoding="utf-8")
         assert main(["fuzz", "--replay", str(bogus)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestSpansAndProgress:
+    def test_simulate_spans_writes_loadable_capture(self, tmp_path,
+                                                    capsys):
+        import json
+
+        from repro.obs.spans import parse_chrome_trace
+        path = tmp_path / "spans.json"
+        assert main(["simulate", "--workload", "stream", "--scale",
+                     "tiny", "--config", "1P",
+                     "--spans", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out and "perfetto" in out
+        tracks = parse_chrome_trace(json.loads(path.read_text()))
+        names = {span.name for roots in tracks.values()
+                 for root in roots for span in root.walk()}
+        assert "core.run" in names and "pipeline.chunk" in names
+
+    def test_experiment_spans_merge_fleet_timeline(self, tmp_path,
+                                                   capsys):
+        import json
+
+        from repro.obs.spans import count_spans, parse_chrome_trace
+        path = tmp_path / "fleet.json"
+        assert main(["experiment", "F2", "--scale", "tiny",
+                     "--jobs", "2", "--spans", str(path)]) == 0
+        assert "spans:" in capsys.readouterr().err
+        document = json.loads(path.read_text())
+        tracks = parse_chrome_trace(document)
+        assert len(tracks) >= 2  # the parent plus worker tracks
+        per_track_total = sum(
+            1 for event in document["traceEvents"]
+            if event.get("ph") == "B")
+        assert count_spans(document["traceEvents"]) == per_track_total
+
+    def test_experiment_progress_reports_fleet(self, capsys):
+        assert main(["experiment", "F2", "--scale", "tiny",
+                     "--jobs", "2", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "jobs" in err and "/" in err
+
+    def test_manifest_embeds_engine_summary(self, capsys):
+        import json
+
+        from repro.obs import validate_experiment_manifest
+        assert main(["experiment", "F2", "--scale", "tiny",
+                     "--jobs", "2", "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        validate_experiment_manifest(manifest)
+        summary = manifest["engine"]["summary"]
+        assert summary["jobs"]["failed"] == 0
+        assert summary["jobs"]["total"] == len(manifest["runs"])
+        assert summary["workers"]

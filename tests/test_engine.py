@@ -184,3 +184,146 @@ class TestRunnerRegressions:
             run_configs(stream_trace, ("1P",),
                         dcache_overrides={"write_buffer_depth": 4},
                         override_scope=("2P",))
+
+
+class TestFleetObservability:
+    """Spans, progress, failure wrapping, and the engine summary."""
+
+    @staticmethod
+    def _two_jobs():
+        return [
+            SimJob("a", TraceSpec.workload("stream", "tiny"),
+                   machine("1P")),
+            SimJob("b", TraceSpec.workload("qsort", "tiny"),
+                   machine("2P")),
+        ]
+
+    def test_merged_spans_count_is_sum_of_per_worker_spans(self):
+        from repro.obs.spans import (chrome_trace, count_spans,
+                                     parse_chrome_trace)
+        engine = Engine(jobs=2, collect_spans=True)
+        engine.execute(self._two_jobs())
+        events = engine.span_events
+        assert events is not None
+        per_track: dict[tuple, int] = {}
+        for event in events:
+            if event.get("ph") == "B":
+                track = (event["pid"], event["tid"])
+                per_track[track] = per_track.get(track, 0) + 1
+        assert count_spans(events) == sum(per_track.values())
+        assert len(per_track) == 3  # parent + two workers
+        # The merged document is loadable and well-nested.
+        tracks = parse_chrome_trace(chrome_trace(events))
+        names = {span.name for roots in tracks.values()
+                 for root in roots for span in root.walk()}
+        assert {"engine.warm", "job", "core.run",
+                "pipeline.chunk"} <= names
+
+    def test_spans_accumulate_across_execute_calls(self):
+        from repro.obs.spans import count_spans
+        engine = Engine(jobs=1, collect_spans=True)
+        engine.execute(self._two_jobs()[:1])
+        first = count_spans(engine.span_events)
+        engine.execute(self._two_jobs()[1:])
+        assert count_spans(engine.span_events) > first
+
+    def test_spans_off_leaves_no_trace(self):
+        engine = Engine(jobs=2)
+        engine.execute(self._two_jobs())
+        assert engine.span_events is None
+
+    def test_summary_covers_every_worker_and_job(self):
+        engine = Engine(jobs=2)
+        engine.execute(self._two_jobs())
+        summary = engine.last_summary
+        assert summary["jobs"] == {"total": 2, "ok": 2, "failed": 0}
+        assert sum(worker["jobs"] for worker in summary["workers"]) == 2
+        for worker in summary["workers"]:
+            assert 0.0 <= worker["utilization"] <= 1.0
+        assert summary["queue_wait_s"]["max"] >= \
+            summary["queue_wait_s"]["mean"] >= 0.0
+        assert [entry["key"] for entry in summary["slowest"]] \
+            and summary["failed"] == []
+
+    def test_worker_failure_carries_job_context(self):
+        from repro.experiments.engine import EngineJobError
+        from repro.trace import SyntheticConfig
+        jobs = self._two_jobs()
+        # A config that passes construction but yields an empty trace,
+        # so the failure happens inside the worker's simulation.
+        broken_config = SyntheticConfig(instructions=1, seed=17)
+        object.__setattr__(broken_config, "instructions", 0)
+        jobs.append(SimJob(
+            "broken", TraceSpec.from_synthetic(broken_config),
+            machine("1P")))
+        engine = Engine(jobs=2)
+        with pytest.raises(EngineJobError) as excinfo:
+            engine.execute(jobs)
+        message = str(excinfo.value)
+        assert "broken" in message and "1P" in message
+        assert "seed=17" in message or "seed 17" in message
+        (failure,) = excinfo.value.failures
+        assert failure["key"] == "broken"
+        assert failure["config"] == "1P"
+        assert failure["seed"] == 17
+        assert failure["traceback"]
+        # The two healthy jobs still ran and the summary recorded all 3.
+        assert engine.last_summary["jobs"] == \
+            {"total": 3, "ok": 2, "failed": 1}
+        assert engine.last_summary["failed"][0]["key"] == "broken"
+        assert "traceback" not in engine.last_summary["failed"][0]
+
+    def test_inline_failure_matches_parallel_contract(self):
+        from repro.experiments.engine import EngineJobError
+        engine = Engine(jobs=1)
+        with pytest.raises(EngineJobError):
+            engine.execute([SimJob("bad", TraceSpec("nonsense"),
+                                   machine("1P"))])
+        assert engine.last_summary["jobs"]["failed"] == 1
+
+    def test_progress_stream_sees_every_job(self):
+        import io
+        stream = io.StringIO()
+        engine = Engine(jobs=2, progress=stream)
+        engine.execute(self._two_jobs())
+        output = stream.getvalue()
+        assert "jobs 2/2" in output
+        assert "kIPS" in output
+
+    def test_progress_inline_path(self):
+        import io
+        stream = io.StringIO()
+        engine = Engine(jobs=1, progress=stream)
+        engine.execute(self._two_jobs())
+        assert "jobs 2/2" in stream.getvalue()
+
+
+class TestProgressDisplay:
+    def test_status_line_and_eta(self):
+        import io
+
+        from repro.experiments.progress import ProgressDisplay
+        ticks = iter(range(0, 100, 10))
+        display = ProgressDisplay(4, stream=io.StringIO(), force=True,
+                                  clock=lambda: next(ticks))
+        display.job_started("a")
+        display.job_started("b")
+        line = display.status_line()
+        assert "jobs 0/4" in line and "2 running" in line
+        display.job_finished("a", 1.0, 50_000)
+        display.job_failed("b")
+        line = display.status_line()
+        assert "jobs 2/4" in line and "1 failed" in line
+        assert "ETA" in line and "kIPS" in line
+
+    def test_close_always_prints_summary(self):
+        import io
+
+        from repro.experiments.progress import ProgressDisplay
+        stream = io.StringIO()
+        display = ProgressDisplay(1, stream=stream)  # not a TTY
+        display.job_started("a")
+        display.job_finished("a", 0.5, 1000)
+        assert stream.getvalue() == ""  # inert while running
+        display.close()
+        assert "jobs 1/1" in stream.getvalue()

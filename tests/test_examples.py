@@ -72,3 +72,17 @@ def test_locality_sweep(monkeypatch, capsys):
                 monkeypatch)
     out = capsys.readouterr().out
     assert "locality" in out and "|" in out
+
+
+def test_fleet_timeline(monkeypatch, capsys, tmp_path):
+    output = tmp_path / "fleet.json"
+    run_example("fleet_timeline.py",
+                ["--scale", "tiny", "--jobs", "2",
+                 "--output", str(output)], monkeypatch)
+    out = capsys.readouterr().out
+    assert "spans" in out and "perfetto" in out
+    assert "worker" in out
+    import json
+
+    from repro.obs.spans import parse_chrome_trace
+    assert parse_chrome_trace(json.loads(output.read_text()))
