@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Longitudinal observability: ledger -> watchdog -> dashboard.
+
+Simulates one workload on two configurations at two pretend code
+versions (via the ``REPRO_CODE_VERSION`` override), ingests every run
+report into a throwaway results ledger, asks the watchdog whether a
+"new revision" regressed against that history, and renders the
+self-contained HTML dashboard.
+
+The same flow on real history::
+
+    repro simulate --workload stream --json --ledger results.sqlite
+    repro watch new_report.json --ledger results.sqlite --gate
+    repro dash --ledger results.sqlite -o dash.html
+"""
+
+import argparse
+import os
+import tempfile
+import time
+
+from repro import build_trace, machine, simulate
+from repro.obs import build_run_report
+from repro.obs.dash import build_dashboard
+from repro.obs.ledger import Ledger
+from repro.obs.watch import render_watch, watch_document
+
+CONFIGS = ("1P", "2P")
+
+
+def run_report(trace, config_name: str) -> dict:
+    config = machine(config_name)
+    start = time.perf_counter()
+    result = simulate(trace, config, metrics_interval=256)
+    wall = time.perf_counter() - start
+    return build_run_report(result, config, workload="stream",
+                            scale="tiny", wall_time=wall)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="results ledger + watchdog + dashboard demo")
+    parser.add_argument("--output",
+                        default=os.path.join(tempfile.gettempdir(),
+                                             "repro_trend.html"),
+                        help="dashboard HTML path")
+    args = parser.parse_args()
+
+    trace = build_trace("stream", "tiny")
+    previous = os.environ.get("REPRO_CODE_VERSION")
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            ledger = Ledger(os.path.join(scratch, "ledger.sqlite"))
+            # Two pretend historical revisions build the trend...
+            for version in ("rev-a", "rev-b"):
+                os.environ["REPRO_CODE_VERSION"] = version
+                for name in CONFIGS:
+                    ledger.ingest(run_report(trace, name),
+                                  source=version)
+            # ...and a third plays the fresh candidate under review.
+            os.environ["REPRO_CODE_VERSION"] = "rev-c"
+            candidate = run_report(trace, CONFIGS[0])
+            verdict = watch_document(ledger, candidate, window=5)
+            print(render_watch(verdict, "rev-c candidate"))
+            ledger.ingest(candidate, source="rev-c")
+
+            counts = ledger.counts()
+            print(f"\nledger: {counts['manifests']} manifests, "
+                  f"{len(ledger.code_versions())} code versions "
+                  f"({', '.join(ledger.code_versions())})")
+            document = build_dashboard(ledger, title="perf trend demo")
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            print(f"dashboard -> {args.output} "
+                  f"({len(document)} bytes, self-contained)")
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_CODE_VERSION", None)
+        else:
+            os.environ["REPRO_CODE_VERSION"] = previous
+
+
+if __name__ == "__main__":
+    main()

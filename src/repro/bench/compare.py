@@ -24,7 +24,7 @@ import socket
 from pathlib import Path
 
 from ..obs.compare import compare_documents, render_comparison
-from ..obs.report import SchemaError, _require
+from ..obs.report import SchemaError, _check_code_version, _require
 from .harness import BENCH_SCHEMA
 
 #: Relative tolerance ``--compare`` applies to throughput by default.
@@ -59,6 +59,7 @@ def validate_bench_manifest(manifest: dict) -> None:
     if manifest.get("mode") not in (None, "quick", "full"):
         problems.append(f"bench: mode is {manifest['mode']!r}, "
                         f"expected 'quick' or 'full'")
+    _check_code_version(manifest, problems, "bench")
     settings = manifest.get("settings")
     if isinstance(settings, dict):
         _require(settings, {"repeats": int, "warmup": int},

@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass
 
 from ..core.pipeline import OoOCore
+from ..obs.codeversion import code_version
 from ..presets import machine as preset_machine
 from ..workloads import suite
 
@@ -186,6 +187,7 @@ def run_bench(quick: bool = False, repeats: int | None = None,
     return {
         "schema": BENCH_SCHEMA,
         "schema_version": SCHEMA_VERSION,
+        "code_version": code_version(),
         "mode": "quick" if quick else "full",
         "settings": {"repeats": repeats, "warmup": warmup},
         "matrix": [{"workload": cell.workload, "scale": cell.scale,

@@ -24,8 +24,16 @@
     repro simulate --workload stream --spans run_spans.json
     repro bench --quick --json
     repro bench --compare BENCH_host_2026-01-01.json --tolerance 0.1
+    repro bench --ledger results.sqlite
+    repro simulate --workload stream --json --ledger results.sqlite
+    repro ledger --ledger results.sqlite info
+    repro ledger --ledger results.sqlite ingest manifests/ 'BENCH_*.json'
+    repro dash --ledger results.sqlite -o dash.html
+    repro watch BENCH_new.json --ledger results.sqlite --gate
 
-Also runnable as ``python -m repro``.
+Also runnable as ``python -m repro``.  ``REPRO_LEDGER`` names a
+default results-ledger database for every command that takes
+``--ledger``.
 """
 
 from __future__ import annotations
@@ -42,7 +50,8 @@ from .func import RunResult, SimError, run_bare
 from .isa import INSTRUCTION_BYTES
 from .obs import (JsonlTracer, PipeTrace, SelfProfiler, SpanRecorder,
                   build_run_report, compare_documents, count_spans,
-                  iter_events, render_comparison, summarize_events,
+                  expand_manifest_paths, iter_events, render_comparison,
+                  resolve_ledger_path, summarize_events,
                   write_chrome_trace)
 from .obs import spans as obs_spans
 from .presets import CONFIG_NAMES, EXTENDED_CONFIG_NAMES, machine
@@ -195,13 +204,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"BENCH_selfprofile_{workload or 'trace'}_{args.config}.json")
         profiler.write(profile_path)
 
-    if args.json:
+    ledger_path = resolve_ledger_path(args.ledger)
+    if args.json or ledger_path is not None:
         report = build_run_report(result, config, workload=workload,
                                   scale=scale, seed=args.seed,
                                   trace_file=trace_file,
                                   wall_time=wall_time,
                                   violations=validator.violations
                                   if validator is not None else None)
+        if ledger_path is not None:
+            from .obs.ledger import Ledger
+            with Ledger(ledger_path) as ledger:
+                added = ledger.ingest(report, source="simulate")
+            print(f"ledger: {'ingested into' if added else 'already in'} "
+                  f"{ledger_path}", file=sys.stderr)
+    if args.json:
         print(json.dumps(report, indent=2))
         return 0 if validator is None or validator.ok else 1
 
@@ -270,10 +287,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"unknown experiment {args.id!r}; "
                 f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'")
         ids = [exp_id]
+    ledger_path = resolve_ledger_path(args.ledger)
+    # In --json mode the experiment manifest (runs included) is
+    # ingested whole at the end; in table mode the engine's workers
+    # ingest their own run reports instead.  Never both — the same
+    # run would land twice under different manifests.
     engine = Engine(jobs=args.jobs, trace_cache=args.trace_cache,
                     metrics_interval=args.metrics_interval,
                     progress=args.progress,
-                    collect_spans=bool(args.spans))
+                    collect_spans=bool(args.spans),
+                    ledger=None if args.json else ledger_path)
     if args.output:
         os.makedirs(args.output, exist_ok=True)
     status = 0
@@ -294,6 +317,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     wall_time=time.perf_counter() - start,
                     jobs=engine.jobs, trace_cache=cache,
                     engine_summary=engine.last_summary)
+                if ledger_path is not None:
+                    from .obs.ledger import Ledger
+                    with Ledger(ledger_path) as ledger:
+                        added = ledger.ingest(manifest,
+                                              source=f"experiment {exp_id}")
+                    print(f"ledger: {'ingested into' if added else 'already in'} "
+                          f"{ledger_path}", file=sys.stderr)
                 document = json.dumps(manifest, indent=2)
                 if args.output:
                     path = os.path.join(
@@ -384,6 +414,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(candidate, handle, indent=2)
             handle.write("\n")
+        ledger_path = resolve_ledger_path(args.ledger)
+        if ledger_path is not None:
+            from .obs.ledger import Ledger
+            with Ledger(ledger_path) as ledger:
+                added = ledger.ingest(candidate, source=path)
+            print(f"ledger: {'ingested into' if added else 'already in'} "
+                  f"{ledger_path}", file=sys.stderr)
         if args.json:
             print(json.dumps(candidate, indent=2))
         else:
@@ -506,33 +543,201 @@ def _cmd_events(args: argparse.Namespace) -> int:
         return 1
 
 
+def _read_document(path: str) -> dict | None:
+    """Load one JSON manifest, printing the error and returning None
+    on failure (callers turn that into exit code 2)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not JSON ({exc})", file=sys.stderr)
+        return None
+    if not isinstance(document, dict):
+        print(f"error: {path} is not a JSON object", file=sys.stderr)
+        return None
+    return document
+
+
+def _pair_manifests(side_a: list[str],
+                    side_b: list[str]) -> list[tuple[str, str]] | None:
+    """Pair two expanded path sets for comparison.  One-vs-one pairs
+    directly; sets pair by basename (how a directory of experiment
+    manifests lines up against another run's directory).  Returns
+    None (an error, already printed) when nothing pairs up."""
+    import os
+    if len(side_a) == 1 and len(side_b) == 1:
+        return [(side_a[0], side_b[0])]
+    by_name_a = {os.path.basename(path): path for path in side_a}
+    by_name_b = {os.path.basename(path): path for path in side_b}
+    common = sorted(set(by_name_a) & set(by_name_b))
+    if not common:
+        print("error: no manifest basenames in common between the two "
+              "sides", file=sys.stderr)
+        return None
+    for name in sorted(set(by_name_a) ^ set(by_name_b)):
+        side = "baseline" if name in by_name_a else "candidate"
+        print(f"note: {name} only on the {side} side; skipped",
+              file=sys.stderr)
+    return [(by_name_a[name], by_name_b[name]) for name in common]
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    documents = []
-    for path in (args.a, args.b):
-        try:
-            with open(path, encoding="utf-8") as handle:
-                document = json.load(handle)
-        except OSError as exc:
-            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-            return 2
-        except json.JSONDecodeError as exc:
-            print(f"error: {path} is not JSON ({exc})", file=sys.stderr)
-            return 2
-        if not isinstance(document, dict):
-            print(f"error: {path} is not a JSON object", file=sys.stderr)
-            return 2
-        documents.append(document)
     if args.tolerance < 0:
         print("error: --tolerance cannot be negative", file=sys.stderr)
         return 2
+    try:
+        side_a = expand_manifest_paths([args.a])
+        side_b = expand_manifest_paths([args.b])
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pairs = _pair_manifests(side_a, side_b)
+    if pairs is None:
+        return 2
     ignore = frozenset(args.ignore) if args.ignore else None
-    report = compare_documents(documents[0], documents[1],
-                               tolerance=args.tolerance, ignore=ignore)
+    reports = []
+    for path_a, path_b in pairs:
+        document_a = _read_document(path_a)
+        document_b = _read_document(path_b)
+        if document_a is None or document_b is None:
+            return 2
+        report = compare_documents(document_a, document_b,
+                                   tolerance=args.tolerance,
+                                   ignore=ignore)
+        reports.append((path_a, path_b, report))
     if args.json:
-        print(json.dumps(report, indent=2))
+        if len(reports) == 1:
+            print(json.dumps(reports[0][2], indent=2))
+        else:
+            print(json.dumps([{"a": path_a, "b": path_b,
+                               "report": report}
+                              for path_a, path_b, report in reports],
+                             indent=2))
     else:
-        print(render_comparison(report, args.a, args.b, limit=args.limit))
-    return 0 if report["equal"] else 1
+        for path_a, path_b, report in reports:
+            print(render_comparison(report, path_a, path_b,
+                                    limit=args.limit))
+    return 0 if all(report["equal"]
+                    for _, _, report in reports) else 1
+
+
+def _require_ledger(flag: str | None) -> str:
+    path = resolve_ledger_path(flag)
+    if path is None:
+        raise SystemExit("error: no ledger database given (use --ledger "
+                         "PATH or set REPRO_LEDGER)")
+    return path
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from .obs.ledger import Ledger
+    with Ledger(_require_ledger(args.ledger)) as ledger:
+        if args.action == "info":
+            counts = ledger.counts()
+            versions = ledger.code_versions()
+            print(f"{ledger.path} (ledger schema v{ledger.db_version})")
+            print(f"  manifests: {counts['manifests']} "
+                  f"({counts['manifests.run']} run, "
+                  f"{counts['manifests.experiment']} experiment, "
+                  f"{counts['manifests.bench']} bench, "
+                  f"{counts['manifests.compare']} compare)")
+            print(f"  normalized rows: {counts['runs']} runs, "
+                  f"{counts['bench_cells']} bench cells, "
+                  f"{counts['experiments']} experiment tables")
+            print(f"  code versions ({len(versions)}): "
+                  f"{', '.join(versions) if versions else '-'}")
+            return 0
+        if args.action == "ingest":
+            try:
+                paths = expand_manifest_paths(args.paths)
+            except FileNotFoundError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            added = skipped = 0
+            for path in paths:
+                document = _read_document(path)
+                if document is None:
+                    return 2
+                try:
+                    if ledger.ingest(document, source=path,
+                                     code_version=args.code_version):
+                        added += 1
+                    else:
+                        skipped += 1
+                except ValueError as exc:
+                    print(f"error: {path}: {exc}", file=sys.stderr)
+                    return 2
+            print(f"{added} ingested, {skipped} already present "
+                  f"-> {ledger.path}")
+            return 0
+        if args.action == "export":
+            count = ledger.export_jsonl(args.path)
+            print(f"{count} manifests -> {args.path}")
+            return 0
+        added, skipped = ledger.import_jsonl(args.path)
+        print(f"{added} imported, {skipped} already present "
+              f"-> {ledger.path}")
+        return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from .obs.dash import build_dashboard
+    from .obs.ledger import Ledger
+    with Ledger(_require_ledger(args.ledger)) as ledger:
+        document = build_dashboard(ledger) if args.title is None \
+            else build_dashboard(ledger, title=args.title)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"dashboard -> {args.output}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .obs.ledger import Ledger
+    from .obs.watch import exit_code, render_watch, watch_document
+    if args.window < 1:
+        print("error: --window must be >= 1", file=sys.stderr)
+        return 2
+    if args.tolerance is not None and args.tolerance < 0:
+        print("error: --tolerance cannot be negative", file=sys.stderr)
+        return 2
+    try:
+        candidates = expand_manifest_paths(args.candidates)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    worst = 0
+    reports = []
+    with Ledger(_require_ledger(args.ledger)) as ledger:
+        for path in candidates:
+            document = _read_document(path)
+            if document is None:
+                return 2
+            try:
+                report = watch_document(ledger, document,
+                                        window=args.window,
+                                        tolerance=args.tolerance)
+            except ValueError as exc:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                return 2
+            reports.append({"path": path, "report": report})
+            worst = max(worst, exit_code(report))
+            if not args.json:
+                print(render_watch(report, path))
+            if args.ingest:
+                added = ledger.ingest(document, source=path)
+                print(f"ledger: {path} "
+                      f"{'ingested' if added else 'already present'}",
+                      file=sys.stderr)
+    if args.json:
+        if len(reports) == 1:
+            print(json.dumps(reports[0]["report"], indent=2))
+        else:
+            print(json.dumps(reports, indent=2))
+    return worst if args.gate else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -612,6 +817,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "flip the exit status")
     simulate.add_argument("--stats", action="store_true",
                           help="dump every counter")
+    simulate.add_argument("--ledger", metavar="DB",
+                          help="ingest the run report into this results "
+                               "ledger (default: REPRO_LEDGER)")
     simulate.set_defaults(func=_cmd_simulate)
 
     fuzz = sub.add_parser("fuzz",
@@ -660,9 +868,13 @@ def build_parser() -> argparse.ArgumentParser:
     events.set_defaults(func=_cmd_events)
 
     compare = sub.add_parser("compare",
-                             help="diff two --json reports/manifests")
-    compare.add_argument("a", help="baseline JSON document")
-    compare.add_argument("b", help="candidate JSON document")
+                             help="diff two --json reports/manifests "
+                                  "(or two directories/globs of them, "
+                                  "paired by basename)")
+    compare.add_argument("a", help="baseline JSON document, directory, "
+                                   "or glob")
+    compare.add_argument("b", help="candidate JSON document, directory, "
+                                   "or glob")
     compare.add_argument("--tolerance", type=float, default=0.0,
                          metavar="REL",
                          help="relative tolerance for numeric leaves "
@@ -711,6 +923,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="live single-line fleet progress on "
                                  "stderr (jobs done/total, ETA, aggregate "
                                  "kIPS, trace-cache hit ratio)")
+    experiment.add_argument("--ledger", metavar="DB",
+                            help="ingest results into this results "
+                                 "ledger: the manifest with --json, "
+                                 "per-job run reports otherwise "
+                                 "(default: REPRO_LEDGER)")
     experiment.set_defaults(func=_cmd_experiment)
 
     bench = sub.add_parser("bench",
@@ -741,7 +958,78 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="REL",
                        help="relative throughput tolerance for --compare "
                             "(default 0.1)")
+    bench.add_argument("--ledger", metavar="DB",
+                       help="ingest the fresh manifest into this results "
+                            "ledger (default: REPRO_LEDGER)")
     bench.set_defaults(func=_cmd_bench)
+
+    ledger = sub.add_parser("ledger",
+                            help="inspect/maintain a results-ledger "
+                                 "database (SQLite)")
+    ledger.add_argument("--ledger", metavar="DB",
+                        help="ledger database path (default: "
+                             "REPRO_LEDGER)")
+    actions = ledger.add_subparsers(dest="action", required=True)
+    actions.add_parser("info", help="counts, schema version, code "
+                                    "versions").set_defaults(
+        func=_cmd_ledger)
+    ingest = actions.add_parser("ingest",
+                                help="ingest manifests (files, "
+                                     "directories, or globs)")
+    ingest.add_argument("paths", nargs="+",
+                        help="manifest files, directories, or globs")
+    ingest.add_argument("--code-version", metavar="VERSION",
+                        help="stamp for manifests that predate "
+                             "code-version stamping")
+    ingest.set_defaults(func=_cmd_ledger)
+    export = actions.add_parser("export",
+                                help="export the store as diffable "
+                                     "JSONL")
+    export.add_argument("path", help="output JSONL path")
+    export.set_defaults(func=_cmd_ledger)
+    importer = actions.add_parser("import",
+                                  help="import a JSONL export "
+                                       "(idempotent)")
+    importer.add_argument("path", help="input JSONL path")
+    importer.set_defaults(func=_cmd_ledger)
+
+    dash = sub.add_parser("dash",
+                          help="render a self-contained HTML dashboard "
+                               "from the results ledger")
+    dash.add_argument("--ledger", metavar="DB",
+                      help="ledger database path (default: "
+                           "REPRO_LEDGER)")
+    dash.add_argument("-o", "--output", default="dash.html",
+                      metavar="PATH",
+                      help="output HTML path (default dash.html)")
+    dash.add_argument("--title", help="dashboard title")
+    dash.set_defaults(func=_cmd_dash)
+
+    watch = sub.add_parser("watch",
+                           help="gate fresh manifests against ledger "
+                                "history (throughput + determinism)")
+    watch.add_argument("candidates", nargs="+",
+                       help="candidate manifests: files, directories, "
+                            "or globs (run, experiment, or bench)")
+    watch.add_argument("--ledger", metavar="DB",
+                       help="ledger database path (default: "
+                            "REPRO_LEDGER)")
+    watch.add_argument("--window", type=int, default=5, metavar="N",
+                       help="history window per key: compare against "
+                            "the median of the last N entries "
+                            "(default 5)")
+    watch.add_argument("--tolerance", type=float, metavar="REL",
+                       help="relative throughput tolerance (default: "
+                            "the bench-compare default, 0.1)")
+    watch.add_argument("--gate", action="store_true",
+                       help="exit 1 on a throughput regression and 2 "
+                            "on a determinism break (default: report "
+                            "only, exit 0)")
+    watch.add_argument("--ingest", action="store_true",
+                       help="ingest each candidate after checking it")
+    watch.add_argument("--json", action="store_true",
+                       help="emit repro.watch/1 report(s) as JSON")
+    watch.set_defaults(func=_cmd_watch)
     return parser
 
 

@@ -97,6 +97,23 @@ class TraceSpec:
         """The generator seed, for synthetic traces."""
         return self.synthetic.seed if self.synthetic is not None else None
 
+    def report_identity(self) -> dict[str, object]:
+        """Workload identity stamped into run reports, which is what
+        the results ledger hashes into ``trace_digest`` — the user-only
+        mix is a different trace than the full mix, so it gets a
+        distinct workload name."""
+        if self.kind == "workload":
+            return {"workload": self.name, "scale": self.scale,
+                    "seed": None}
+        if self.kind in ("os-mix", "os-mix-user"):
+            return {"workload": self.kind, "scale": self.scale,
+                    "seed": None}
+        if self.kind == "synthetic":
+            return {"workload": "synthetic", "scale": None,
+                    "seed": self.seed}
+        return {"workload": None, "scale": self.scale,
+                "seed": self.seed}
+
     def describe(self) -> str:
         """Compact human identity (failure reports, summaries)."""
         label = f"{self.kind}:{self.name}" if self.name else self.kind
@@ -174,7 +191,8 @@ def _job_context(job: SimJob) -> dict[str, object]:
 
 
 def _run_job_outcome(job: SimJob, metrics_interval: int | None,
-                     recorder: SpanRecorder | None) -> dict:
+                     recorder: SpanRecorder | None,
+                     ledger_path: str | None = None) -> dict:
     """Simulate one job, catching any failure into the outcome."""
     outcome: dict = {"pid": os.getpid(), "started": time.time()}
     depth = recorder.depth if recorder is not None else 0
@@ -190,9 +208,17 @@ def _run_job_outcome(job: SimJob, metrics_interval: int | None,
         if recorder is not None:
             recorder.end(instructions=result.instructions,
                          cycles=result.cycles)
-        outcome.update(ok=True, result=result, wall=wall,
-                       report=build_run_report(result, job.machine,
-                                               wall_time=wall))
+        report = build_run_report(result, job.machine, wall_time=wall,
+                                  **job.trace.report_identity())
+        if ledger_path is not None:
+            # Every worker ingests its own reports; the ledger's
+            # UNIQUE-digest constraint and sqlite's busy timeout make
+            # concurrent ingest safe.  An ingest failure fails the job
+            # loudly (with full context) rather than dropping history.
+            from ..obs.ledger import Ledger
+            with Ledger(ledger_path) as ledger:
+                ledger.ingest(report, source="engine")
+        outcome.update(ok=True, result=result, wall=wall, report=report)
     except Exception as exc:
         if recorder is not None:
             while recorder.depth > depth:
@@ -206,13 +232,15 @@ def _run_job_outcome(job: SimJob, metrics_interval: int | None,
 
 
 # Per-worker-process state, installed by the pool initializer.
-_worker_state: dict = {"queue": None, "epoch": None}
+_worker_state: dict = {"queue": None, "epoch": None, "ledger": None}
 
 
-def _init_worker(cache_dir: object, progress_queue, epoch_us) -> None:
+def _init_worker(cache_dir: object, progress_queue, epoch_us,
+                 ledger_path: str | None = None) -> None:
     suite.set_trace_cache_dir(cache_dir)
     _worker_state["queue"] = progress_queue
     _worker_state["epoch"] = epoch_us
+    _worker_state["ledger"] = ledger_path
 
 
 def _run_job(item: tuple[SimJob, int | None]) -> dict:
@@ -226,7 +254,8 @@ def _run_job(item: tuple[SimJob, int | None]) -> dict:
         recorder = SpanRecorder(f"engine worker {os.getpid()}",
                                 epoch_us=_worker_state["epoch"])
     with obs_spans.activate(recorder):
-        outcome = _run_job_outcome(job, metrics_interval, recorder)
+        outcome = _run_job_outcome(job, metrics_interval, recorder,
+                                   _worker_state["ledger"])
     if recorder is not None:
         outcome["spans"] = recorder.events()
     if queue is not None:
@@ -261,6 +290,11 @@ class Engine:
     that cycle interval and the captured run reports carry them, in
     the same deterministic job order, whatever the worker count.
 
+    ``ledger`` names a results-ledger database
+    (:class:`repro.obs.ledger.Ledger`): every successful job's run
+    report is ingested from the worker that simulated it, so a
+    multi-process grid doubles as a concurrent-ingest exercise.
+
     ``progress`` turns on the live fleet display (``True`` writes to
     stderr; a stream object redirects it).  ``collect_spans`` records
     a host-time span timeline across the parent and every worker;
@@ -273,9 +307,14 @@ class Engine:
                  trace_cache: str | os.PathLike | None = None,
                  metrics_interval: int | None = None,
                  progress: object = False,
-                 collect_spans: bool = False) -> None:
+                 collect_spans: bool = False,
+                 ledger: str | os.PathLike | None = None) -> None:
         self.jobs = max(1, jobs) if jobs is not None else _default_jobs()
         self.metrics_interval = metrics_interval
+        # Results-ledger path; every successful job's run report is
+        # ingested by the worker that produced it.  None costs one
+        # ``is None`` check per job.
+        self.ledger = os.fspath(ledger) if ledger is not None else None
         self.progress = progress
         self.collect_spans = collect_spans
         self.span_events: list[dict] | None = None
@@ -378,7 +417,7 @@ class Engine:
                 if display is not None:
                     display.job_started(str(job.key))
                 outcome = _run_job_outcome(job, self.metrics_interval,
-                                           recorder)
+                                           recorder, self.ledger)
                 outcomes.append(outcome)
                 if display is None:
                     continue
@@ -396,7 +435,8 @@ class Engine:
         items = [(job, self.metrics_interval) for job in jobs]
         with multiprocessing.Pool(
                 processes=workers, initializer=_init_worker,
-                initargs=(suite.trace_cache_dir(), queue, epoch)) as pool:
+                initargs=(suite.trace_cache_dir(), queue, epoch,
+                          self.ledger)) as pool:
             # map() preserves submission order — the merge in execute()
             # is deterministic no matter which worker finishes first.
             if display is None:

@@ -21,6 +21,8 @@ Comparison is a deep structural walk with two rules:
 
 from __future__ import annotations
 
+import glob as _glob
+import os
 from typing import Iterator
 
 COMPARE_SCHEMA = "repro.compare/1"
@@ -72,6 +74,42 @@ def _walk(a: object, b: object, path: str,
         return
     if a != b:
         yield {"path": path, "a": a, "b": b}
+
+
+def expand_manifest_paths(arguments: list[str]) -> list[str]:
+    """Expand CLI path arguments into a sorted list of manifest files.
+
+    Each argument may be a literal file, a directory (expands to its
+    ``*.json`` files, non-recursive), or a glob pattern.  Expansion is
+    deterministic (each argument's matches are sorted), duplicates are
+    dropped, and an argument matching nothing raises
+    :class:`FileNotFoundError` — a typo'd pattern should fail loudly,
+    not silently compare fewer files.
+    """
+    paths: list[str] = []
+    seen: set[str] = set()
+    for argument in arguments:
+        if os.path.isdir(argument):
+            matches = sorted(_glob.glob(os.path.join(argument, "*.json")))
+            if not matches:
+                raise FileNotFoundError(
+                    f"no *.json manifests in directory {argument!r}")
+        elif _glob.has_magic(argument):
+            matches = sorted(match for match in _glob.glob(argument)
+                             if os.path.isfile(match))
+            if not matches:
+                raise FileNotFoundError(
+                    f"glob {argument!r} matched no files")
+        else:
+            if not os.path.isfile(argument):
+                raise FileNotFoundError(
+                    f"cannot read {argument}: no such manifest file")
+            matches = [argument]
+        for match in matches:
+            if match not in seen:
+                seen.add(match)
+                paths.append(match)
+    return paths
 
 
 def compare_documents(a: dict, b: dict, tolerance: float = 0.0,

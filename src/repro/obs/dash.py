@@ -1,0 +1,417 @@
+"""``repro dash``: a self-contained static HTML dashboard.
+
+Renders the ledger's longitudinal content — simulator throughput
+(kIPS) and simulated IPC over code versions, the F2 headline table
+(the paper's "one port reaches ~91% of dual-port" claim) over time,
+and port-utilization sparklines from stored interval metrics — into
+**one HTML file with inline CSS and SVG only**: no JavaScript
+frameworks, no external fonts, no network access.  Open it from a CI
+artifact or a laptop and it just renders.
+
+Chart conventions (deliberate, for legibility and accessibility):
+
+* every trend is a **single-series sparkline panel** (small multiples
+  rather than a tangle of colored lines), so identity never rides on
+  color alone;
+* every point carries a native ``<title>`` tooltip with the code
+  version, value and ingest date;
+* every section ships a ``<details>`` table view of the underlying
+  numbers;
+* colors are defined once as CSS custom properties with selected
+  light- and dark-mode values.
+"""
+
+from __future__ import annotations
+
+import datetime
+import html
+import json
+
+from .ledger import Ledger
+
+__all__ = ["build_dashboard"]
+
+#: Panels per sparkline section (the table view is never truncated).
+MAX_PANELS = 12
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --good: #006300;
+  --bad: #d03b3b;
+  --border: rgba(11, 11, 11, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --good: #0ca30c;
+    --bad: #e66767;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 1080px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 120px;
+}
+.tile .value { font-size: 22px; font-weight: 600; }
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.panels {
+  display: grid; gap: 12px;
+  grid-template-columns: repeat(auto-fill, minmax(300px, 1fr));
+}
+.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px 6px;
+}
+.panel .name { font-size: 12px; color: var(--text-secondary);
+  overflow-wrap: anywhere; }
+.panel .latest { font-size: 18px; font-weight: 600; }
+.panel .delta { font-size: 12px; margin-left: 6px; }
+.delta.up { color: var(--good); }
+.delta.down { color: var(--bad); }
+.delta.flat { color: var(--text-muted); }
+.panel svg { display: block; width: 100%; height: 56px;
+  margin-top: 4px; }
+.empty {
+  background: var(--surface-1); border: 1px dashed var(--baseline);
+  border-radius: 8px; padding: 16px; color: var(--text-muted);
+}
+table { border-collapse: collapse; background: var(--surface-1);
+  font-variant-numeric: tabular-nums; }
+th, td { border: 1px solid var(--grid); padding: 4px 10px;
+  text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { color: var(--text-secondary); font-weight: 600; }
+details { margin: 8px 0 0; }
+summary { cursor: pointer; color: var(--text-secondary);
+  font-size: 12px; }
+footer { margin-top: 32px; color: var(--text-muted); font-size: 12px; }
+"""
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _delta_html(first: float, last: float) -> str:
+    if not first:
+        return ""
+    change = (last - first) / abs(first)
+    if abs(change) < 0.005:
+        return '<span class="delta flat">±0%</span>'
+    arrow, cls = ("▲", "up") if change > 0 else ("▼", "down")
+    return (f'<span class="delta {cls}">{arrow} '
+            f'{abs(change):.1%} vs first</span>')
+
+
+def _sparkline(values: list[float], titles: list[str],
+               width: int = 300, height: int = 56) -> str:
+    """One inline-SVG sparkline: a 2px line, an 8px hoverable marker
+    per point (native ``<title>`` tooltip), last point emphasized."""
+    pad = 6
+    low, high = min(values), max(values)
+    span = (high - low) or max(abs(high), 1.0) * 0.1
+    low -= span * 0.08
+    high += span * 0.08
+
+    def x(index: int) -> float:
+        if len(values) == 1:
+            return width / 2
+        return pad + index * (width - 2 * pad) / (len(values) - 1)
+
+    def y(value: float) -> float:
+        return pad + (high - value) * (height - 2 * pad) / (high - low)
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'preserveAspectRatio="none" '
+             f'aria-label="{_esc(titles[-1])}">']
+    parts.append(f'<line x1="0" y1="{height - 1}" x2="{width}" '
+                 f'y2="{height - 1}" stroke="var(--baseline)" '
+                 f'stroke-width="1" />')
+    if len(values) > 1:
+        points = " ".join(f"{x(i):.1f},{y(v):.1f}"
+                          for i, v in enumerate(values))
+        parts.append(f'<polyline points="{points}" fill="none" '
+                     f'stroke="var(--series-1)" stroke-width="2" '
+                     f'stroke-linejoin="round" '
+                     f'stroke-linecap="round" />')
+    for index, value in enumerate(values):
+        last = index == len(values) - 1
+        radius = 4 if last else 3
+        fill = ('var(--series-1)' if last else 'var(--surface-1)')
+        parts.append(
+            f'<circle cx="{x(index):.1f}" cy="{y(value):.1f}" '
+            f'r="{radius}" fill="{fill}" stroke="var(--series-1)" '
+            f'stroke-width="2"><title>{_esc(titles[index])}</title>'
+            f'</circle>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _panel(name: str, values: list[float], titles: list[str],
+           latest_text: str) -> str:
+    delta = _delta_html(values[0], values[-1]) if len(values) > 1 else ""
+    return (f'<div class="panel"><div class="name">{_esc(name)}</div>'
+            f'<span class="latest">{_esc(latest_text)}</span>{delta}'
+            f'{_sparkline(values, titles)}</div>')
+
+
+def _table(columns: list[str], rows: list[list[object]]) -> str:
+    head = "".join(f"<th>{_esc(column)}</th>" for column in columns)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(cell)}</td>" for cell in row)
+        + "</tr>" for row in rows)
+    return (f'<table><thead><tr>{head}</tr></thead>'
+            f'<tbody>{body}</tbody></table>')
+
+
+def _details_table(summary: str, columns: list[str],
+                   rows: list[list[object]]) -> str:
+    return (f"<details><summary>{_esc(summary)}</summary>"
+            f"{_table(columns, rows)}</details>")
+
+
+def _date(stamp: object) -> str:
+    return str(stamp)[:10]
+
+
+def _fmt(value: object, digits: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def _tiles_section(ledger: Ledger) -> str:
+    counts = ledger.counts()
+    versions = ledger.code_versions()
+    tiles = [
+        ("manifests", counts["manifests"]),
+        ("runs", counts["runs"]),
+        ("bench entries", counts["bench"]),
+        ("experiments", counts["experiments"]),
+        ("code versions", len(versions)),
+        ("latest version", versions[-1] if versions else "—"),
+    ]
+    cells = "".join(
+        f'<div class="tile"><div class="value">{_esc(value)}</div>'
+        f'<div class="label">{_esc(label)}</div></div>'
+        for label, value in tiles)
+    return f'<div class="tiles">{cells}</div>'
+
+
+def _kips_section(ledger: Ledger) -> str:
+    trend = ledger.kips_trend()
+    parts = ['<h2 id="kips-trend">Simulator throughput '
+             '(kIPS, median per bench cell)</h2>']
+    if not trend:
+        parts.append('<div class="empty">No bench manifests in the '
+                     'ledger yet — run <code>repro bench --ledger '
+                     '...</code>.</div>')
+        return "".join(parts)
+    panels = []
+    table_rows = []
+    for label, entries in sorted(trend.items()):
+        values = [entry["kips_median"] for entry in entries]
+        titles = [f"{entry['code_version']} · "
+                  f"{entry['kips_median']:.1f} kIPS · "
+                  f"{_date(entry['ingested_at'])}"
+                  for entry in entries]
+        panels.append(_panel(label, values, titles,
+                             f"{values[-1]:.1f} kIPS"))
+        for entry in entries:
+            table_rows.append([label, entry["code_version"],
+                               _date(entry["ingested_at"]),
+                               f"{entry['kips_median']:.1f}",
+                               f"{entry['kips_iqr']:.2f}",
+                               entry["instructions"], entry["cycles"]])
+    parts.append(f'<div class="panels">{"".join(panels[:MAX_PANELS])}'
+                 f'</div>')
+    parts.append(_details_table(
+        "table view — every bench entry",
+        ["cell", "code version", "ingested", "kIPS median",
+         "kIPS IQR", "instructions", "cycles"], table_rows))
+    return "".join(parts)
+
+
+#: The F2 table row/columns the headline section trends.
+F2_ROW = "MEAN (all)"
+F2_COLUMNS = ("1P/2P", "tech/2P", "1P/2P+SC", "tech/2P+SC")
+
+
+def _f2_section(ledger: Ledger) -> str:
+    parts = ['<h2 id="f2-headline">F2 headline: single-port IPC '
+             'relative to dual-port, over time</h2>']
+    histories = {column: ledger.experiment_history("F2", F2_ROW, column)
+                 for column in F2_COLUMNS}
+    spine = histories[F2_COLUMNS[1]] or histories[F2_COLUMNS[0]]
+    if not spine:
+        parts.append('<div class="empty">No F2 experiment manifests '
+                     'in the ledger yet — run <code>repro experiment '
+                     'F2 --json --ledger ...</code>.</div>')
+        return "".join(parts)
+    by_digest = {
+        column: {entry["manifest_digest"]: entry for entry in history}
+        for column, history in histories.items()}
+    rows = []
+    for entry in spine:
+        digest = entry["manifest_digest"]
+        row: list[object] = [entry["code_version"], entry["scale"],
+                             _date(entry["ingested_at"])]
+        for column in F2_COLUMNS:
+            cell = by_digest[column].get(digest)
+            row.append(_fmt(cell["number"]) if cell is not None
+                       and cell["number"] is not None else "—")
+        rows.append(row)
+    parts.append(_table(["code version", "scale", "ingested",
+                         *F2_COLUMNS], rows))
+    ratios = [entry["number"] for entry in histories[F2_COLUMNS[1]]
+              if entry["number"] is not None]
+    if ratios:
+        parts.append(
+            f'<p class="subtitle">latest tech/2P ratio: '
+            f'<strong>{ratios[-1]:.3f}</strong> (paper: ~0.91)</p>')
+    return "".join(parts)
+
+
+def _run_key_label(key: dict) -> str:
+    workload = key["workload"] or key["trace_file"] or "trace"
+    label = f"{workload}@{key['scale']}" if key["scale"] else workload
+    if key["seed"] is not None:
+        label += f"#seed{key['seed']}"
+    return f"{label}/{key['config_name']}"
+
+
+def _ipc_section(ledger: Ledger) -> str:
+    parts = ['<h2 id="ipc-trend">Simulated IPC per run key '
+             '(trace digest × config digest)</h2>']
+    keys = [key for key in ledger.run_keys() if key["entries"] >= 2]
+    if not keys:
+        parts.append('<div class="empty">No run key has two or more '
+                     'ledger entries yet.</div>')
+        return "".join(parts)
+    panels = []
+    table_rows = []
+    for key in keys[:MAX_PANELS]:
+        history = ledger.run_history(key["trace_digest"],
+                                     key["config_digest"])
+        values = [entry["ipc"] for entry in history]
+        titles = [f"{entry['code_version']} · IPC {entry['ipc']:.3f} "
+                  f"· {_date(entry['ingested_at'])}"
+                  for entry in history]
+        label = _run_key_label(key)
+        panels.append(_panel(label, values, titles,
+                             f"IPC {values[-1]:.3f}"))
+        for entry in history:
+            table_rows.append([label, entry["code_version"],
+                               _date(entry["ingested_at"]),
+                               f"{entry['ipc']:.4f}",
+                               entry["instructions"],
+                               entry["cycles"]])
+    parts.append(f'<div class="panels">{"".join(panels)}</div>')
+    parts.append(_details_table(
+        "table view — every run entry (keys with history)",
+        ["run key", "code version", "ingested", "IPC",
+         "instructions", "cycles"], table_rows))
+    return "".join(parts)
+
+
+def _port_util_section(ledger: Ledger) -> str:
+    parts = ['<h2 id="port-util">Port utilization over a run '
+             '(latest stored interval metrics per key)</h2>']
+    panels = []
+    for key in ledger.run_keys():
+        if len(panels) >= MAX_PANELS:
+            break
+        latest = ledger.latest_run(key["trace_digest"],
+                                   key["config_digest"])
+        if latest is None or not latest["has_metrics"]:
+            continue
+        report = ledger.run_document(latest["manifest_digest"],
+                                     latest["run_index"])
+        metrics = (report or {}).get("metrics") or {}
+        series = metrics.get("port_util") or []
+        starts = metrics.get("start_cycle") or []
+        if not series:
+            continue
+        titles = [f"cycle {starts[i] if i < len(starts) else '?'}: "
+                  f"{value:.1%} of {metrics.get('ports', '?')} port(s)"
+                  for i, value in enumerate(series)]
+        panels.append(_panel(
+            f"{_run_key_label(key)} ({latest['code_version']})",
+            [float(v) for v in series], titles,
+            f"{series[-1]:.1%} last interval"))
+    if not panels:
+        parts.append('<div class="empty">No stored run carries '
+                     'interval metrics — simulate with '
+                     '<code>--metrics-interval N --ledger ...</code>.'
+                     '</div>')
+        return "".join(parts)
+    parts.append(f'<div class="panels">{"".join(panels)}</div>')
+    return "".join(parts)
+
+
+def build_dashboard(ledger: Ledger,
+                    title: str = "repro — longitudinal observability",
+                    ) -> str:
+    """Render the whole dashboard as one self-contained HTML page."""
+    generated = datetime.datetime.now(
+        datetime.timezone.utc).isoformat(timespec="seconds")
+    versions = ledger.code_versions()
+    sections = [
+        _tiles_section(ledger),
+        _kips_section(ledger),
+        _f2_section(ledger),
+        _ipc_section(ledger),
+        _port_util_section(ledger),
+    ]
+    subtitle = (f"{_esc(ledger.path)} · "
+                f"{len(versions)} code version(s) · generated "
+                f"{_esc(generated)}")
+    body = "\n".join(sections)
+    return (
+        "<!doctype html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" '
+        'content="width=device-width, initial-scale=1">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n<main>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        f'<p class="subtitle">{subtitle}</p>\n'
+        f"{body}\n"
+        "<footer>Self-contained static export — inline CSS/SVG, no "
+        "scripts, no external requests. Built by <code>repro "
+        "dash</code> from the results ledger "
+        f"(ledger schema v{ledger.db_version}; manifest documents "
+        "stored verbatim, "
+        f"{_esc(json.dumps(ledger.counts()['manifests']))} total)."
+        "</footer>\n"
+        "</main>\n</body>\n</html>\n")

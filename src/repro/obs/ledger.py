@@ -1,0 +1,701 @@
+"""The persistent results ledger: a durable store of manifests.
+
+Every ``--json`` document the toolkit emits is a one-shot file; the
+ledger gives them memory.  It is a **dependency-free SQLite store**
+(stdlib ``sqlite3`` only) that ingests all four manifest schemas —
+``repro.run/1``, ``repro.experiment/1``, ``repro.bench/1`` and
+``repro.compare/1`` — into normalized tables keyed by
+
+    (trace_digest, config_digest, code_version)
+
+so "the same simulation, across code versions" is one indexed query.
+On top of it sit ``repro dash`` (:mod:`repro.obs.dash`) and ``repro
+watch`` (:mod:`repro.obs.watch`), and the ROADMAP's result-cache
+service and design-space autopilot get their result index for free.
+
+Design rules:
+
+* **Idempotent ingest.**  A manifest's identity is the SHA-256 of its
+  canonical JSON; re-ingesting the same document is a no-op (enforced
+  by a UNIQUE constraint, so it holds under concurrent ingest from
+  several engine workers too).
+* **The document is the truth.**  Normalized columns exist for
+  indexing and trending; the full document is stored verbatim and can
+  always be re-read (:meth:`Ledger.document`).
+* **Keys come from the manifest alone.**  ``trace_digest`` hashes the
+  workload identity (workload, scale, seed, trace_file) and
+  ``config_digest`` the configuration block *as recorded*, never
+  reconstructed from current code — a preset that changed meaning
+  across versions must not silently collide.  Bench cells only record
+  a configuration *name*, so their config digest covers ``{"name":
+  ...}``.
+* **Versioned schema.**  ``meta`` carries the ledger schema version;
+  :data:`MIGRATIONS` upgrades older stores in-place on open.
+* **Text export.**  :meth:`Ledger.export_jsonl` /
+  :meth:`Ledger.import_jsonl` round-trip the store through a diffable
+  JSONL format (one manifest per line, ingest-time metadata
+  preserved), which is how the committed seed fixture is maintained.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import os
+import sqlite3
+
+__all__ = [
+    "LEDGER_DB_VERSION",
+    "Ledger",
+    "LedgerError",
+    "config_digest_of",
+    "detect_kind",
+    "manifest_digest",
+    "resolve_ledger_path",
+    "trace_digest_of",
+]
+
+#: Current on-disk schema version (see :data:`MIGRATIONS`).
+LEDGER_DB_VERSION = 2
+
+#: Environment variable naming the default ledger database.
+LEDGER_ENV = "REPRO_LEDGER"
+
+#: schema tag -> ledger kind.
+_KINDS = {
+    "repro.run/1": "run",
+    "repro.experiment/1": "experiment",
+    "repro.bench/1": "bench",
+    "repro.compare/1": "compare",
+}
+
+#: Stamp recorded when a manifest predates code-version stamping.
+UNKNOWN_VERSION = "unknown"
+
+
+class LedgerError(ValueError):
+    """A document could not be ingested or the store is unusable."""
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def _canonical(document: object) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def manifest_digest(document: dict) -> str:
+    """The identity of a manifest: SHA-256 over its canonical JSON."""
+    return _sha256(_canonical(document))
+
+
+def trace_digest_of(workload: str | None, scale: str | None,
+                    seed: int | None, trace_file: str | None) -> str:
+    """Digest of a simulation's *input* identity."""
+    return _sha256(_canonical({"workload": workload, "scale": scale,
+                               "seed": seed, "trace_file": trace_file}))
+
+
+def config_digest_of(config: dict) -> str:
+    """Digest of a simulation's *configuration* identity, hashed as
+    recorded in the manifest (a run report's full ``config`` block, or
+    ``{"name": ...}`` for a bench cell)."""
+    return _sha256(_canonical(config))
+
+
+def detect_kind(document: dict) -> str:
+    """``run`` / ``experiment`` / ``bench`` / ``compare``; raises
+    :class:`LedgerError` for anything else."""
+    schema = document.get("schema") if isinstance(document, dict) else None
+    kind = _KINDS.get(schema)
+    if kind is None:
+        raise LedgerError(
+            f"cannot ingest schema {schema!r}; the ledger accepts "
+            + ", ".join(sorted(_KINDS)))
+    return kind
+
+
+def _document_code_version(document: dict) -> str | None:
+    value = document.get("code_version")
+    if isinstance(value, str) and value:
+        return value
+    return None
+
+
+# ----------------------------------------------------------------------
+# Schema + migrations
+# ----------------------------------------------------------------------
+_SCHEMA_V1 = """
+CREATE TABLE meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE manifests (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    digest TEXT NOT NULL UNIQUE,
+    kind TEXT NOT NULL,
+    schema TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    ingested_at TEXT NOT NULL,
+    document TEXT NOT NULL
+);
+CREATE TABLE runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    manifest_id INTEGER NOT NULL REFERENCES manifests(id)
+        ON DELETE CASCADE,
+    run_index INTEGER NOT NULL,
+    trace_digest TEXT NOT NULL,
+    config_digest TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    workload TEXT,
+    scale TEXT,
+    seed INTEGER,
+    trace_file TEXT,
+    config_name TEXT NOT NULL,
+    cycles INTEGER NOT NULL,
+    instructions INTEGER NOT NULL,
+    ipc REAL NOT NULL,
+    wall_time_s REAL,
+    sim_ips REAL,
+    has_metrics INTEGER NOT NULL
+);
+CREATE INDEX runs_by_key
+    ON runs (trace_digest, config_digest, code_version);
+CREATE TABLE experiments (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    manifest_id INTEGER NOT NULL REFERENCES manifests(id)
+        ON DELETE CASCADE,
+    experiment TEXT NOT NULL,
+    scale TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    title TEXT
+);
+CREATE INDEX experiments_by_name ON experiments (experiment, scale);
+CREATE TABLE experiment_cells (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment_id INTEGER NOT NULL REFERENCES experiments(id)
+        ON DELETE CASCADE,
+    row_label TEXT NOT NULL,
+    column_name TEXT NOT NULL,
+    number REAL,
+    text TEXT
+);
+CREATE TABLE bench (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    manifest_id INTEGER NOT NULL REFERENCES manifests(id)
+        ON DELETE CASCADE,
+    mode TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    hostname TEXT
+);
+CREATE TABLE bench_cells (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    bench_id INTEGER NOT NULL REFERENCES bench(id) ON DELETE CASCADE,
+    label TEXT NOT NULL,
+    trace_digest TEXT NOT NULL,
+    config_digest TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    scale TEXT NOT NULL,
+    config_name TEXT NOT NULL,
+    instructions INTEGER NOT NULL,
+    cycles INTEGER NOT NULL,
+    ipc REAL NOT NULL,
+    kips_median REAL NOT NULL,
+    kips_iqr REAL NOT NULL,
+    seconds_median REAL NOT NULL
+);
+CREATE INDEX bench_cells_by_label ON bench_cells (label);
+CREATE TABLE compares (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    manifest_id INTEGER NOT NULL REFERENCES manifests(id)
+        ON DELETE CASCADE,
+    code_version TEXT NOT NULL,
+    equal INTEGER NOT NULL,
+    delta_count INTEGER NOT NULL,
+    tolerance REAL NOT NULL
+);
+"""
+
+
+def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
+    """v2 records where a manifest came from (``source`` path)."""
+    conn.execute("ALTER TABLE manifests ADD COLUMN source TEXT")
+
+
+#: old version -> upgrade function (applied in order on open).
+MIGRATIONS = {1: _migrate_1_to_2}
+
+
+def _db_version(conn: sqlite3.Connection) -> int:
+    row = conn.execute(
+        "SELECT value FROM meta WHERE key = 'ledger_schema_version'"
+    ).fetchone()
+    if row is None:
+        raise LedgerError("ledger database has no schema version")
+    return int(row[0])
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class Ledger:
+    """One SQLite-backed results ledger.  Usable as a context manager;
+    safe for concurrent ingest from several processes (SQLite locking
+    plus a busy timeout plus idempotent inserts)."""
+
+    def __init__(self, path: str | os.PathLike,
+                 timeout: float = 30.0) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=timeout)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._migrate()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Ledger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _migrate(self) -> None:
+        # BEGIN IMMEDIATE serializes initializers: a second process
+        # opening the same fresh database blocks here (busy timeout)
+        # until the first commits the complete schema, then re-checks.
+        # executescript would be wrong — it autocommits per statement,
+        # exposing a half-built schema to concurrent openers.
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            tables = {row[0] for row in self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'")}
+            if "meta" not in tables:
+                for statement in _SCHEMA_V1.split(";"):
+                    if statement.strip():
+                        self._conn.execute(statement)
+                for old in sorted(MIGRATIONS):
+                    MIGRATIONS[old](self._conn)
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES "
+                    "('ledger_schema_version', ?)",
+                    (str(LEDGER_DB_VERSION),))
+            else:
+                version = _db_version(self._conn)
+                if version > LEDGER_DB_VERSION:
+                    raise LedgerError(
+                        f"{self.path} uses ledger schema v{version}; "
+                        f"this build understands up to "
+                        f"v{LEDGER_DB_VERSION}")
+                while version < LEDGER_DB_VERSION:
+                    MIGRATIONS[version](self._conn)
+                    version += 1
+                    self._conn.execute(
+                        "UPDATE meta SET value = ? WHERE "
+                        "key = 'ledger_schema_version'", (str(version),))
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+
+    @property
+    def db_version(self) -> int:
+        return _db_version(self._conn)
+
+    # -- ingest --------------------------------------------------------
+    def ingest(self, document: dict, source: str | None = None,
+               code_version: str | None = None,
+               ingested_at: str | None = None) -> bool:
+        """Ingest one manifest.  Returns True if it was new, False if
+        this exact document was already in the ledger (no-op).
+
+        ``code_version`` overrides the stamp for documents that
+        predate stamping (otherwise the document's own ``code_version``
+        is used, falling back to ``"unknown"``); ``ingested_at``
+        preserves the original timestamp on JSONL import.
+        """
+        kind = detect_kind(document)
+        digest = manifest_digest(document)
+        version = (_document_code_version(document) or code_version
+                   or UNKNOWN_VERSION)
+        stamp = ingested_at or datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds")
+        try:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "INSERT INTO manifests (digest, kind, schema, "
+                    "code_version, ingested_at, document, source) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (digest, kind, document["schema"], version, stamp,
+                     _canonical(document), source))
+                manifest_id = cursor.lastrowid
+                if kind == "run":
+                    self._ingest_run(manifest_id, 0, document, version)
+                elif kind == "experiment":
+                    self._ingest_experiment(manifest_id, document,
+                                            version)
+                elif kind == "bench":
+                    self._ingest_bench(manifest_id, document, version)
+                else:
+                    self._ingest_compare(manifest_id, document, version)
+        except sqlite3.IntegrityError:
+            return False    # lost a race or re-ingested: both no-ops
+        return True
+
+    def ingest_file(self, path: str | os.PathLike,
+                    code_version: str | None = None) -> bool:
+        """Load a JSON manifest from *path* and ingest it."""
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict):
+            raise LedgerError(f"{path} is not a JSON object")
+        return self.ingest(document, source=os.fspath(path),
+                           code_version=code_version)
+
+    def _ingest_run(self, manifest_id: int, run_index: int,
+                    report: dict, version: str) -> None:
+        config = report.get("config")
+        if not isinstance(config, dict):
+            raise LedgerError("run report has no config block")
+        metrics = report.get("metrics")
+        host = report.get("host") or {}
+        self._conn.execute(
+            "INSERT INTO runs (manifest_id, run_index, trace_digest, "
+            "config_digest, code_version, workload, scale, seed, "
+            "trace_file, config_name, cycles, instructions, ipc, "
+            "wall_time_s, sim_ips, has_metrics) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (manifest_id, run_index,
+             trace_digest_of(report.get("workload"), report.get("scale"),
+                             report.get("seed"),
+                             report.get("trace_file")),
+             config_digest_of(config),
+             _document_code_version(report) or version,
+             report.get("workload"), report.get("scale"),
+             report.get("seed"), report.get("trace_file"),
+             config.get("name", "?"), report["cycles"],
+             report["instructions"], report["ipc"],
+             host.get("wall_time_s"), host.get("sim_ips"),
+             1 if metrics else 0))
+
+    def _ingest_experiment(self, manifest_id: int, manifest: dict,
+                           version: str) -> None:
+        table = manifest.get("table") or {}
+        cursor = self._conn.execute(
+            "INSERT INTO experiments (manifest_id, experiment, scale, "
+            "code_version, title) VALUES (?, ?, ?, ?, ?)",
+            (manifest_id, manifest["experiment"], manifest["scale"],
+             version, table.get("title")))
+        experiment_id = cursor.lastrowid
+        columns = table.get("columns") or []
+        for row in table.get("rows") or []:
+            if not row:
+                continue
+            row_label = str(row[0])
+            for name, value in zip(columns[1:], row[1:]):
+                number = (float(value)
+                          if isinstance(value, (int, float))
+                          and not isinstance(value, bool) else None)
+                self._conn.execute(
+                    "INSERT INTO experiment_cells (experiment_id, "
+                    "row_label, column_name, number, text) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (experiment_id, row_label, str(name), number,
+                     None if number is not None else str(value)))
+        for index, report in enumerate(manifest.get("runs") or ()):
+            self._ingest_run(manifest_id, index, report, version)
+
+    def _ingest_bench(self, manifest_id: int, manifest: dict,
+                      version: str) -> None:
+        host = manifest.get("host") or {}
+        cursor = self._conn.execute(
+            "INSERT INTO bench (manifest_id, mode, code_version, "
+            "hostname) VALUES (?, ?, ?, ?)",
+            (manifest_id, manifest.get("mode", "?"), version,
+             host.get("hostname")))
+        bench_id = cursor.lastrowid
+        for cell in manifest.get("results") or ():
+            self._conn.execute(
+                "INSERT INTO bench_cells (bench_id, label, "
+                "trace_digest, config_digest, workload, scale, "
+                "config_name, instructions, cycles, ipc, kips_median, "
+                "kips_iqr, seconds_median) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (bench_id, cell["label"],
+                 trace_digest_of(cell["workload"], cell["scale"],
+                                 None, None),
+                 config_digest_of({"name": cell["config"]}),
+                 cell["workload"], cell["scale"], cell["config"],
+                 cell["instructions"], cell["cycles"], cell["ipc"],
+                 cell["kips"]["median"], cell["kips"]["iqr"],
+                 cell["seconds"]["median"]))
+
+    def _ingest_compare(self, manifest_id: int, report: dict,
+                        version: str) -> None:
+        self._conn.execute(
+            "INSERT INTO compares (manifest_id, code_version, equal, "
+            "delta_count, tolerance) VALUES (?, ?, ?, ?, ?)",
+            (manifest_id, version, 1 if report.get("equal") else 0,
+             len(report.get("deltas") or ()),
+             float(report.get("tolerance") or 0.0)))
+
+    # -- queries -------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Row counts per table (manifests broken down by kind)."""
+        out: dict[str, int] = {}
+        for table in ("manifests", "runs", "experiments",
+                      "experiment_cells", "bench", "bench_cells",
+                      "compares"):
+            out[table] = self._conn.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+        for kind in sorted(set(_KINDS.values())):
+            out[f"manifests.{kind}"] = 0
+        for row in self._conn.execute(
+                "SELECT kind, COUNT(*) FROM manifests GROUP BY kind"):
+            out[f"manifests.{row[0]}"] = row[1]
+        return out
+
+    def code_versions(self) -> list[str]:
+        """Distinct code versions, in first-ingest order."""
+        return [row[0] for row in self._conn.execute(
+            "SELECT code_version FROM manifests GROUP BY code_version "
+            "ORDER BY MIN(id)")]
+
+    def document(self, digest: str) -> dict | None:
+        """The verbatim manifest with this digest, or None."""
+        row = self._conn.execute(
+            "SELECT document FROM manifests WHERE digest = ?",
+            (digest,)).fetchone()
+        return json.loads(row[0]) if row is not None else None
+
+    def run_document(self, manifest_digest: str,
+                     run_index: int) -> dict | None:
+        """The run report at *run_index* inside a stored manifest (the
+        manifest itself for a bare run report)."""
+        document = self.document(manifest_digest)
+        if document is None:
+            return None
+        if document.get("schema") == "repro.run/1":
+            return document
+        runs = document.get("runs") or []
+        return runs[run_index] if run_index < len(runs) else None
+
+    def bench_labels(self) -> list[str]:
+        return [row[0] for row in self._conn.execute(
+            "SELECT DISTINCT label FROM bench_cells ORDER BY label")]
+
+    def bench_history(self, label: str, limit: int | None = None,
+                      exclude_digest: str | None = None) -> list[dict]:
+        """Entries for one bench cell label, oldest -> newest.  With
+        *limit*, the newest N.  ``exclude_digest`` drops the manifest
+        a candidate was loaded from (so a watch never compares a
+        document against itself)."""
+        sql = ("SELECT m.digest AS manifest_digest, m.ingested_at, "
+               "b.mode, b.code_version, c.* FROM bench_cells c "
+               "JOIN bench b ON c.bench_id = b.id "
+               "JOIN manifests m ON b.manifest_id = m.id "
+               "WHERE c.label = ?")
+        params: list[object] = [label]
+        if exclude_digest is not None:
+            sql += " AND m.digest != ?"
+            params.append(exclude_digest)
+        sql += " ORDER BY m.id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit)
+        rows = [dict(row) for row in self._conn.execute(sql, params)]
+        rows.reverse()
+        return rows
+
+    def kips_trend(self) -> dict[str, list[dict]]:
+        """Per bench-cell label, the full history (oldest -> newest)."""
+        return {label: self.bench_history(label)
+                for label in self.bench_labels()}
+
+    def run_keys(self) -> list[dict]:
+        """Distinct (trace_digest, config_digest) run keys with their
+        human identity and entry count, most-recorded first."""
+        return [dict(row) for row in self._conn.execute(
+            "SELECT trace_digest, config_digest, workload, scale, "
+            "seed, trace_file, config_name, COUNT(*) AS entries, "
+            "COUNT(DISTINCT code_version) AS versions "
+            "FROM runs GROUP BY trace_digest, config_digest "
+            "ORDER BY entries DESC, config_name, workload")]
+
+    def run_history(self, trace_digest: str, config_digest: str,
+                    limit: int | None = None,
+                    exclude_digest: str | None = None) -> list[dict]:
+        """Entries for one run key, oldest -> newest (newest N with
+        *limit*)."""
+        sql = ("SELECT m.digest AS manifest_digest, m.ingested_at, "
+               "m.kind, r.* FROM runs r "
+               "JOIN manifests m ON r.manifest_id = m.id "
+               "WHERE r.trace_digest = ? AND r.config_digest = ?")
+        params: list[object] = [trace_digest, config_digest]
+        if exclude_digest is not None:
+            sql += " AND m.digest != ?"
+            params.append(exclude_digest)
+        sql += " ORDER BY r.id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit)
+        rows = [dict(row) for row in self._conn.execute(sql, params)]
+        rows.reverse()
+        return rows
+
+    def latest_run(self, trace_digest: str,
+                   config_digest: str) -> dict | None:
+        history = self.run_history(trace_digest, config_digest, limit=1)
+        return history[-1] if history else None
+
+    def experiment_names(self) -> list[str]:
+        return [row[0] for row in self._conn.execute(
+            "SELECT DISTINCT experiment FROM experiments "
+            "ORDER BY experiment")]
+
+    def experiment_latest(self, experiment: str,
+                          scale: str | None = None) -> dict | None:
+        """The latest stored table (``Table.as_dict`` shape) for an
+        experiment, plus its code version, or None."""
+        sql = ("SELECT m.document, m.code_version, e.scale "
+               "FROM experiments e "
+               "JOIN manifests m ON e.manifest_id = m.id "
+               "WHERE e.experiment = ?")
+        params: list[object] = [experiment]
+        if scale is not None:
+            sql += " AND e.scale = ?"
+            params.append(scale)
+        sql += " ORDER BY m.id DESC LIMIT 1"
+        row = self._conn.execute(sql, params).fetchone()
+        if row is None:
+            return None
+        return {"table": json.loads(row[0]).get("table"),
+                "code_version": row[1], "scale": row[2]}
+
+    def experiment_history(self, experiment: str, row_label: str,
+                           column_name: str,
+                           scale: str | None = None) -> list[dict]:
+        """One table cell over time (oldest -> newest): e.g. F2's
+        ``("MEAN (all)", "tech/2P")`` headline ratio per code
+        version."""
+        sql = ("SELECT m.digest AS manifest_digest, m.ingested_at, "
+               "e.code_version, e.scale, c.number, c.text "
+               "FROM experiment_cells c "
+               "JOIN experiments e ON c.experiment_id = e.id "
+               "JOIN manifests m ON e.manifest_id = m.id "
+               "WHERE e.experiment = ? AND c.row_label = ? "
+               "AND c.column_name = ?")
+        params: list[object] = [experiment, row_label, column_name]
+        if scale is not None:
+            sql += " AND e.scale = ?"
+            params.append(scale)
+        sql += " ORDER BY m.id"
+        return [dict(row) for row in self._conn.execute(sql, params)]
+
+    def pareto(self, experiment: str, x_column: str, y_column: str,
+               minimize_x: bool = True, maximize_y: bool = True,
+               scale: str | None = None) -> list[dict]:
+        """The Pareto-efficient rows of an experiment's latest table
+        over two numeric columns (the design-space-autopilot slice:
+        e.g. port cost vs IPC).  Rows missing either value are
+        skipped."""
+        latest = self.experiment_latest(experiment, scale)
+        if latest is None or not latest.get("table"):
+            return []
+        table = latest["table"]
+        columns = table.get("columns") or []
+        try:
+            x_index = columns.index(x_column)
+            y_index = columns.index(y_column)
+        except ValueError:
+            return []
+        points = []
+        for row in table.get("rows") or []:
+            if len(row) <= max(x_index, y_index):
+                continue
+            x, y = row[x_index], row[y_index]
+            if not all(isinstance(v, (int, float))
+                       and not isinstance(v, bool) for v in (x, y)):
+                continue
+            points.append({"row": str(row[0]), "x": float(x),
+                           "y": float(y)})
+        sign_x = 1.0 if minimize_x else -1.0
+        sign_y = -1.0 if maximize_y else 1.0
+
+        def dominates(p: dict, q: dict) -> bool:
+            return (sign_x * p["x"] <= sign_x * q["x"]
+                    and sign_y * p["y"] <= sign_y * q["y"]
+                    and (p["x"] != q["x"] or p["y"] != q["y"]))
+
+        frontier = [p for p in points
+                    if not any(dominates(q, p) for q in points)]
+        frontier.sort(key=lambda p: sign_x * p["x"])
+        return frontier
+
+    # -- JSONL export / import -----------------------------------------
+    def export_jsonl(self, path: str | os.PathLike) -> int:
+        """Write every manifest (plus ingest metadata) as one JSON
+        object per line; returns the line count."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in self._conn.execute(
+                    "SELECT digest, kind, schema, code_version, "
+                    "ingested_at, source, document FROM manifests "
+                    "ORDER BY id"):
+                handle.write(json.dumps({
+                    "digest": row["digest"],
+                    "kind": row["kind"],
+                    "schema": row["schema"],
+                    "code_version": row["code_version"],
+                    "ingested_at": row["ingested_at"],
+                    "source": row["source"],
+                    "document": json.loads(row["document"]),
+                }, sort_keys=True) + "\n")
+                count += 1
+        return count
+
+    def import_jsonl(self, path: str | os.PathLike) -> tuple[int, int]:
+        """Ingest an exported JSONL file; returns ``(added,
+        skipped)``.  Idempotent like :meth:`ingest`."""
+        added = skipped = 0
+        with open(path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise LedgerError(
+                        f"{path}:{number}: not JSON ({exc})")
+                if not isinstance(entry, dict) \
+                        or "document" not in entry:
+                    raise LedgerError(
+                        f"{path}:{number}: expected an export entry "
+                        f"with a 'document' key")
+                if self.ingest(entry["document"],
+                               source=entry.get("source"),
+                               code_version=entry.get("code_version"),
+                               ingested_at=entry.get("ingested_at")):
+                    added += 1
+                else:
+                    skipped += 1
+        return added, skipped
+
+
+def resolve_ledger_path(flag: str | None) -> str | None:
+    """The active ledger database: an explicit ``--ledger PATH`` flag
+    wins, else the ``REPRO_LEDGER`` environment variable, else None
+    (the zero-overhead default: no ledger, nothing happens)."""
+    if flag:
+        return flag
+    env = os.environ.get(LEDGER_ENV, "").strip()
+    return env or None

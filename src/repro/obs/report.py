@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from .codeversion import code_version
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..core.config import MachineConfig
     from ..core.pipeline import CoreResult
@@ -79,6 +81,7 @@ def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
     return {
         "schema": RUN_SCHEMA,
         "schema_version": SCHEMA_VERSION,
+        "code_version": code_version(),
         "config": {
             "name": machine.name,
             "issue_width": machine.core.issue_width,
@@ -132,6 +135,7 @@ def build_experiment_manifest(experiment: str, scale: str, table: "Table",
     return {
         "schema": EXPERIMENT_SCHEMA,
         "schema_version": SCHEMA_VERSION,
+        "code_version": code_version(),
         "experiment": experiment,
         "scale": scale,
         "table": table.as_dict(),
@@ -150,6 +154,18 @@ class SchemaError(ValueError):
     def __init__(self, problems: list[str]) -> None:
         super().__init__("; ".join(problems))
         self.problems = problems
+
+
+def _check_code_version(document: dict, problems: list[str],
+                        context: str) -> None:
+    """``code_version`` is optional (pre-stamp manifests lack it) but
+    must be a non-empty string when present."""
+    if "code_version" not in document:
+        return
+    value = document["code_version"]
+    if not isinstance(value, str) or not value:
+        problems.append(f"{context}: code_version must be a non-empty "
+                        f"string")
 
 
 def _require(document: dict, spec: dict[str, type | tuple],
@@ -184,6 +200,7 @@ def validate_run_report(report: dict) -> None:
     if report.get("schema") not in (None, RUN_SCHEMA):
         problems.append(f"run: schema is {report['schema']!r}, "
                         f"expected {RUN_SCHEMA!r}")
+    _check_code_version(report, problems, "run")
     if "seed" in report and report["seed"] is not None and \
             not isinstance(report["seed"], int):
         problems.append("run: seed must be an integer or null")
@@ -297,6 +314,7 @@ def validate_experiment_manifest(manifest: dict) -> None:
     if manifest.get("schema") not in (None, EXPERIMENT_SCHEMA):
         problems.append(f"experiment: schema is {manifest['schema']!r}, "
                         f"expected {EXPERIMENT_SCHEMA!r}")
+    _check_code_version(manifest, problems, "experiment")
     table = manifest.get("table")
     if isinstance(table, dict):
         _require(table, {"title": str, "columns": list, "rows": list},

@@ -85,6 +85,13 @@ class TestValidation:
         with pytest.raises(SchemaError, match="results"):
             validate_bench_manifest(broken)
 
+    def test_code_version_stamped_and_checked(self, quick_manifest):
+        assert quick_manifest["code_version"]
+        manifest = copy.deepcopy(quick_manifest)
+        manifest["code_version"] = ""
+        with pytest.raises(SchemaError, match="code_version"):
+            validate_bench_manifest(manifest)
+
     def test_rejects_wrong_schema_tag(self, quick_manifest):
         broken = dict(quick_manifest, schema="repro.run/1")
         with pytest.raises(SchemaError, match="schema"):
@@ -98,6 +105,15 @@ class TestValidation:
 
 
 class TestCompare:
+    def test_code_version_never_affects_compare(self, quick_manifest):
+        # A baseline from another revision compares on results, not on
+        # the stamp — so stamping didn't change --compare behaviour.
+        candidate = copy.deepcopy(quick_manifest)
+        candidate["code_version"] = "some-other-revision"
+        report = compare_bench(quick_manifest, candidate)
+        assert report["ok"] is True
+        assert report["deterministic_ok"] is True
+
     def test_same_seed_rerun_compares_clean(self, quick_manifest):
         rerun = run_bench(quick=True, repeats=2, warmup=0)
         report = compare_bench(quick_manifest, rerun, tolerance=1e9)

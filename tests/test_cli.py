@@ -355,6 +355,71 @@ class TestCompare:
                      "--tolerance", "-1"]) == 2
         assert "negative" in capsys.readouterr().err
 
+    @staticmethod
+    def _two_sides(tmp_path, drift=False):
+        import json
+        side_a = tmp_path / "baseline"
+        side_b = tmp_path / "candidate"
+        side_a.mkdir()
+        side_b.mkdir()
+        for name, cycles in (("f2_tiny.json", 100), ("t1_tiny.json", 200)):
+            (side_a / name).write_text(json.dumps(
+                {"schema": "repro.run/1", "cycles": cycles}))
+            (side_b / name).write_text(json.dumps(
+                {"schema": "repro.run/1",
+                 "cycles": cycles + (1 if drift else 0)}))
+        return str(side_a), str(side_b)
+
+    def test_directories_pair_by_basename(self, tmp_path, capsys):
+        side_a, side_b = self._two_sides(tmp_path)
+        assert main(["compare", side_a, side_b]) == 0
+        out = capsys.readouterr().out
+        assert out.count("identical") == 2
+
+    def test_directory_drift_exits_one(self, tmp_path, capsys):
+        side_a, side_b = self._two_sides(tmp_path, drift=True)
+        assert main(["compare", side_a, side_b]) == 1
+        assert "cycles" in capsys.readouterr().out
+
+    def test_globs_and_json_set_report(self, tmp_path, capsys):
+        import json
+        side_a, side_b = self._two_sides(tmp_path, drift=True)
+        assert main(["compare", f"{side_a}/*.json",
+                     f"{side_b}/*.json", "--json"]) == 1
+        reports = json.loads(capsys.readouterr().out)
+        assert isinstance(reports, list) and len(reports) == 2
+        assert all(not entry["report"]["equal"] for entry in reports)
+
+    def test_unpaired_basenames_are_noted(self, tmp_path, capsys):
+        import json
+        side_a, side_b = self._two_sides(tmp_path)
+        (tmp_path / "baseline" / "only_here.json").write_text(
+            json.dumps({"schema": "repro.run/1"}))
+        assert main(["compare", side_a, side_b]) == 0
+        assert "only_here.json only on the baseline side" in \
+            capsys.readouterr().err
+
+    def test_no_common_basenames_exits_two(self, tmp_path, capsys):
+        import json
+        side_a = tmp_path / "a"
+        side_b = tmp_path / "b"
+        side_a.mkdir()
+        side_b.mkdir()
+        (side_a / "x.json").write_text(json.dumps({}))
+        (side_a / "x2.json").write_text(json.dumps({}))
+        (side_b / "y.json").write_text(json.dumps({}))
+        (side_b / "y2.json").write_text(json.dumps({}))
+        assert main(["compare", str(side_a), str(side_b)]) == 2
+        assert "no manifest basenames" in capsys.readouterr().err
+
+    def test_empty_directory_exits_two(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text("{}")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["compare", str(good), str(empty)]) == 2
+        assert "no *.json manifests" in capsys.readouterr().err
+
 
 class TestEventsFilters:
     def test_type_alias(self, tmp_path, capsys):

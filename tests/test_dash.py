@@ -1,0 +1,123 @@
+"""Golden-structure tests for the ``repro dash`` HTML dashboard."""
+
+import json
+import os
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.cli import main
+from repro.obs.dash import build_dashboard
+from repro.obs.ledger import Ledger
+
+SEED_JSONL = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "benchmarks", "ledger_seed.jsonl")
+BASELINE_CI = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "benchmarks", "baseline_ci.json")
+
+#: Every dashboard carries these section anchors, populated or not.
+SECTION_IDS = ("kips-trend", "f2-headline", "ipc-trend", "port-util")
+
+
+class _Structure(HTMLParser):
+    """Collects ids, tag counts, and external references."""
+
+    def __init__(self):
+        super().__init__()
+        self.ids = []
+        self.tags = {}
+        self.external = []
+
+    def handle_starttag(self, tag, attrs):
+        attributes = dict(attrs)
+        if "id" in attributes:
+            self.ids.append(attributes["id"])
+        self.tags[tag] = self.tags.get(tag, 0) + 1
+        for key in ("src", "href"):
+            value = attributes.get(key, "")
+            if value.startswith(("http:", "https:", "//")):
+                self.external.append(value)
+
+
+def _parse(document):
+    parser = _Structure()
+    parser.feed(document)
+    return parser
+
+
+@pytest.fixture
+def seeded_ledger(tmp_path):
+    ledger = Ledger(tmp_path / "led.sqlite")
+    added, _ = ledger.import_jsonl(SEED_JSONL)
+    assert added >= 4
+    return ledger
+
+
+class TestEmptyLedger:
+    def test_all_sections_present(self, tmp_path):
+        document = build_dashboard(Ledger(tmp_path / "led.sqlite"))
+        structure = _parse(document)
+        for section_id in SECTION_IDS:
+            assert section_id in structure.ids
+        # empty states instead of charts, but never a broken page
+        assert structure.tags.get("svg", 0) == 0
+        assert document.count('class="empty"') == 4
+
+
+class TestSeededLedger:
+    def test_structure(self, seeded_ledger):
+        document = build_dashboard(seeded_ledger)
+        structure = _parse(document)
+        for section_id in SECTION_IDS:
+            assert section_id in structure.ids
+        # kIPS sparklines rendered from the seeded bench manifests
+        assert structure.tags["svg"] >= 1
+        assert structure.tags["circle"] >= 2
+        # every point marker carries a native tooltip
+        assert structure.tags["title"] >= structure.tags["circle"]
+        # F2 headline table present with the ratio columns
+        assert "1P/2P" in document and "tech/2P" in document
+        assert structure.tags["table"] >= 1
+
+    def test_self_contained(self, seeded_ledger):
+        document = build_dashboard(seeded_ledger)
+        structure = _parse(document)
+        assert structure.external == []
+        assert "<script" not in document
+        assert "@media (prefers-color-scheme: dark)" in document
+
+    def test_title_and_versions(self, seeded_ledger):
+        document = build_dashboard(seeded_ledger, title="My Dash")
+        assert "<title>My Dash</title>" in document
+        for version in seeded_ledger.code_versions():
+            assert version in document
+
+    def test_html_escaping(self, tmp_path):
+        ledger = Ledger(tmp_path / "led.sqlite")
+        with open(BASELINE_CI, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        ledger.ingest(manifest, code_version="<evil>&'\"")
+        document = build_dashboard(ledger)
+        assert "<evil>" not in document
+        assert "&lt;evil&gt;" in document
+
+
+class TestDashCli:
+    def test_renders_file(self, tmp_path, capsys):
+        db = str(tmp_path / "led.sqlite")
+        with Ledger(db) as ledger:
+            ledger.import_jsonl(SEED_JSONL)
+        out = str(tmp_path / "dash.html")
+        assert main(["dash", "--ledger", db, "-o", out,
+                     "--title", "CI dashboard"]) == 0
+        assert "dash.html" in capsys.readouterr().out
+        with open(out, encoding="utf-8") as handle:
+            document = handle.read()
+        assert "<title>CI dashboard</title>" in document
+        for section_id in SECTION_IDS:
+            assert f'id="{section_id}"' in document
+
+    def test_requires_ledger(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        with pytest.raises(SystemExit):
+            main(["dash", "-o", str(tmp_path / "dash.html")])

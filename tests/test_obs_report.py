@@ -98,6 +98,28 @@ class TestRunValidation:
         with pytest.raises(SchemaError, match="seed"):
             validate_run_report(report)
 
+    def test_code_version_stamped(self, run_and_report):
+        _, report = run_and_report
+        assert isinstance(report["code_version"], str)
+        assert report["code_version"]
+
+    def test_code_version_is_optional_but_not_empty(self,
+                                                    run_and_report):
+        report = self._valid(run_and_report)
+        del report["code_version"]
+        validate_run_report(report)   # pre-stamping documents pass
+        report["code_version"] = ""
+        with pytest.raises(SchemaError, match="code_version"):
+            validate_run_report(report)
+        report["code_version"] = 7
+        with pytest.raises(SchemaError, match="code_version"):
+            validate_run_report(report)
+
+    def test_code_version_env_override(self, monkeypatch):
+        from repro.obs.codeversion import code_version
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned-abc")
+        assert code_version() == "pinned-abc"
+
     def test_rejects_nonconservative_ledger(self, run_and_report):
         report = self._valid(run_and_report)
         report["stalls"]["total_lost"] += 1
@@ -212,6 +234,13 @@ class TestExperimentManifest:
         manifest = json.loads(json.dumps(self._manifest(run_and_report)))
         del manifest["table"]
         with pytest.raises(SchemaError, match="table"):
+            validate_experiment_manifest(manifest)
+
+    def test_code_version_stamped_and_checked(self, run_and_report):
+        manifest = json.loads(json.dumps(self._manifest(run_and_report)))
+        assert manifest["code_version"]
+        manifest["code_version"] = ""
+        with pytest.raises(SchemaError, match="code_version"):
             validate_experiment_manifest(manifest)
 
     def test_engine_fields_recorded(self, run_and_report):
