@@ -42,6 +42,7 @@ from ..stats.histogram import Histogram
 from ..trace.record import TraceRecord
 from .bpred import BranchPredictor
 from .config import CoreConfig, MachineConfig
+from .fastpath import run_fast
 from .fu import FUPool
 from .lsq import LoadStoreQueue
 from .uop import Uop
@@ -49,7 +50,39 @@ from .uop import Uop
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..validate.base import Validator
 
-_WATCHDOG_CYCLES = 50_000
+#: Lower bound for the zero-progress watchdog.  The actual limit is
+#: scaled to the configured machine (see :func:`watchdog_limit`): a
+#: maximal config — deep ROB, large write buffer draining at a barrier
+#: under MSHR backpressure, slow memory — can legitimately go far
+#: longer than any small config without committing anything.
+_WATCHDOG_FLOOR = 50_000
+
+
+def watchdog_limit(machine: MachineConfig) -> int:
+    """Zero-progress cycle bound for *machine*.
+
+    The worst legitimate commit-to-commit gap is bounded by every
+    in-flight slot serially taking a worst-case trip through the memory
+    system, so the limit scales with the total buffering in the machine
+    times the worst per-operation latency (L2 + memory + queueing
+    behind every MSHR, victim probe, L1 hit, the slowest FU, decode).
+    The 4x margin keeps the bound loose — the watchdog exists to catch
+    real deadlocks, not slow progress — and the floor keeps tiny
+    configs from tripping on startup transients.
+    """
+    core = machine.core
+    dcache = machine.mem.dcache
+    next_level = machine.mem.next_level
+    inflight = (core.rob_size + core.iq_size + core.lq_size +
+                core.sq_size + core.fetch_queue_size +
+                dcache.write_buffer_depth + dcache.mshrs)
+    fill = (next_level.hit_latency + next_level.memory_latency +
+            next_level.occupancy * (dcache.mshrs + 2))
+    victim = dcache.victim_latency if dcache.victim_entries else 0
+    max_fu = max(spec.latency for spec in core.fu_specs.values())
+    per_op = (fill + victim + dcache.hit_latency + max_fu +
+              core.decode_latency)
+    return max(_WATCHDOG_FLOOR, 4 * inflight * per_op)
 
 #: ``REPRO_VALIDATE=1`` attaches a strict invariant checker to every
 #: core that was not given an explicit validator — the switch CI uses
@@ -100,7 +133,8 @@ class OoOCore:
                  pipe_trace: PipeTrace | None = None,
                  profiler: SelfProfiler | None = None,
                  spans: SpanRecorder | None = None,
-                 validator: "Validator | None" = None) -> None:
+                 validator: "Validator | None" = None,
+                 fastpath: bool | None = None) -> None:
         self.machine = machine
         self.cfg: CoreConfig = machine.core
         self.stats = Stats()
@@ -158,6 +192,13 @@ class OoOCore:
         self._committed = 0
         self._last_activity = 0
         self.load_latency = Histogram("load_latency")
+        # Fast-path selection: None picks automatically at run() entry
+        # (fast loop iff no instrumentation is attached), False forces
+        # the instrumented reference loop, True demands the fast loop
+        # and raises if any instrumentation would be silently dropped.
+        self._fastpath = fastpath
+        self.used_fastpath = False
+        self._watchdog_limit = watchdog_limit(machine)
 
     # ------------------------------------------------------------------
     def run(self, trace: Sequence[TraceRecord]) -> CoreResult:
@@ -165,7 +206,16 @@ class OoOCore:
         if not trace:
             raise ValueError("empty trace")
         self._trace = trace
-        if self.profiler is not None:
+        eligible = self._fastpath_eligible()
+        if self._fastpath and not eligible:
+            raise ValueError(
+                "fastpath=True requires tracer, metrics, pipe trace, "
+                "validator and profiler to all be off")
+        use_fast = eligible if self._fastpath is None else self._fastpath
+        if use_fast:
+            self.used_fastpath = True
+            cycle = run_fast(self, trace)
+        elif self.profiler is not None:
             recorder = self.profiler.spans
             if recorder is not None:
                 recorder.begin("core.run", "sim",
@@ -216,8 +266,7 @@ class OoOCore:
                 self._validate.on_cycle(self, cycle)
             if metrics is not None:
                 self._sample_metrics(metrics, cycle)
-            if cycle - self._last_activity > _WATCHDOG_CYCLES:
-                raise SimError(self._deadlock_report(cycle))
+            self._watchdog(cycle)
             cycle += 1
         return cycle
 
@@ -256,10 +305,23 @@ class OoOCore:
                 self._validate.on_cycle(self, cycle)
             if metrics is not None:
                 self._sample_metrics(metrics, cycle)
-            if cycle - self._last_activity > _WATCHDOG_CYCLES:
-                raise SimError(self._deadlock_report(cycle))
+            self._watchdog(cycle)
             cycle += 1
         return cycle
+
+    def _fastpath_eligible(self) -> bool:
+        """True iff no instrumentation is attached, so the specialized
+        loop in :mod:`repro.core.fastpath` is observably identical to
+        the reference loop.  Span recording rides on the profiler (see
+        ``__init__``), so the profiler check covers it."""
+        return (not self._tracing and self._validate is None
+                and self.metrics is None and self._pipe is None
+                and self.profiler is None)
+
+    def _watchdog(self, cycle: int) -> None:
+        """Single zero-progress check shared by both reference loops."""
+        if cycle - self._last_activity > self._watchdog_limit:
+            raise SimError(self._deadlock_report(cycle))
 
     def _sample_metrics(self, metrics: IntervalMetrics,
                         cycle: int) -> None:
@@ -662,7 +724,8 @@ class OoOCore:
     # ------------------------------------------------------------------
     def _deadlock_report(self, cycle: int) -> str:
         head = self._rob[0] if self._rob else None
-        return (f"timing core made no progress for {_WATCHDOG_CYCLES} cycles "
+        return (f"timing core made no progress for "
+                f"{self._watchdog_limit} cycles "
                 f"(cycle={cycle}, committed={self._committed}, "
                 f"rob={len(self._rob)}, iq={len(self._iq)}, "
                 f"fq={len(self._fetch_queue)}, head={head!r})")
@@ -675,9 +738,11 @@ def simulate(trace: Sequence[TraceRecord],
              pipe_trace: PipeTrace | None = None,
              profiler: SelfProfiler | None = None,
              spans: SpanRecorder | None = None,
-             validator: "Validator | None" = None) -> CoreResult:
+             validator: "Validator | None" = None,
+             fastpath: bool | None = None) -> CoreResult:
     """Convenience: run *trace* through a fresh machine instance."""
     return OoOCore(machine, tracer=tracer,
                    metrics_interval=metrics_interval,
                    pipe_trace=pipe_trace, profiler=profiler,
-                   spans=spans, validator=validator).run(trace)
+                   spans=spans, validator=validator,
+                   fastpath=fastpath).run(trace)

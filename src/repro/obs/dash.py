@@ -240,6 +240,10 @@ def _kips_section(ledger: Ledger) -> str:
     panels = []
     table_rows = []
     for label, entries in sorted(trend.items()):
+        entries = [entry for entry in entries
+                   if entry["kips_median"] is not None]
+        if not entries:
+            continue
         values = [entry["kips_median"] for entry in entries]
         titles = [f"{entry['code_version']} · "
                   f"{entry['kips_median']:.1f} kIPS · "
@@ -253,6 +257,11 @@ def _kips_section(ledger: Ledger) -> str:
                                f"{entry['kips_median']:.1f}",
                                f"{entry['kips_iqr']:.2f}",
                                entry["instructions"], entry["cycles"]])
+    if not panels:
+        parts.append('<div class="empty">No bench manifests in the '
+                     'ledger yet — run <code>repro bench --ledger '
+                     '...</code>.</div>')
+        return "".join(parts)
     parts.append(f'<div class="panels">{"".join(panels[:MAX_PANELS])}'
                  f'</div>')
     parts.append(_details_table(
@@ -314,15 +323,15 @@ def _ipc_section(ledger: Ledger) -> str:
     parts = ['<h2 id="ipc-trend">Simulated IPC per run key '
              '(trace digest × config digest)</h2>']
     keys = [key for key in ledger.run_keys() if key["entries"] >= 2]
-    if not keys:
-        parts.append('<div class="empty">No run key has two or more '
-                     'ledger entries yet.</div>')
-        return "".join(parts)
     panels = []
     table_rows = []
     for key in keys[:MAX_PANELS]:
-        history = ledger.run_history(key["trace_digest"],
-                                     key["config_digest"])
+        history = [entry for entry
+                   in ledger.run_history(key["trace_digest"],
+                                         key["config_digest"])
+                   if entry["ipc"] is not None]
+        if len(history) < 2:
+            continue
         values = [entry["ipc"] for entry in history]
         titles = [f"{entry['code_version']} · IPC {entry['ipc']:.3f} "
                   f"· {_date(entry['ingested_at'])}"
@@ -336,6 +345,10 @@ def _ipc_section(ledger: Ledger) -> str:
                                f"{entry['ipc']:.4f}",
                                entry["instructions"],
                                entry["cycles"]])
+    if not panels:
+        parts.append('<div class="empty">No run key has two or more '
+                     'ledger entries yet.</div>')
+        return "".join(parts)
     parts.append(f'<div class="panels">{"".join(panels)}</div>')
     parts.append(_details_table(
         "table view — every run entry (keys with history)",
@@ -366,7 +379,8 @@ def _port_util_section(ledger: Ledger) -> str:
                   f"{value:.1%} of {metrics.get('ports', '?')} port(s)"
                   for i, value in enumerate(series)]
         panels.append(_panel(
-            f"{_run_key_label(key)} ({latest['code_version']})",
+            f"{_run_key_label(key)} "
+            f"({latest['code_version'] or 'unknown'})",
             [float(v) for v in series], titles,
             f"{series[-1]:.1%} last interval"))
     if not panels:

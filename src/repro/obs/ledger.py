@@ -367,6 +367,20 @@ class Ledger:
             raise LedgerError("run report has no config block")
         metrics = report.get("metrics")
         host = report.get("host") or {}
+        # Back-compat: pre-metrics run reports (no ``metrics`` block,
+        # sometimes no ``ipc``/``host``) still carry the simulated
+        # counts; derive what is derivable and NULL-stamp the rest
+        # instead of rejecting the vintage.
+        cycles = report.get("cycles")
+        instructions = report.get("instructions")
+        if not isinstance(cycles, int) or \
+                not isinstance(instructions, int):
+            raise LedgerError(
+                "run report lacks integer cycles/instructions; "
+                "cannot ingest")
+        ipc = report.get("ipc")
+        if ipc is None:
+            ipc = instructions / cycles if cycles else 0.0
         self._conn.execute(
             "INSERT INTO runs (manifest_id, run_index, trace_digest, "
             "config_digest, code_version, workload, scale, seed, "
@@ -381,8 +395,8 @@ class Ledger:
              _document_code_version(report) or version,
              report.get("workload"), report.get("scale"),
              report.get("seed"), report.get("trace_file"),
-             config.get("name", "?"), report["cycles"],
-             report["instructions"], report["ipc"],
+             config.get("name", "?"), cycles,
+             instructions, ipc,
              host.get("wall_time_s"), host.get("sim_ips"),
              1 if metrics else 0))
 

@@ -28,9 +28,18 @@ from __future__ import annotations
 from .ledger import Ledger, detect_kind, manifest_digest, trace_digest_of
 from .ledger import config_digest_of
 
-__all__ = ["WATCH_SCHEMA", "exit_code", "render_watch", "watch_document"]
+__all__ = ["MIN_HISTORY", "WATCH_SCHEMA", "exit_code", "render_watch",
+           "watch_document"]
 
 WATCH_SCHEMA = "repro.watch/1"
+
+#: Minimum number of prior rate samples before the throughput gate is
+#: armed.  A median of one sample is just that sample — one noisy
+#: historical run must not be able to fail fresh work, so thinner
+#: history degrades to an informational "insufficient history" note.
+#: Determinism still gates with a single entry: simulated counts are
+#: exact, not noisy.
+MIN_HISTORY = 2
 
 
 def _default_tolerance() -> float:
@@ -77,6 +86,12 @@ def _check(label: str, history: list[dict], deterministic: dict,
     check["candidate"] = candidate_rate
     check["unit"] = rate_unit
     check["ratio"] = (candidate_rate / baseline) if baseline else None
+    if len(history_rates) < MIN_HISTORY:
+        check["status"] = "ok"
+        check["note"] = (
+            f"insufficient history ({len(history_rates)} < "
+            f"{MIN_HISTORY} entries); not gating")
+        return check
     if baseline and candidate_rate < baseline * (1.0 - tolerance):
         check["status"] = "regression"
     else:
@@ -204,11 +219,12 @@ def render_watch(report: dict, label: str) -> str:
                 f"{check['baseline']:.1f} {check['unit']} "
                 f"(x{check['ratio']:.2f})")
         elif "ratio" in check:
+            detail = check.get("note") or f"{check['history']} entries"
             lines.append(
                 f"  {check['label']:<32} ok x{check['ratio']:.2f} "
                 f"({check['candidate']:.1f} vs "
                 f"{check['baseline']:.1f} {check['unit']}, "
-                f"{check['history']} entries)")
+                f"{detail})")
         else:
             lines.append(f"  {check['label']:<32} ok "
                          f"({check.get('note', 'no rate history')})")

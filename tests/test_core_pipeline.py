@@ -295,3 +295,57 @@ class TestAgainstRealTraces:
         for name, ports in (("1P", 1), ("2P", 2)):
             result = simulate(stream_trace, machine(name))
             assert result.stats["dcache.port_uses"] <= ports * result.cycles
+
+
+class TestWatchdog:
+    """The zero-progress watchdog must scale with the machine: a flat
+    bound trips on configurations whose legitimate commit-to-commit
+    gap exceeds it (deep buffering, very slow memory)."""
+
+    @staticmethod
+    def _slow_memory_machine(memory_latency):
+        from dataclasses import replace
+        base = machine("1P")
+        mem = base.mem
+        return replace(base, mem=replace(
+            mem, next_level=replace(mem.next_level,
+                                    memory_latency=memory_latency)))
+
+    def test_limit_scales_with_machine(self):
+        from repro.core.pipeline import _WATCHDOG_FLOOR, watchdog_limit
+        small = watchdog_limit(machine("1P"))
+        assert small >= _WATCHDOG_FLOOR
+        slow = watchdog_limit(self._slow_memory_machine(60_000))
+        assert slow > 60_000, "limit must exceed one memory round-trip"
+        assert slow > small
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_pathological_but_progressing_config_completes(
+            self, fastpath, monkeypatch):
+        # One cold load miss takes > 50_000 cycles to fill: the old
+        # flat _WATCHDOG_CYCLES = 50_000 bound called this a deadlock.
+        from repro.core import pipeline as pipeline_module
+        monkeypatch.setattr(pipeline_module, "_ENV_VALIDATE", False)
+        tb = TraceBuilder()
+        tb.load(dest=5, addr=0x4000)
+        tb.alu(dest=6, sources=(5,))
+        config = self._slow_memory_machine(60_000)
+        core = OoOCore(config, fastpath=fastpath)
+        result = core.run(tb.build())
+        assert core.used_fastpath == fastpath
+        assert result.instructions == 2
+        assert result.cycles > 50_000
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_forced_low_limit_fires(self, fastpath, monkeypatch):
+        from repro import SimError
+        from repro.core import pipeline as pipeline_module
+        monkeypatch.setattr(pipeline_module, "_ENV_VALIDATE", False)
+        tb = TraceBuilder()
+        tb.load(dest=5, addr=0x4000)
+        tb.alu(dest=6, sources=(5,))
+        core = OoOCore(self._slow_memory_machine(2_000),
+                       fastpath=fastpath)
+        core._watchdog_limit = 100
+        with pytest.raises(SimError, match="no progress"):
+            core.run(tb.build())

@@ -64,6 +64,46 @@ class TestEmptyLedger:
         assert document.count('class="empty"') == 4
 
 
+class TestSparseLedger:
+    def test_runs_only_ledger_renders(self, tmp_path):
+        # Zero bench rows: the kIPS/F2 sections fall back to "no
+        # data" panels but the page still renders whole.
+        from repro.core import simulate
+        from repro.obs import build_run_report
+        from repro.presets import machine
+        from repro.workloads import build_trace
+        trace = build_trace("stream", "tiny")
+        config = machine("1P")
+        result = simulate(trace, config, metrics_interval=512)
+        report = build_run_report(result, config, workload="stream",
+                                  scale="tiny", wall_time=0.25)
+        ledger = Ledger(tmp_path / "led.sqlite")
+        ledger.ingest(report)
+        document = build_dashboard(ledger)
+        structure = _parse(document)
+        for section_id in SECTION_IDS:
+            assert section_id in structure.ids
+        # kIPS + F2 + IPC (single entry) are empty; port-util renders
+        # from the stored interval metrics.
+        assert document.count('class="empty"') == 3
+        assert structure.tags.get("svg", 0) >= 1
+
+    def test_single_code_version_bench_only(self, tmp_path):
+        with open(BASELINE_CI, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        ledger = Ledger(tmp_path / "led.sqlite")
+        ledger.ingest(manifest, code_version="only-one")
+        document = build_dashboard(ledger)
+        structure = _parse(document)
+        for section_id in SECTION_IDS:
+            assert section_id in structure.ids
+        # single-point sparklines still render (one circle per cell)
+        assert structure.tags.get("circle", 0) >= 1
+        assert "only-one" in document
+        # F2 / IPC / port-util have no data
+        assert document.count('class="empty"') == 3
+
+
 class TestSeededLedger:
     def test_structure(self, seeded_ledger):
         document = build_dashboard(seeded_ledger)

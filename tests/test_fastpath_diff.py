@@ -1,0 +1,108 @@
+"""Fast-path vs instrumented-path differential equivalence.
+
+The fast cycle loop (:mod:`repro.core.fastpath`) must be **byte
+identical** to the instrumented reference loop: same cycle count, same
+committed instructions, every statistic, the whole stall ledger, the
+load-latency histogram, and the architectural digests.  These tests
+prove it across the full F2 configuration grid and over random fuzzer
+programs, so any future fast-path optimization that drifts from the
+reference is caught by tier-1 (including the ``REPRO_VALIDATE=1``
+matrix — the differential harness itself force-disables the implicit
+validator so the fast path stays eligible, and the comparison is
+slow-with-validator-off vs fast).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import pipeline
+from repro.core.pipeline import OoOCore
+from repro.func import run_bare
+from repro.presets import CONFIG_NAMES, machine
+from repro.trace.fuzz import generate_program
+from repro.workloads import build_trace
+
+#: Workloads for the grid sweep (tiny keeps the full grid fast).
+GRID_WORKLOADS = ("stream", "qsort")
+
+#: Fuzzer seeds for the random-program sweep.
+FUZZ_SEEDS = (11, 29, 63)
+
+
+def _result_view(result) -> dict:
+    """Everything CoreResult exposes, flattened to comparable values."""
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "stats": result.stats.as_dict(),
+        "ledger": result.ledger.as_dict(),
+        "load_latency": result.load_latency.as_dict(),
+        "digests": result.digests,
+    }
+
+
+def _run_pair(config_name: str, trace, monkeypatch) -> tuple[dict, dict]:
+    """Run *trace* through the reference loop and the fast loop on
+    identical machines; returns both views."""
+    # The implicit REPRO_VALIDATE checker would force the reference
+    # loop on both cores; the differential needs a bare fast-path run.
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    slow_core = OoOCore(machine(config_name), fastpath=False)
+    slow = slow_core.run(trace)
+    assert not slow_core.used_fastpath
+    fast_core = OoOCore(machine(config_name), fastpath=True)
+    fast = fast_core.run(trace)
+    assert fast_core.used_fastpath
+    return _result_view(slow), _result_view(fast)
+
+
+@pytest.mark.parametrize("workload", GRID_WORKLOADS)
+@pytest.mark.parametrize("config_name", CONFIG_NAMES)
+def test_fastpath_matches_reference_on_f2_grid(
+        workload, config_name, monkeypatch):
+    trace = build_trace(workload, "tiny")
+    slow, fast = _run_pair(config_name, trace, monkeypatch)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_fastpath_matches_reference_on_fuzz_programs(seed, monkeypatch):
+    func = run_bare(assemble(generate_program(seed)), collect_trace=True)
+    assert func.trace, "fuzz program produced an empty trace"
+    for config_name in ("1P", "1P-wide+LB+SC", "2P+SC"):
+        slow, fast = _run_pair(config_name, func.trace, monkeypatch)
+        assert fast == slow, f"divergence on {config_name}"
+
+
+def test_fastpath_auto_selection(stream_trace, monkeypatch):
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    core = OoOCore(machine("1P"))
+    core.run(stream_trace)
+    assert core.used_fastpath
+
+
+def test_instrumented_core_stays_on_reference_loop(stream_trace,
+                                                   monkeypatch):
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    core = OoOCore(machine("1P"), metrics_interval=64)
+    result = core.run(stream_trace)
+    assert not core.used_fastpath
+    assert result.metrics is not None
+
+
+def test_fastpath_true_with_instrumentation_raises(stream_trace,
+                                                   monkeypatch):
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    core = OoOCore(machine("1P"), metrics_interval=64, fastpath=True)
+    with pytest.raises(ValueError, match="fastpath=True"):
+        core.run(stream_trace)
+
+
+def test_env_validate_forces_reference_loop(stream_trace, monkeypatch):
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", True)
+    core = OoOCore(machine("1P"))
+    core.run(stream_trace)
+    assert not core.used_fastpath
+    assert core._validate is not None

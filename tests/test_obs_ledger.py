@@ -118,6 +118,47 @@ class TestIngest:
             ledger.ingest(bench_manifest)
             digest = manifest_digest(bench_manifest)
             assert ledger.document(digest) == bench_manifest
+
+    def test_pre_version_bench_manifest_ingests_unknown(
+            self, tmp_path, bench_manifest):
+        # Pre-PR6 manifests carry no code_version stamp; they ingest
+        # under "unknown" rather than being rejected.
+        vintage = copy.deepcopy(bench_manifest)
+        vintage.pop("code_version", None)
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            assert ledger.ingest(vintage) is True
+            assert ledger.code_versions() == ["unknown"]
+            history = ledger.bench_history("stream@tiny/1P")
+            assert history[0]["code_version"] == "unknown"
+
+    def test_pre_metrics_run_report_ingests(self, tmp_path,
+                                            run_reports):
+        # Pre-PR3 run reports have no metrics block and may lack
+        # ipc/host/code_version; derivable columns are derived, the
+        # rest are NULL-stamped.
+        vintage = copy.deepcopy(run_reports[0])
+        for key in ("metrics", "ipc", "host", "code_version"):
+            vintage.pop(key, None)
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            assert ledger.ingest(vintage) is True
+            key = ledger.run_keys()[0]
+            latest = ledger.latest_run(key["trace_digest"],
+                                       key["config_digest"])
+            assert latest["has_metrics"] == 0
+            assert latest["sim_ips"] is None
+            assert latest["code_version"] == "unknown"
+            expected_ipc = (run_reports[0]["instructions"]
+                            / run_reports[0]["cycles"])
+            assert latest["ipc"] == pytest.approx(expected_ipc)
+
+    def test_run_report_without_counts_rejected(self, tmp_path,
+                                                run_reports):
+        broken = copy.deepcopy(run_reports[0])
+        del broken["cycles"]
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            with pytest.raises(LedgerError):
+                ledger.ingest(broken)
+            assert ledger.counts()["manifests"] == 0
             assert ledger.document("no-such-digest") is None
 
     def test_document_stamp_wins_over_override(self, tmp_path,
@@ -268,6 +309,15 @@ class TestExportImport:
             assert ledger.kips_trend()
 
 
+def _kips_variant(manifest, factor):
+    """A distinct-digest copy of *manifest* whose host-side rates are
+    scaled by *factor* (simulated counts untouched)."""
+    variant = copy.deepcopy(manifest)
+    for cell in variant["results"]:
+        cell["kips"]["median"] *= factor
+    return variant
+
+
 class TestWatch:
     @staticmethod
     def _seeded(tmp_path, documents, **kwargs):
@@ -285,15 +335,48 @@ class TestWatch:
         assert exit_code(report) == 0
 
     def test_throughput_regression(self, tmp_path, bench_manifest):
-        ledger = self._seeded(tmp_path, [bench_manifest])
-        candidate = copy.deepcopy(bench_manifest)
-        for cell in candidate["results"]:
-            cell["kips"]["median"] *= 0.5
+        # Two history entries arm the throughput gate (MIN_HISTORY).
+        ledger = self._seeded(
+            tmp_path,
+            [bench_manifest, _kips_variant(bench_manifest, 1.02)])
+        candidate = _kips_variant(bench_manifest, 0.5)
         report = watch_document(ledger, candidate)
         assert report["determinism_ok"] is True
         assert report["throughput_ok"] is False
         assert exit_code(report) == 1
         assert "REGRESSION" in render_watch(report, "candidate")
+
+    def test_single_entry_history_does_not_gate(self, tmp_path,
+                                                bench_manifest):
+        # One historical sample is not a baseline: the median of one
+        # noisy run must not fail fresh work.  The check still reports
+        # the ratio but degrades to an explicit note.
+        ledger = self._seeded(tmp_path, [bench_manifest])
+        candidate = _kips_variant(bench_manifest, 0.5)
+        report = watch_document(ledger, candidate)
+        assert report["ok"] is True
+        assert exit_code(report) == 0
+        for check in report["checks"]:
+            assert check["status"] == "ok"
+            assert "insufficient history" in check["note"]
+            assert check["ratio"] == pytest.approx(0.5)
+        assert "insufficient history" in render_watch(report, "cand")
+
+    def test_determinism_gates_even_with_single_entry(self, tmp_path,
+                                                      bench_manifest):
+        # Simulated counts are exact, not noisy — one entry suffices.
+        ledger = self._seeded(tmp_path, [bench_manifest])
+        candidate = copy.deepcopy(bench_manifest)
+        candidate["results"][0]["cycles"] += 1
+        report = watch_document(ledger, candidate)
+        assert report["determinism_ok"] is False
+        assert exit_code(report) == 2
+
+    def test_even_length_median(self):
+        from repro.obs.watch import _median
+        assert _median([4.0, 1.0, 3.0, 2.0]) == 2.5
+        assert _median([3.0, 1.0, 2.0]) == 2.0
+        assert _median([5.0]) == 5.0
 
     def test_determinism_break_beats_regression(self, tmp_path,
                                                 bench_manifest):
@@ -317,7 +400,10 @@ class TestWatch:
         assert exit_code(report) == 0
 
     def test_run_report_watch(self, tmp_path, run_reports):
-        ledger = self._seeded(tmp_path, run_reports)
+        second = copy.deepcopy(run_reports[0])
+        second["host"]["sim_ips"] = \
+            run_reports[0]["host"]["sim_ips"] * 1.05
+        ledger = self._seeded(tmp_path, list(run_reports) + [second])
         candidate = copy.deepcopy(run_reports[0])
         candidate["host"]["sim_ips"] = \
             run_reports[0]["host"]["sim_ips"] * 0.1
@@ -408,10 +494,14 @@ class TestLedgerCli:
 
 class TestWatchCli:
     @pytest.fixture
-    def seeded_db(self, tmp_path):
+    def seeded_db(self, tmp_path, bench_manifest):
+        # Two history entries so the throughput gate is armed.
         db = str(tmp_path / "led.sqlite")
+        variant = tmp_path / "history2.json"
+        variant.write_text(
+            json.dumps(_kips_variant(bench_manifest, 1.02)))
         assert main(["ledger", "--ledger", db, "ingest",
-                     BASELINE_CI]) == 0
+                     BASELINE_CI, str(variant)]) == 0
         return db
 
     @staticmethod
@@ -466,7 +556,7 @@ class TestWatchCli:
         assert "ingested" in captured.err
         capsys.readouterr()
         assert main(["ledger", "--ledger", seeded_db, "info"]) == 0
-        assert "2 bench" in capsys.readouterr().out
+        assert "3 bench" in capsys.readouterr().out
 
     def test_watch_compare_manifest_exits_two(self, tmp_path,
                                               seeded_db, capsys):
