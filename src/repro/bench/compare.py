@@ -87,6 +87,18 @@ def validate_bench_manifest(manifest: dict) -> None:
             "kips": dict,
             "cps": (int, float),
         }, problems, context)
+        if "used_fastpath" in result:  # optional: pre-PR8 manifests
+            if not isinstance(result["used_fastpath"], bool):
+                problems.append(f"{context}: used_fastpath must be a "
+                                f"boolean")
+            reason = result.get("fastpath_reason")
+            if reason is not None and not isinstance(reason, str):
+                problems.append(f"{context}: fastpath_reason must be a "
+                                f"string or null")
+            if result["used_fastpath"] is True and \
+                    isinstance(reason, str):
+                problems.append(f"{context}: used_fastpath=true cannot "
+                                f"carry a fastpath_reason")
         for key in ("seconds", "kips"):
             stats = result.get(key)
             if not isinstance(stats, dict):

@@ -133,6 +133,8 @@ def _bench_cell(cell: BenchCell, warmup: int, repeats: int,
         "instructions": result.instructions,
         "cycles": result.cycles,
         "ipc": result.ipc,
+        "used_fastpath": result.used_fastpath,
+        "fastpath_reason": result.fastpath_reason,
         "seconds": seconds,
         "kips": _summarize([result.instructions / 1000 / s
                             for s in samples]),

@@ -48,9 +48,11 @@ from .asm import AsmError, assemble
 from .core import simulate as core_simulate
 from .func import RunResult, SimError, run_bare
 from .isa import INSTRUCTION_BYTES
-from .obs import (JsonlTracer, PipeTrace, SelfProfiler, SpanRecorder,
+from .obs import (WHATIF_PORT, CritPathRecorder, JsonlTracer, PipeTrace,
+                  SelfProfiler, SpanRecorder, build_critpath_report,
                   build_run_report, compare_documents, count_spans,
-                  expand_manifest_paths, iter_events, render_comparison,
+                  expand_manifest_paths, iter_events,
+                  render_comparison, render_critpath_report,
                   resolve_ledger_path, summarize_events,
                   write_chrome_trace)
 from .obs import spans as obs_spans
@@ -182,12 +184,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.validate:
         from .validate import InvariantChecker
         validator = InvariantChecker(tracer=tracer)
+    critpath = None
+    if getattr(args, "critpath", None) is not None:
+        critpath = CritPathRecorder(whatif=[WHATIF_PORT])
     start = time.perf_counter()
     try:
         result = core_simulate(trace, config, tracer=tracer,
                                metrics_interval=args.metrics_interval,
                                pipe_trace=pipe, profiler=profiler,
-                               validator=validator, spans=recorder)
+                               validator=validator, spans=recorder,
+                               critpath=critpath)
     finally:
         if tracer is not None:
             tracer.close()
@@ -204,6 +210,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"BENCH_selfprofile_{workload or 'trace'}_{args.config}.json")
         profiler.write(profile_path)
 
+    critpath_path = None
+    critpath_report = None
+    if critpath is not None:
+        critpath_report = build_critpath_report(
+            critpath, result, config, workload=workload, scale=scale,
+            seed=args.seed, trace_file=trace_file, wall_time=wall_time)
+        critpath_path = args.critpath or (
+            f"CRITPATH_{workload or 'trace'}_{args.config}.json")
+        with open(critpath_path, "w", encoding="utf-8") as handle:
+            json.dump(critpath_report, handle, indent=2)
+            handle.write("\n")
+
     ledger_path = resolve_ledger_path(args.ledger)
     if args.json or ledger_path is not None:
         report = build_run_report(result, config, workload=workload,
@@ -216,6 +234,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             from .obs.ledger import Ledger
             with Ledger(ledger_path) as ledger:
                 added = ledger.ingest(report, source="simulate")
+                if critpath_report is not None:
+                    ledger.ingest(critpath_report, source=critpath_path)
             print(f"ledger: {'ingested into' if added else 'already in'} "
                   f"{ledger_path}", file=sys.stderr)
     if args.json:
@@ -257,6 +277,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{args.spans} (load in https://ui.perfetto.dev)")
     if profiler is not None:
         print(f"  self-profile: {profiler.summary()} -> {profile_path}")
+    if critpath is not None:
+        print(f"  critpath: {critpath.summary()} -> {critpath_path}")
     if validator is not None:
         if validator.ok:
             print("  validation: all invariants hold")
@@ -267,6 +289,54 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(stats.format(indent="  "))
     if validator is not None and not validator.ok:
         return 1
+    return 0
+
+
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    from .obs.critpath import DEFAULT_WINDOW
+
+    if args.trace_file:
+        trace = load_trace(args.trace_file)
+        workload, scale, trace_file = None, None, args.trace_file
+    else:
+        trace = build_trace(args.workload, args.scale)
+        workload, scale, trace_file = args.workload, args.scale, None
+    whatif: list[object] = [WHATIF_PORT]
+    for spec in args.whatif or ():
+        whatif.append(tuple(part.strip()
+                            for part in spec.split(",") if part.strip()))
+    try:
+        recorder = CritPathRecorder(window=args.window or DEFAULT_WINDOW,
+                                    whatif=whatif)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    config = machine(args.config)
+    start = time.perf_counter()
+    result = core_simulate(trace, config, critpath=recorder)
+    wall_time = time.perf_counter() - start
+    recorder.check_conservation()
+    report = build_critpath_report(recorder, result, config,
+                                   workload=workload, scale=scale,
+                                   trace_file=trace_file,
+                                   wall_time=wall_time)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    ledger_path = resolve_ledger_path(args.ledger)
+    if ledger_path is not None:
+        from .obs.ledger import Ledger
+        with Ledger(ledger_path) as ledger:
+            added = ledger.ingest(report,
+                                  source=args.output or "critpath")
+        print(f"ledger: {'ingested into' if added else 'already in'} "
+              f"{ledger_path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_critpath_report(report, top=args.top))
+        if args.output:
+            print(f"\nmanifest -> {args.output}")
     return 0
 
 
@@ -643,10 +713,12 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
                   f"({counts['manifests.run']} run, "
                   f"{counts['manifests.experiment']} experiment, "
                   f"{counts['manifests.bench']} bench, "
-                  f"{counts['manifests.compare']} compare)")
+                  f"{counts['manifests.compare']} compare, "
+                  f"{counts['manifests.critpath']} critpath)")
             print(f"  normalized rows: {counts['runs']} runs, "
                   f"{counts['bench_cells']} bench cells, "
-                  f"{counts['experiments']} experiment tables")
+                  f"{counts['experiments']} experiment tables, "
+                  f"{counts['critpaths']} critpath stacks")
             print(f"  code versions ({len(versions)}): "
                   f"{', '.join(versions) if versions else '-'}")
             return 0
@@ -815,12 +887,53 @@ def build_parser() -> argparse.ArgumentParser:
                                "checker (see docs/VALIDATION.md); "
                                "violations land in the --json report and "
                                "flip the exit status")
+    simulate.add_argument("--critpath", metavar="PATH", nargs="?",
+                          const="",
+                          help="record the dependence-graph critical "
+                               "path and write a repro.critpath/1 "
+                               "manifest to PATH (default "
+                               "CRITPATH_<workload>_<config>.json); "
+                               "see 'repro critpath' for the report "
+                               "view")
     simulate.add_argument("--stats", action="store_true",
                           help="dump every counter")
     simulate.add_argument("--ledger", metavar="DB",
                           help="ingest the run report into this results "
                                "ledger (default: REPRO_LEDGER)")
     simulate.set_defaults(func=_cmd_simulate)
+
+    critpath = sub.add_parser(
+        "critpath",
+        help="critical-path bottleneck analysis: CPI stack, top "
+             "critical instructions, what-if predictions")
+    critpath.add_argument("--workload", default="stream",
+                          help="suite workload to analyse")
+    critpath.add_argument("--scale", default="small",
+                          choices=("tiny", "small", "full"))
+    critpath.add_argument("--trace-file",
+                          help="analyse a saved .npz trace instead")
+    critpath.add_argument("--config", default="1P",
+                          choices=CONFIG_NAMES + EXTENDED_CONFIG_NAMES)
+    critpath.add_argument("--window", type=int, metavar="COMMITS",
+                          help="analysis window size in commits "
+                               "(default 8192; memory stays O(window))")
+    critpath.add_argument("--whatif", action="append", metavar="SPEC",
+                          help="extra what-if scenario: comma-separated "
+                               "edge classes, each 'class' (zero its "
+                               "waits) or 'class/N' (divide by N); "
+                               "repeatable.  The 1P->2P port scenario "
+                               "is always included")
+    critpath.add_argument("--top", type=int, default=10,
+                          help="critical instructions to list")
+    critpath.add_argument("--json", action="store_true",
+                          help="emit the repro.critpath/1 manifest "
+                               "instead of the ASCII report")
+    critpath.add_argument("--output", metavar="PATH",
+                          help="also write the manifest to PATH")
+    critpath.add_argument("--ledger", metavar="DB",
+                          help="ingest the manifest into this results "
+                               "ledger (default: REPRO_LEDGER)")
+    critpath.set_defaults(func=_cmd_critpath)
 
     fuzz = sub.add_parser("fuzz",
                           help="differential-fuzz the timing core against "

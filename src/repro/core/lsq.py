@@ -34,6 +34,7 @@ from .config import CoreConfig
 from .uop import Uop
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..obs.critpath import CritPathRecorder
     from ..validate.base import Validator
 
 _INFINITY = float("inf")
@@ -48,12 +49,14 @@ class LoadStoreQueue:
     def __init__(self, config: CoreConfig, dcache: DataCacheSystem,
                  stats: Stats | None = None,
                  tracer: Tracer | None = None,
-                 validator: "Validator | None" = None) -> None:
+                 validator: "Validator | None" = None,
+                 critpath: "CritPathRecorder | None" = None) -> None:
         self.config = config
         self.dcache = dcache
         self.stats = stats if stats is not None else Stats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._validate = validator
+        self._critpath = critpath
         self.loads: list[Uop] = []
         self.stores: list[Uop] = []
         self._cycle = 0
@@ -186,6 +189,11 @@ class LoadStoreQueue:
 
     def _finish(self, load: Uop, ready: int, complete: CompleteLoad,
                 source: str) -> None:
+        if self._critpath is not None:
+            # The block reason must be captured before it is cleared:
+            # it names the wait between address-ready and this grant.
+            self._critpath.note_mem(load.seq, self._cycle, ready, source,
+                                    load.lsq_block)
         load.mem_done = True
         load.mem_source = source
         load.lsq_block = None

@@ -31,6 +31,7 @@ from ..func.exceptions import SimError
 from ..isa import Opcode, OpClass
 from ..isa.opcodes import Bank
 from ..mem.hierarchy import MemorySystem
+from ..obs.critpath import CritPathRecorder
 from ..obs.metrics import IntervalMetrics
 from ..obs.pipetrace import PipeTrace
 from ..obs.selfprof import SelfProfiler
@@ -109,6 +110,11 @@ class CoreResult:
     #: Architectural end-state digests (registers, memory) from an
     #: attached golden-model validator; ``None`` without one.
     digests: dict[str, str] | None = None
+    #: Whether the run took the fast cycle loop, and — when it did not
+    #: — why the fast path was rejected (surfaced into ``repro.run/1``
+    #: and ``repro.bench/1`` manifests).
+    used_fastpath: bool = False
+    fastpath_reason: str | None = None
 
     @property
     def ipc(self) -> float:
@@ -134,7 +140,8 @@ class OoOCore:
                  profiler: SelfProfiler | None = None,
                  spans: SpanRecorder | None = None,
                  validator: "Validator | None" = None,
-                 fastpath: bool | None = None) -> None:
+                 fastpath: bool | None = None,
+                 critpath: CritPathRecorder | None = None) -> None:
         self.machine = machine
         self.cfg: CoreConfig = machine.core
         self.stats = Stats()
@@ -164,11 +171,15 @@ class OoOCore:
             interval=metrics_interval) if metrics_interval else None
         self._pipe = pipe_trace
         self.profiler = profiler
+        # Critical-path recorder: commit-time dependence-graph snapshots
+        # (see repro.obs.critpath).  Off by default; every hook site is
+        # a single `is None` check.
+        self._critpath = critpath
         self.bpred = BranchPredictor(self.cfg.bpred, stats=self.stats)
         self.fu = FUPool(self.cfg.fu_specs, stats=self.stats)
         self.lsq = LoadStoreQueue(self.cfg, self.mem.dcache,
                                   stats=self.stats, tracer=self.tracer,
-                                  validator=validator)
+                                  validator=validator, critpath=critpath)
         # Stall attribution: one slot-conservation ledger per run.
         self.ledger = StallLedger(
             max(self.cfg.issue_width, self.cfg.commit_width),
@@ -198,6 +209,7 @@ class OoOCore:
         # and raises if any instrumentation would be silently dropped.
         self._fastpath = fastpath
         self.used_fastpath = False
+        self.fastpath_reason: str | None = None
         self._watchdog_limit = watchdog_limit(machine)
 
     # ------------------------------------------------------------------
@@ -206,14 +218,21 @@ class OoOCore:
         if not trace:
             raise ValueError("empty trace")
         self._trace = trace
-        eligible = self._fastpath_eligible()
-        if self._fastpath and not eligible:
+        rejection = self._fastpath_rejection()
+        if self._fastpath and rejection is not None:
             raise ValueError(
-                "fastpath=True requires tracer, metrics, pipe trace, "
-                "validator and profiler to all be off")
-        use_fast = eligible if self._fastpath is None else self._fastpath
+                f"fastpath=True requires tracer, metrics, pipe trace, "
+                f"validator, profiler and critpath to all be off "
+                f"({rejection})")
+        use_fast = (rejection is None) if self._fastpath is None \
+            else self._fastpath
+        if not use_fast and rejection is None:
+            rejection = "fastpath=False requested"
+        self.used_fastpath = use_fast
+        self.fastpath_reason = None if use_fast else rejection
+        if self._critpath is not None:
+            self._critpath.begin_run(self.cfg)
         if use_fast:
-            self.used_fastpath = True
             cycle = run_fast(self, trace)
         elif self.profiler is not None:
             recorder = self.profiler.spans
@@ -231,6 +250,8 @@ class OoOCore:
             cycle = self._run_loop()
         if self.metrics is not None:
             self.metrics.finalize(self._committed)
+        if self._critpath is not None:
+            self._critpath.finalize(cycle, self._committed)
         digests = None
         if self._validate is not None:
             self._validate.on_drain(self, cycle)
@@ -244,7 +265,9 @@ class OoOCore:
                           instructions=self._committed, stats=self.stats,
                           load_latency=self.load_latency,
                           ledger=self.ledger, metrics=self.metrics,
-                          digests=digests)
+                          digests=digests,
+                          used_fastpath=self.used_fastpath,
+                          fastpath_reason=self.fastpath_reason)
 
     def _run_loop(self) -> int:
         """The plain (unprofiled) per-cycle loop; returns final cycle."""
@@ -309,14 +332,32 @@ class OoOCore:
             cycle += 1
         return cycle
 
+    def _fastpath_rejection(self) -> str | None:
+        """Why the fast loop cannot run, or ``None`` when it can.
+
+        The fast loop is observably identical to the reference loop
+        only with every instrumentation layer detached; the returned
+        reason is surfaced through :attr:`CoreResult.fastpath_reason`
+        into run/bench manifests.  Span recording rides on the profiler
+        (see ``__init__``), so the profiler check covers it."""
+        if self._tracing:
+            return "tracer attached"
+        if self._validate is not None:
+            return "validator attached"
+        if self.metrics is not None:
+            return "interval metrics attached"
+        if self._pipe is not None:
+            return "pipe trace attached"
+        if self.profiler is not None:
+            return "self-profiler attached"
+        if self._critpath is not None:
+            return "critpath recorder attached"
+        return None
+
     def _fastpath_eligible(self) -> bool:
-        """True iff no instrumentation is attached, so the specialized
-        loop in :mod:`repro.core.fastpath` is observably identical to
-        the reference loop.  Span recording rides on the profiler (see
-        ``__init__``), so the profiler check covers it."""
-        return (not self._tracing and self._validate is None
-                and self.metrics is None and self._pipe is None
-                and self.profiler is None)
+        """True iff no instrumentation is attached (see
+        :meth:`_fastpath_rejection`)."""
+        return self._fastpath_rejection() is None
 
     def _watchdog(self, cycle: int) -> None:
         """Single zero-progress check shared by both reference loops."""
@@ -385,6 +426,8 @@ class OoOCore:
             resume = cycle + self.cfg.bpred.mispredict_redirect
             if resume > self._fetch_blocked_until:
                 self._fetch_blocked_until = resume
+            if self._critpath is not None:
+                self._critpath.note_redirect(resume, "branch", uop.seq)
             if self._tracing:
                 self.tracer.emit(cycle, "branch.resolve", pc=record.pc,
                                  seq=uop.seq, resume=resume)
@@ -408,10 +451,15 @@ class OoOCore:
                     if not result.ok:
                         self.stats.inc("core.commit_store_port_stalls")
                         commit_block = "store_port"
+                        if self._critpath is not None:
+                            self._critpath.note_commit_block(
+                                uop.seq, "store_port")
                         break
                 elif not dcache.buffer_store(uop.line, uop.byte_mask):
                     self.stats.inc("core.commit_wb_full_stalls")
                     commit_block = "wb_full"
+                    if self._critpath is not None:
+                        self._critpath.note_commit_block(uop.seq, "wb_full")
                     break
                 self.lsq.retire_store(uop)
             elif uop.is_load:
@@ -429,6 +477,11 @@ class OoOCore:
                 resume = cycle + 1
                 if resume > self._fetch_blocked_until:
                     self._fetch_blocked_until = resume
+                if self._critpath is not None:
+                    self._critpath.note_redirect(resume, "serialize",
+                                                 uop.seq)
+            if self._critpath is not None:
+                self._critpath.record_commit(uop, cycle)
         if commits:
             self._last_activity = cycle
             self.stats.inc("core.commits", commits)
@@ -539,18 +592,26 @@ class OoOCore:
             if len(self._rob) >= cfg.rob_size:
                 self.stats.inc("core.dispatch_rob_full")
                 self.ledger.note_capacity("rob")
+                if self._critpath is not None:
+                    self._critpath.note_dispatch_block(uop.seq, "rob")
                 break
             if len(self._iq) >= cfg.iq_size:
                 self.stats.inc("core.dispatch_iq_full")
                 self.ledger.note_capacity("iq")
+                if self._critpath is not None:
+                    self._critpath.note_dispatch_block(uop.seq, "iq")
                 break
             if uop.is_load and self.lsq.lq_full:
                 self.stats.inc("core.dispatch_lq_full")
                 self.ledger.note_capacity("lq")
+                if self._critpath is not None:
+                    self._critpath.note_dispatch_block(uop.seq, "lq")
                 break
             if uop.is_store and self.lsq.sq_full:
                 self.stats.inc("core.dispatch_sq_full")
                 self.ledger.note_capacity("sq")
+                if self._critpath is not None:
+                    self._critpath.note_dispatch_block(uop.seq, "sq")
                 break
             fq.popleft()
             self._wire_dependences(uop)
@@ -608,6 +669,8 @@ class OoOCore:
                 uop.operands_ready = when
             return
         producer.consumers.append((uop, is_data))
+        if self._critpath is not None:
+            self._critpath.note_dep(uop.seq, producer.seq, is_data)
         if is_data:
             uop.data_waiting += 1
         else:
@@ -715,6 +778,9 @@ class OoOCore:
             self._fetch_blocked_until = cycle + 1 + cfg.btb_miss_redirect
             self._fetch_block_cause = StallCause.BRANCH
             self.stats.inc("fetch.jump_decode_redirects")
+            if self._critpath is not None:
+                self._critpath.note_redirect(self._fetch_blocked_until,
+                                             "decode", uop.seq)
             return True
         # Register-indirect target: wait for execute.
         uop.mispredicted = True
@@ -739,10 +805,11 @@ def simulate(trace: Sequence[TraceRecord],
              profiler: SelfProfiler | None = None,
              spans: SpanRecorder | None = None,
              validator: "Validator | None" = None,
-             fastpath: bool | None = None) -> CoreResult:
+             fastpath: bool | None = None,
+             critpath: CritPathRecorder | None = None) -> CoreResult:
     """Convenience: run *trace* through a fresh machine instance."""
     return OoOCore(machine, tracer=tracer,
                    metrics_interval=metrics_interval,
                    pipe_trace=pipe_trace, profiler=profiler,
                    spans=spans, validator=validator,
-                   fastpath=fastpath).run(trace)
+                   fastpath=fastpath, critpath=critpath).run(trace)

@@ -14,6 +14,14 @@ The load/store *selection* (which LSQ entries go to which port, wide
 port access combining) is processor-side logic and lives in
 :mod:`repro.core.lsq`; this module provides the port-accurate cache
 side.
+
+Every wait this module can impose maps onto a critical-path edge
+class in :mod:`repro.obs.critpath` (via the LSQ's block annotations):
+``NO_PORT``/``BANK_CONFLICT`` → ``dcache_port``, ``MSHR_FULL`` →
+``mshr``, a line-buffer service → ``line_buffer``, a write-buffer
+drain or full stall → ``write_buffer``, and a next-level fill →
+``next_level`` — so ``repro critpath`` can say which of these
+actually bounded the run rather than merely occurred.
 """
 
 from __future__ import annotations

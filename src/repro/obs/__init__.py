@@ -40,11 +40,26 @@ Three layers, all optional from the timing core's point of view:
   watchdog** gating a fresh manifest against ledger history.
 * :mod:`repro.obs.codeversion` — the ``code_version`` stamp (git SHA
   plus dirty flag, package-version fallback) every manifest carries.
+* :mod:`repro.obs.critpath` — **causal observability**: a streaming
+  dependence-graph critical-path profiler whose CPI stack reconciles
+  exactly with total cycles, plus a what-if engine predicting the
+  cycles of relaxed configurations (``repro critpath``, ``simulate
+  --critpath``).
 
 See ``docs/OBSERVABILITY.md`` for the event schema and stall taxonomy.
 """
 
 from .codeversion import code_version
+from .critpath import (
+    CRITPATH_SCHEMA,
+    EDGE_CLASSES,
+    WHATIF_PORT,
+    WHATIF_PORT_BOUND,
+    CritPathRecorder,
+    build_critpath_report,
+    render_critpath_report,
+    validate_critpath_report,
+)
 from .compare import (
     COMPARE_SCHEMA,
     compare_documents,
@@ -102,6 +117,14 @@ from .watch import WATCH_SCHEMA, exit_code, render_watch, watch_document
 
 __all__ = [
     "code_version",
+    "CRITPATH_SCHEMA",
+    "EDGE_CLASSES",
+    "WHATIF_PORT",
+    "WHATIF_PORT_BOUND",
+    "CritPathRecorder",
+    "build_critpath_report",
+    "render_critpath_report",
+    "validate_critpath_report",
     "COMPARE_SCHEMA",
     "compare_documents",
     "expand_manifest_paths",

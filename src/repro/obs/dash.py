@@ -393,6 +393,38 @@ def _port_util_section(ledger: Ledger) -> str:
     return "".join(parts)
 
 
+def _bottleneck_section(ledger: Ledger) -> str:
+    parts = ['<h2 id="bottleneck">Bottleneck: critical-path CPI stack '
+             '(latest critpath analysis per key)</h2>']
+    rows = []
+    for key in ledger.critpath_keys()[:MAX_PANELS]:
+        latest = ledger.latest_critpath(key["trace_digest"],
+                                        key["config_digest"])
+        if latest is None:
+            continue
+        heaviest = sorted(latest["stack"].items(),
+                          key=lambda item: -item[1]["cycles"])[:4]
+        breakdown = ", ".join(
+            f"{edge_class} {entry['share']:.1%}"
+            for edge_class, entry in heaviest if entry["cycles"])
+        rows.append([_run_key_label(key),
+                     latest["code_version"] or "unknown",
+                     _date(latest["ingested_at"]),
+                     latest["cycles"],
+                     f"{latest['ipc']:.3f}",
+                     breakdown or "—"])
+    if not rows:
+        parts.append('<div class="empty">No critical-path manifests '
+                     'in the ledger yet — simulate with '
+                     '<code>--critpath --ledger ...</code> or run '
+                     '<code>repro critpath</code>.</div>')
+        return "".join(parts)
+    parts.append(_table(
+        ["run key", "code version", "ingested", "cycles", "IPC",
+         "heaviest edge classes (share of all cycles)"], rows))
+    return "".join(parts)
+
+
 def build_dashboard(ledger: Ledger,
                     title: str = "repro — longitudinal observability",
                     ) -> str:
@@ -406,6 +438,7 @@ def build_dashboard(ledger: Ledger,
         _f2_section(ledger),
         _ipc_section(ledger),
         _port_util_section(ledger),
+        _bottleneck_section(ledger),
     ]
     subtitle = (f"{_esc(ledger.path)} · "
                 f"{len(versions)} code version(s) · generated "

@@ -57,7 +57,7 @@ __all__ = [
 ]
 
 #: Current on-disk schema version (see :data:`MIGRATIONS`).
-LEDGER_DB_VERSION = 2
+LEDGER_DB_VERSION = 3
 
 #: Environment variable naming the default ledger database.
 LEDGER_ENV = "REPRO_LEDGER"
@@ -68,6 +68,7 @@ _KINDS = {
     "repro.experiment/1": "experiment",
     "repro.bench/1": "bench",
     "repro.compare/1": "compare",
+    "repro.critpath/1": "critpath",
 }
 
 #: Stamp recorded when a manifest predates code-version stamping.
@@ -227,8 +228,41 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     conn.execute("ALTER TABLE manifests ADD COLUMN source TEXT")
 
 
+def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
+    """v3 ingests ``repro.critpath/1`` manifests (critical-path CPI
+    stacks + what-if predictions from :mod:`repro.obs.critpath`)."""
+    conn.execute("""
+CREATE TABLE critpaths (
+    id INTEGER PRIMARY KEY,
+    manifest_id INTEGER NOT NULL REFERENCES manifests (id),
+    trace_digest TEXT NOT NULL,
+    config_digest TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    workload TEXT,
+    scale TEXT,
+    seed INTEGER,
+    trace_file TEXT,
+    config_name TEXT NOT NULL,
+    cycles INTEGER NOT NULL,
+    instructions INTEGER NOT NULL,
+    ipc REAL NOT NULL,
+    window INTEGER NOT NULL,
+    windows INTEGER NOT NULL
+)""")
+    conn.execute("""
+CREATE TABLE critpath_stack (
+    id INTEGER PRIMARY KEY,
+    critpath_id INTEGER NOT NULL REFERENCES critpaths (id),
+    edge_class TEXT NOT NULL,
+    cycles INTEGER NOT NULL,
+    share REAL NOT NULL
+)""")
+    conn.execute("CREATE INDEX idx_critpaths_key ON critpaths "
+                 "(trace_digest, config_digest)")
+
+
 #: old version -> upgrade function (applied in order on open).
-MIGRATIONS = {1: _migrate_1_to_2}
+MIGRATIONS = {1: _migrate_1_to_2, 2: _migrate_2_to_3}
 
 
 def _db_version(conn: sqlite3.Connection) -> int:
@@ -344,6 +378,8 @@ class Ledger:
                                             version)
                 elif kind == "bench":
                     self._ingest_bench(manifest_id, document, version)
+                elif kind == "critpath":
+                    self._ingest_critpath(manifest_id, document, version)
                 else:
                     self._ingest_compare(manifest_id, document, version)
         except sqlite3.IntegrityError:
@@ -452,6 +488,50 @@ class Ledger:
                  cell["kips"]["median"], cell["kips"]["iqr"],
                  cell["seconds"]["median"]))
 
+    def _ingest_critpath(self, manifest_id: int, report: dict,
+                         version: str) -> None:
+        config = report.get("config")
+        if not isinstance(config, dict):
+            raise LedgerError("critpath report has no config block")
+        cycles = report.get("cycles")
+        instructions = report.get("instructions")
+        if not isinstance(cycles, int) or \
+                not isinstance(instructions, int):
+            raise LedgerError(
+                "critpath report lacks integer cycles/instructions; "
+                "cannot ingest")
+        ipc = report.get("ipc")
+        if ipc is None:
+            ipc = instructions / cycles if cycles else 0.0
+        cursor = self._conn.execute(
+            "INSERT INTO critpaths (manifest_id, trace_digest, "
+            "config_digest, code_version, workload, scale, seed, "
+            "trace_file, config_name, cycles, instructions, ipc, "
+            "window, windows) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (manifest_id,
+             trace_digest_of(report.get("workload"), report.get("scale"),
+                             report.get("seed"),
+                             report.get("trace_file")),
+             config_digest_of(config),
+             _document_code_version(report) or version,
+             report.get("workload"), report.get("scale"),
+             report.get("seed"), report.get("trace_file"),
+             config.get("name", "?"), cycles, instructions, ipc,
+             int(report.get("window") or 0),
+             int(report.get("windows") or 0)))
+        critpath_id = cursor.lastrowid
+        stack = report.get("stack")
+        if not isinstance(stack, dict):
+            raise LedgerError("critpath report has no stack block")
+        total = cycles or 1
+        for edge_class, charged in stack.items():
+            self._conn.execute(
+                "INSERT INTO critpath_stack (critpath_id, edge_class, "
+                "cycles, share) VALUES (?, ?, ?, ?)",
+                (critpath_id, edge_class, int(charged),
+                 int(charged) / total))
+
     def _ingest_compare(self, manifest_id: int, report: dict,
                         version: str) -> None:
         self._conn.execute(
@@ -467,7 +547,7 @@ class Ledger:
         out: dict[str, int] = {}
         for table in ("manifests", "runs", "experiments",
                       "experiment_cells", "bench", "bench_cells",
-                      "compares"):
+                      "compares", "critpaths", "critpath_stack"):
             out[table] = self._conn.execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()[0]
         for kind in sorted(set(_KINDS.values())):
@@ -569,6 +649,36 @@ class Ledger:
                    config_digest: str) -> dict | None:
         history = self.run_history(trace_digest, config_digest, limit=1)
         return history[-1] if history else None
+
+    def critpath_keys(self) -> list[dict]:
+        """Distinct (trace_digest, config_digest) critpath keys with
+        their human identity and entry count, most-recorded first."""
+        return [dict(row) for row in self._conn.execute(
+            "SELECT trace_digest, config_digest, workload, scale, "
+            "seed, trace_file, config_name, COUNT(*) AS entries "
+            "FROM critpaths GROUP BY trace_digest, config_digest "
+            "ORDER BY entries DESC, config_name, workload")]
+
+    def latest_critpath(self, trace_digest: str,
+                        config_digest: str) -> dict | None:
+        """The newest critpath entry for one key, with its CPI stack
+        attached as ``stack`` (edge class -> {cycles, share})."""
+        row = self._conn.execute(
+            "SELECT m.digest AS manifest_digest, m.ingested_at, c.* "
+            "FROM critpaths c JOIN manifests m ON c.manifest_id = m.id "
+            "WHERE c.trace_digest = ? AND c.config_digest = ? "
+            "ORDER BY c.id DESC LIMIT 1",
+            (trace_digest, config_digest)).fetchone()
+        if row is None:
+            return None
+        entry = dict(row)
+        entry["stack"] = {
+            stack_row["edge_class"]: {"cycles": stack_row["cycles"],
+                                      "share": stack_row["share"]}
+            for stack_row in self._conn.execute(
+                "SELECT edge_class, cycles, share FROM critpath_stack "
+                "WHERE critpath_id = ? ORDER BY id", (entry["id"],))}
+        return entry
 
     def experiment_names(self) -> list[str]:
         return [row[0] for row in self._conn.execute(

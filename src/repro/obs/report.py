@@ -95,6 +95,10 @@ def build_run_report(result: "CoreResult", machine: "MachineConfig", *,
         "instructions": result.instructions,
         "ipc": result.ipc,
         "counters": result.stats.as_dict(),
+        "fastpath": {
+            "used": result.used_fastpath,
+            "rejected_reason": result.fastpath_reason,
+        },
         "stalls": result.ledger.as_dict() if result.ledger is not None
         else None,
         "load_latency": load_latency,
@@ -216,6 +220,19 @@ def validate_run_report(report: dict) -> None:
     if isinstance(config, dict):
         _require(config, {"name": str, "issue_width": int, "dcache": dict},
                  problems, "run.config")
+    fastpath = report.get("fastpath")
+    if fastpath is not None:  # optional: pre-PR8 reports lack it
+        if not isinstance(fastpath, dict):
+            problems.append("run: fastpath must be an object or null")
+        else:
+            _require(fastpath, {"used": bool}, problems, "run.fastpath")
+            reason = fastpath.get("rejected_reason")
+            if reason is not None and not isinstance(reason, str):
+                problems.append("run.fastpath: rejected_reason must be a "
+                                "string or null")
+            if fastpath.get("used") is True and isinstance(reason, str):
+                problems.append("run.fastpath: used=true cannot carry a "
+                                "rejected_reason")
     stalls = report.get("stalls")
     if stalls is not None:
         if not isinstance(stalls, dict):

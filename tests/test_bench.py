@@ -103,6 +103,38 @@ class TestValidation:
         with pytest.raises(SchemaError, match="numbers"):
             validate_bench_manifest(broken)
 
+    def test_cells_surface_fastpath_use(self, quick_manifest):
+        # The harness runs bare cores, so every cell takes the fast
+        # loop — unless the tier-1 REPRO_VALIDATE leg forces the
+        # reference loop, which the manifest must then say out loud.
+        from repro.core import pipeline
+        expect_fast = not pipeline._ENV_VALIDATE
+        for result in quick_manifest["results"]:
+            assert result["used_fastpath"] is expect_fast
+            if expect_fast:
+                assert result["fastpath_reason"] is None
+            else:
+                assert result["fastpath_reason"] == "validator attached"
+
+    def test_rejects_malformed_fastpath_cell(self, quick_manifest):
+        broken = copy.deepcopy(quick_manifest)
+        broken["results"][0]["used_fastpath"] = "yes"
+        with pytest.raises(SchemaError, match="used_fastpath"):
+            validate_bench_manifest(broken)
+        broken = copy.deepcopy(quick_manifest)
+        broken["results"][0]["used_fastpath"] = True
+        broken["results"][0]["fastpath_reason"] = "tracer attached"
+        with pytest.raises(SchemaError, match="cannot"):
+            validate_bench_manifest(broken)
+
+    def test_fastpath_fields_are_optional(self, quick_manifest):
+        # Pre-PR8 manifests lack the fields entirely; still valid.
+        vintage = copy.deepcopy(quick_manifest)
+        for result in vintage["results"]:
+            del result["used_fastpath"]
+            del result["fastpath_reason"]
+        validate_bench_manifest(vintage)
+
 
 class TestCompare:
     def test_code_version_never_affects_compare(self, quick_manifest):

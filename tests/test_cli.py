@@ -186,6 +186,77 @@ class TestSimulateJson:
         validate_run_report(report)
 
 
+class TestCritPathCli:
+    def test_report_renders(self, capsys):
+        assert main(["critpath", "--workload", "stream", "--scale",
+                     "tiny", "--config", "1P"]) == 0
+        out = capsys.readouterr().out
+        assert "Critical-path CPI stack" in out
+        assert "(reconciles exactly)" in out
+        assert "What-if predictions" in out
+        assert "dcache_port" in out
+
+    def test_json_manifest_validates(self, capsys):
+        import json
+        from repro.obs import validate_critpath_report
+        assert main(["critpath", "--workload", "stream", "--scale",
+                     "tiny", "--config", "1P", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        validate_critpath_report(report)
+        assert report["workload"] == "stream"
+        assert sum(report["stack"].values()) == report["cycles"]
+
+    def test_output_and_ledger_ingest(self, tmp_path, capsys):
+        import json
+        from repro.obs.ledger import Ledger
+        out_path = str(tmp_path / "cp.json")
+        db = str(tmp_path / "led.sqlite")
+        assert main(["critpath", "--workload", "qsort", "--scale",
+                     "tiny", "--config", "2P", "--window", "256",
+                     "--output", out_path, "--ledger", db]) == 0
+        capsys.readouterr()
+        with open(out_path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["config"]["name"] == "2P"
+        with Ledger(db) as ledger:
+            assert ledger.counts()["critpaths"] == 1
+
+    def test_extra_whatif_scenario(self, capsys):
+        assert main(["critpath", "--workload", "stream", "--scale",
+                     "tiny", "--whatif", "branch,fetch"]) == 0
+        out = capsys.readouterr().out
+        assert "relax branch+fetch" in out
+
+    def test_bad_whatif_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown edge class"):
+            main(["critpath", "--workload", "stream", "--scale",
+                  "tiny", "--whatif", "warp_drive"])
+
+    def test_simulate_critpath_writes_manifest(self, tmp_path, capsys):
+        import json
+        from repro.obs import validate_critpath_report
+        path = str(tmp_path / "cp.json")
+        assert main(["simulate", "--workload", "stream", "--scale",
+                     "tiny", "--config", "1P", "--critpath", path]) == 0
+        assert "critpath: critical path:" in capsys.readouterr().out
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        validate_critpath_report(report)
+        assert report["workload"] == "stream"
+
+    def test_simulate_critpath_coingests(self, tmp_path, capsys):
+        from repro.obs.ledger import Ledger
+        path = str(tmp_path / "cp.json")
+        db = str(tmp_path / "led.sqlite")
+        assert main(["simulate", "--workload", "stream", "--scale",
+                     "tiny", "--critpath", path, "--ledger", db]) == 0
+        capsys.readouterr()
+        with Ledger(db) as ledger:
+            counts = ledger.counts()
+            assert counts["manifests.run"] == 1
+            assert counts["manifests.critpath"] == 1
+
+
 class TestEvents:
     def test_capture_then_summarize(self, tmp_path, capsys):
         path = str(tmp_path / "run.jsonl")

@@ -16,7 +16,8 @@ BASELINE_CI = os.path.join(os.path.dirname(__file__), os.pardir,
                            "benchmarks", "baseline_ci.json")
 
 #: Every dashboard carries these section anchors, populated or not.
-SECTION_IDS = ("kips-trend", "f2-headline", "ipc-trend", "port-util")
+SECTION_IDS = ("kips-trend", "f2-headline", "ipc-trend", "port-util",
+               "bottleneck")
 
 
 class _Structure(HTMLParser):
@@ -61,7 +62,7 @@ class TestEmptyLedger:
             assert section_id in structure.ids
         # empty states instead of charts, but never a broken page
         assert structure.tags.get("svg", 0) == 0
-        assert document.count('class="empty"') == 4
+        assert document.count('class="empty"') == 5
 
 
 class TestSparseLedger:
@@ -83,9 +84,9 @@ class TestSparseLedger:
         structure = _parse(document)
         for section_id in SECTION_IDS:
             assert section_id in structure.ids
-        # kIPS + F2 + IPC (single entry) are empty; port-util renders
-        # from the stored interval metrics.
-        assert document.count('class="empty"') == 3
+        # kIPS + F2 + IPC (single entry) + bottleneck are empty;
+        # port-util renders from the stored interval metrics.
+        assert document.count('class="empty"') == 4
         assert structure.tags.get("svg", 0) >= 1
 
     def test_single_code_version_bench_only(self, tmp_path):
@@ -100,8 +101,8 @@ class TestSparseLedger:
         # single-point sparklines still render (one circle per cell)
         assert structure.tags.get("circle", 0) >= 1
         assert "only-one" in document
-        # F2 / IPC / port-util have no data
-        assert document.count('class="empty"') == 3
+        # F2 / IPC / port-util / bottleneck have no data
+        assert document.count('class="empty"') == 4
 
 
 class TestSeededLedger:
@@ -140,6 +141,42 @@ class TestSeededLedger:
         document = build_dashboard(ledger)
         assert "<evil>" not in document
         assert "&lt;evil&gt;" in document
+
+
+class TestBottleneckSection:
+    @pytest.fixture
+    def critpath_ledger(self, tmp_path):
+        from repro.core import OoOCore
+        from repro.obs.critpath import (CritPathRecorder,
+                                        build_critpath_report)
+        from repro.presets import machine
+        from repro.workloads import build_trace
+        trace = build_trace("stream", "tiny")
+        config = machine("1P")
+        recorder = CritPathRecorder()
+        result = OoOCore(config, critpath=recorder).run(trace)
+        report = build_critpath_report(recorder, result, config,
+                                       workload="stream", scale="tiny",
+                                       wall_time=0.1)
+        ledger = Ledger(tmp_path / "led.sqlite")
+        ledger.ingest(report)
+        return ledger
+
+    def test_panel_renders_heaviest_classes(self, critpath_ledger):
+        document = build_dashboard(critpath_ledger)
+        structure = _parse(document)
+        assert "bottleneck" in structure.ids
+        assert "heaviest edge classes" in document
+        # the stream trace is fetch/write-buffer bound on 1P
+        assert "fetch" in document
+        # a populated panel replaces the empty-state hint
+        assert "No critical-path manifests" not in document
+
+    def test_empty_state_names_the_commands(self, tmp_path):
+        document = build_dashboard(Ledger(tmp_path / "led.sqlite"))
+        assert "No critical-path manifests" in document
+        assert "--critpath" in document
+        assert "repro critpath" in document
 
 
 class TestDashCli:

@@ -58,6 +58,15 @@ def test_stall_breakdown(monkeypatch, capsys):
     assert "#" in out  # the bar chart rendered
 
 
+def test_bottleneck_report(monkeypatch, capsys):
+    run_example("bottleneck_report.py", ["--scale", "tiny"], monkeypatch)
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "what-if second port" in out
+    assert "real 2P took" in out
+    assert "#" in out  # the bar chart rendered
+
+
 def test_port_utilization_timeline(monkeypatch, capsys):
     run_example("port_utilization_timeline.py", ["--scale", "tiny"],
                 monkeypatch)

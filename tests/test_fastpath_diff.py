@@ -100,6 +100,34 @@ def test_fastpath_true_with_instrumentation_raises(stream_trace,
         core.run(stream_trace)
 
 
+def test_critpath_recorder_rejects_fastpath(stream_trace, monkeypatch):
+    from repro.obs.critpath import CritPathRecorder
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    core = OoOCore(machine("1P"), critpath=CritPathRecorder())
+    result = core.run(stream_trace)
+    assert not core.used_fastpath
+    assert not result.used_fastpath
+    assert result.fastpath_reason == "critpath recorder attached"
+
+
+def test_fastpath_true_with_critpath_raises(stream_trace, monkeypatch):
+    from repro.obs.critpath import CritPathRecorder
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    core = OoOCore(machine("1P"), critpath=CritPathRecorder(),
+                   fastpath=True)
+    with pytest.raises(ValueError, match="fastpath=True"):
+        core.run(stream_trace)
+
+
+def test_result_surfaces_fastpath_use(stream_trace, monkeypatch):
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    result = OoOCore(machine("1P")).run(stream_trace)
+    assert result.used_fastpath and result.fastpath_reason is None
+    rejected = OoOCore(machine("1P"), metrics_interval=64).run(stream_trace)
+    assert not rejected.used_fastpath
+    assert "metrics" in rejected.fastpath_reason
+
+
 def test_env_validate_forces_reference_loop(stream_trace, monkeypatch):
     monkeypatch.setattr(pipeline, "_ENV_VALIDATE", True)
     core = OoOCore(machine("1P"))

@@ -1,0 +1,239 @@
+"""The dependence-graph critical-path profiler and what-if engine.
+
+Two properties anchor everything here:
+
+* **Conservation** — the critical-path CPI stack must sum to total
+  cycles *exactly*, for every F2 configuration, both reference
+  workloads, and random fuzzer programs (the PR 1 discipline, now
+  causal).
+* **Predictiveness** — the canonical 1P -> 2P what-if
+  (:data:`repro.obs.critpath.WHATIF_PORT`) must land within the
+  documented :data:`~repro.obs.critpath.WHATIF_PORT_BOUND` of a real
+  2P simulation, and the *empty* scenario must replay the measured
+  schedule essentially verbatim (the replay engine's self-check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.pipeline import OoOCore
+from repro.func import run_bare
+from repro.obs.critpath import (
+    CRITPATH_SCHEMA,
+    EDGE_CLASSES,
+    WHATIF_PORT,
+    WHATIF_PORT_BOUND,
+    CritPathRecorder,
+    build_critpath_report,
+    render_critpath_report,
+    validate_critpath_report,
+)
+from repro.obs.report import SchemaError
+from repro.presets import CONFIG_NAMES, machine
+from repro.trace.fuzz import generate_program
+from repro.workloads import build_trace
+
+GRID_WORKLOADS = ("stream", "qsort")
+
+FUZZ_SEEDS = (11, 29, 63)
+
+#: Small window so the grid tests exercise multi-window streaming.
+SMALL_WINDOW = 512
+
+
+def _record(trace, config_name, **kwargs):
+    recorder = CritPathRecorder(**kwargs)
+    config = machine(config_name)
+    result = OoOCore(config, critpath=recorder).run(trace)
+    return recorder, result, config
+
+
+# ----------------------------------------------------------------------
+# Conservation: the stack reconciles exactly, everywhere
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", GRID_WORKLOADS)
+@pytest.mark.parametrize("config_name", CONFIG_NAMES)
+def test_conservation_across_f2_grid(workload, config_name):
+    trace = build_trace(workload, "tiny")
+    recorder, result, _ = _record(trace, config_name,
+                                  window=SMALL_WINDOW,
+                                  whatif=[WHATIF_PORT])
+    recorder.check_conservation()
+    assert sum(recorder.stack().values()) == result.cycles
+    assert recorder.windows >= 2, "window too large to test streaming"
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_conservation_on_fuzz_programs(seed):
+    func = run_bare(assemble(generate_program(seed)), collect_trace=True)
+    assert func.trace, "fuzz program produced an empty trace"
+    for config_name in ("1P", "2P", "1P-wide+LB+SC"):
+        recorder, result, _ = _record(func.trace, config_name, window=128)
+        recorder.check_conservation()
+        assert sum(recorder.stack().values()) == result.cycles
+
+
+def test_stack_lists_every_edge_class(stream_trace):
+    recorder, _, _ = _record(stream_trace, "1P")
+    assert tuple(recorder.stack()) == EDGE_CLASSES
+
+
+def test_window_size_does_not_change_totals(stream_trace):
+    small, result, _ = _record(stream_trace, "1P", window=64)
+    large, _, _ = _record(stream_trace, "1P", window=1 << 20)
+    assert sum(small.stack().values()) == result.cycles
+    assert sum(large.stack().values()) == result.cycles
+    assert large.windows == 1 and small.windows > large.windows
+
+
+# ----------------------------------------------------------------------
+# What-if: faithful replay + the 1P -> 2P port prediction
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", GRID_WORKLOADS)
+def test_empty_scenario_replays_measured_schedule(workload):
+    """The replay engine's self-check: with nothing relaxed, the
+    predicted cycle count must track the measured one almost exactly
+    (window-boundary anchoring may slip a handful of cycles)."""
+    trace = build_trace(workload, "tiny")
+    recorder, result, _ = _record(trace, "1P", window=SMALL_WINDOW,
+                                  whatif=[()])
+    predicted = recorder.predicted_cycles(())
+    assert abs(predicted - result.cycles) <= max(4, result.cycles // 100)
+
+
+@pytest.mark.parametrize("workload", GRID_WORKLOADS)
+@pytest.mark.parametrize("scale", ("tiny", "small"))
+def test_whatif_port_prediction_within_bound(workload, scale):
+    """The acceptance criterion: predicting 2P cycles from a 1P run's
+    graph lands within the documented bound of a real 2P simulation."""
+    trace = build_trace(workload, scale)
+    recorder, _, _ = _record(trace, "1P", whatif=[WHATIF_PORT])
+    predicted = recorder.predicted_cycles(WHATIF_PORT)
+    simulated = OoOCore(machine("2P")).run(trace).cycles
+    error = abs(predicted - simulated) / simulated
+    assert error <= WHATIF_PORT_BOUND, (
+        f"{workload}/{scale}: predicted {predicted} vs simulated "
+        f"{simulated} ({error:.1%} > {WHATIF_PORT_BOUND:.0%})")
+
+
+def test_whatif_never_predicts_slowdown_for_zeroing(stream_trace):
+    recorder, result, _ = _record(stream_trace, "1P",
+                                  whatif=["dcache_port",
+                                          ("dcache_port", "write_buffer")])
+    both = recorder.predicted_cycles(("dcache_port", "write_buffer"))
+    port_only = recorder.predicted_cycles("dcache_port")
+    assert both <= port_only <= result.cycles
+
+
+def test_whatif_results_cover_every_scenario(stream_trace):
+    recorder, _, _ = _record(stream_trace, "1P",
+                             whatif=[WHATIF_PORT, "branch"])
+    entries = recorder.whatif_results()
+    assert [entry["scenario"] for entry in entries] == [
+        sorted(WHATIF_PORT), ["branch"]]
+    for entry in entries:
+        assert entry["predicted_cycles"] > 0
+        assert entry["speedup"] >= 1.0 or entry["scenario"] == ["branch"]
+
+
+# ----------------------------------------------------------------------
+# Recorder contract
+# ----------------------------------------------------------------------
+def test_recorder_serves_exactly_one_run(stream_trace):
+    recorder, _, _ = _record(stream_trace, "1P")
+    with pytest.raises(ValueError, match="one run"):
+        OoOCore(machine("1P"), critpath=recorder).run(stream_trace)
+
+
+def test_results_require_finalize():
+    recorder = CritPathRecorder()
+    with pytest.raises(ValueError, match="finalize"):
+        recorder.stack()
+
+
+def test_window_must_hold_two_commits():
+    with pytest.raises(ValueError, match="window"):
+        CritPathRecorder(window=1)
+
+
+def test_unknown_whatif_class_rejected():
+    with pytest.raises(ValueError, match="unknown edge class"):
+        CritPathRecorder(whatif=["warp_drive"])
+
+
+def test_bad_whatif_scale_rejected():
+    with pytest.raises(ValueError, match="must be a number > 1"):
+        CritPathRecorder(whatif=["dcache_port/0.5"])
+    with pytest.raises(ValueError, match="only supports zeroing"):
+        CritPathRecorder(whatif=["dispatch/2"])
+    with pytest.raises(ValueError, match="both zeroed and scaled"):
+        CritPathRecorder(whatif=[("dcache_port", "dcache_port/2")])
+
+
+def test_unrequested_scenario_raises(stream_trace):
+    recorder, _, _ = _record(stream_trace, "1P")
+    with pytest.raises(KeyError, match="no what-if scenario"):
+        recorder.predicted_cycles("dcache_port")
+
+
+def test_top_instructions_ranked_and_bounded(stream_trace):
+    recorder, result, _ = _record(stream_trace, "1P")
+    top = recorder.top_instructions(k=3)
+    assert len(top) == 3
+    cycles = [entry["cycles"] for entry in top]
+    assert cycles == sorted(cycles, reverse=True)
+    # Every critical cycle except the PC-less drain tail lands on some
+    # static instruction.
+    assert sum(entry["cycles"]
+               for entry in recorder.top_instructions(k=10_000)) \
+        == result.cycles - recorder.stack()["drain"]
+
+
+# ----------------------------------------------------------------------
+# Manifest: build / validate / render
+# ----------------------------------------------------------------------
+def _report(stream_trace):
+    recorder, result, config = _record(stream_trace, "1P",
+                                       whatif=[WHATIF_PORT])
+    return build_critpath_report(recorder, result, config,
+                                 workload="stream", scale="tiny",
+                                 wall_time=0.25)
+
+
+def test_report_roundtrip(stream_trace):
+    report = _report(stream_trace)
+    assert report["schema"] == CRITPATH_SCHEMA
+    validate_critpath_report(report)
+    text = render_critpath_report(report, top=5)
+    assert "reconciles exactly" in text
+    assert "What-if predictions" in text
+
+
+def test_validator_rejects_conservation_violation(stream_trace):
+    report = _report(stream_trace)
+    report["stack"]["fetch"] += 1
+    with pytest.raises(SchemaError, match="reconcile exactly"):
+        validate_critpath_report(report)
+
+
+def test_validator_rejects_unknown_edge_class(stream_trace):
+    report = _report(stream_trace)
+    report["stack"]["warp_drive"] = 0
+    with pytest.raises(SchemaError, match="warp_drive"):
+        validate_critpath_report(report)
+
+
+def test_report_requires_matching_run(stream_trace, qsort_trace):
+    recorder, _, config = _record(stream_trace, "1P")
+    other = OoOCore(machine("1P")).run(qsort_trace)
+    with pytest.raises(ValueError, match="recorder must come from"):
+        build_critpath_report(recorder, other, config, workload="qsort")
+
+
+def test_report_workload_and_trace_file_exclusive(stream_trace):
+    recorder, result, config = _record(stream_trace, "1P")
+    with pytest.raises(ValueError, match="not both"):
+        build_critpath_report(recorder, result, config,
+                              workload="stream", trace_file="x.npz")

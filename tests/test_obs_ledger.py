@@ -44,6 +44,21 @@ def bench_manifest():
         return json.load(handle)
 
 
+@pytest.fixture(scope="module")
+def critpath_manifest():
+    """A real tiny critpath manifest for ingestion tests."""
+    from repro.obs.critpath import (CritPathRecorder,
+                                    build_critpath_report)
+    from repro.core import OoOCore
+    trace = build_trace("stream", "tiny")
+    config = machine("1P")
+    recorder = CritPathRecorder(whatif=["dcache_port"])
+    result = OoOCore(config, critpath=recorder).run(trace)
+    return build_critpath_report(recorder, result, config,
+                                 workload="stream", scale="tiny",
+                                 wall_time=0.1)
+
+
 class TestDigests:
     def test_trace_digest_covers_identity(self):
         a = trace_digest_of("stream", "tiny", None, None)
@@ -174,6 +189,46 @@ class TestIngest:
             with pytest.raises(LedgerError):
                 ledger.ingest({"schema": "something/else"})
 
+    def test_critpath_ingest(self, tmp_path, critpath_manifest):
+        from repro.obs.critpath import EDGE_CLASSES
+        assert detect_kind(critpath_manifest) == "critpath"
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            assert ledger.ingest(critpath_manifest) is True
+            counts = ledger.counts()
+            assert counts["critpaths"] == 1
+            assert counts["critpath_stack"] == len(EDGE_CLASSES)
+            assert counts["manifests.critpath"] == 1
+            assert ledger.ingest(critpath_manifest) is False
+
+    def test_critpath_queries(self, tmp_path, critpath_manifest):
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            ledger.ingest(critpath_manifest)
+            keys = ledger.critpath_keys()
+            assert len(keys) == 1
+            key = keys[0]
+            assert key["workload"] == "stream"
+            assert key["scale"] == "tiny"
+            assert key["config_name"] == "1P"
+            assert key["entries"] == 1
+            latest = ledger.latest_critpath(key["trace_digest"],
+                                            key["config_digest"])
+            assert latest["cycles"] == critpath_manifest["cycles"]
+            stack = latest["stack"]
+            assert sum(entry["cycles"] for entry in stack.values()) \
+                == critpath_manifest["cycles"]
+            assert abs(sum(entry["share"]
+                           for entry in stack.values()) - 1.0) < 1e-9
+            assert ledger.latest_critpath("nope", "nope") is None
+
+    def test_critpath_without_stack_rejected(self, tmp_path,
+                                             critpath_manifest):
+        broken = copy.deepcopy(critpath_manifest)
+        del broken["stack"]
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            with pytest.raises(LedgerError):
+                ledger.ingest(broken)
+            assert ledger.counts()["critpaths"] == 0
+
 
 class TestMigration:
     @staticmethod
@@ -220,6 +275,21 @@ class TestMigration:
                 == bench_manifest
             # and the migrated store still ingests idempotently
             assert ledger.ingest(bench_manifest) is False
+
+    def test_v1_chain_migration_gains_critpath_tables(
+            self, tmp_path, critpath_manifest):
+        # v1 -> v2 -> v3 runs in one open; the v3 tables must exist
+        # and accept a real critpath manifest afterwards.
+        path = tmp_path / "old.sqlite"
+        self._build_v1(path)
+        with Ledger(path) as ledger:
+            assert ledger.db_version == LEDGER_DB_VERSION
+            tables = [row[1] for row in ledger._conn.execute(
+                "PRAGMA table_info(critpaths)")]
+            assert {"trace_digest", "config_digest",
+                    "cycles"} <= set(tables)
+            assert ledger.ingest(critpath_manifest) is True
+            assert ledger.counts()["critpaths"] == 1
 
     def test_newer_db_rejected(self, tmp_path):
         path = tmp_path / "future.sqlite"
@@ -456,7 +526,8 @@ class TestLedgerCli:
             capsys.readouterr().out
         assert main(["ledger", "--ledger", db, "info"]) == 0
         out = capsys.readouterr().out
-        assert "2 run" in out and "ledger schema v2" in out
+        assert "2 run" in out and "ledger schema v3" in out
+        assert "0 critpath stacks" in out
 
     def test_env_default(self, tmp_path, monkeypatch, capsys):
         db = str(tmp_path / "led.sqlite")

@@ -71,6 +71,15 @@ class TestRunReport:
             build_run_report(result, machine("2P+SC"), workload="stream",
                             trace_file="saved/stream.npz")
 
+    def test_fastpath_block_surfaced(self, run_and_report):
+        result, report = run_and_report
+        assert report["fastpath"] == {
+            "used": result.used_fastpath,
+            "rejected_reason": result.fastpath_reason,
+        }
+        if report["fastpath"]["used"]:
+            assert report["fastpath"]["rejected_reason"] is None
+
 
 class TestRunValidation:
     def _valid(self, run_and_report):
@@ -145,6 +154,30 @@ class TestRunValidation:
         report["workload"] = None
         report["trace_file"] = 7
         with pytest.raises(SchemaError, match="trace_file"):
+            validate_run_report(report)
+
+    def test_fastpath_block_is_optional(self, run_and_report):
+        report = self._valid(run_and_report)
+        del report["fastpath"]          # pre-PR8 documents lack it
+        validate_run_report(report)
+
+    def test_rejects_malformed_fastpath(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["fastpath"] = "yes"
+        with pytest.raises(SchemaError, match="fastpath"):
+            validate_run_report(report)
+        report["fastpath"] = {"used": "yes"}
+        with pytest.raises(SchemaError, match="fastpath"):
+            validate_run_report(report)
+        report["fastpath"] = {"used": False, "rejected_reason": 7}
+        with pytest.raises(SchemaError, match="rejected_reason"):
+            validate_run_report(report)
+
+    def test_rejects_used_fastpath_with_reason(self, run_and_report):
+        report = self._valid(run_and_report)
+        report["fastpath"] = {"used": True,
+                              "rejected_reason": "metrics attached"}
+        with pytest.raises(SchemaError, match="cannot carry"):
             validate_run_report(report)
 
 
