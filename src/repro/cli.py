@@ -30,6 +30,10 @@
     repro ledger --ledger results.sqlite ingest manifests/ 'BENCH_*.json'
     repro dash --ledger results.sqlite -o dash.html
     repro watch BENCH_new.json --ledger results.sqlite --gate
+    repro corpus list
+    repro corpus run --scale tiny
+    repro corpus verify --scale tiny -o corpus-verify.json
+    repro simulate --workload iostorm --scale small --seed 7
 
 Also runnable as ``python -m repro``.  ``REPRO_LEDGER`` names a
 default results-ledger database for every command that takes
@@ -57,8 +61,10 @@ from .obs import (WHATIF_PORT, CritPathRecorder, JsonlTracer, PipeTrace,
                   write_chrome_trace)
 from .obs import spans as obs_spans
 from .presets import CONFIG_NAMES, EXTENDED_CONFIG_NAMES, machine
+from .scenarios import SCENARIO_NAMES, SCENARIO_SCALES, SCENARIOS
 from .trace import SyntheticConfig, generate, load_trace, save_trace
-from .workloads import SUITE_NAMES, WORKLOADS, build_os_mix_trace, build_trace
+from .workloads import (SUITE_NAMES, WORKLOADS, build_os_mix_trace,
+                        build_scenario_trace, build_trace)
 
 #: Synthetic-stream length per scale (mirrors the workload suite's
 #: tiny/small/full instruction budgets).
@@ -73,6 +79,12 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
               f"{spec.description}")
     print("\n* = in the default evaluation suite; plus 'os-mix' (the "
           "multiprogrammed mix under the mini-OS)")
+    print("\nscenario corpus (seeded OS-activity generators; "
+          "'repro corpus' for details):")
+    for name in SCENARIO_NAMES:
+        spec = SCENARIOS[name]
+        print(f"  {name:<10} {', '.join(spec.tags):<36} "
+              f"{spec.description}")
     return 0
 
 
@@ -138,9 +150,12 @@ def _build_named_trace(name: str, scale: str, seed: int | None = None):
         return generate(SyntheticConfig(
             instructions=_SYNTHETIC_INSTRUCTIONS[scale],
             seed=seed if seed is not None else 1))
+    if name in SCENARIOS:
+        return build_scenario_trace(name, scale, seed=seed)
     if seed is not None:
-        raise SystemExit("--seed only applies to the 'synthetic' workload; "
-                         "assembly workloads are deterministic")
+        raise SystemExit("--seed only applies to 'synthetic' and "
+                         "scenario workloads; assembly workloads are "
+                         "deterministic")
     if name == "os-mix":
         return build_os_mix_trace(scale)
     if name not in WORKLOADS:
@@ -812,6 +827,72 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return worst if args.gate else 0
 
 
+def _corpus_names(requested: list[str]) -> list[str]:
+    if not requested:
+        return list(SCENARIO_NAMES)
+    unknown = [name for name in requested if name not in SCENARIOS]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s) {unknown}; see "
+                         f"'repro corpus list'")
+    return requested
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .scenarios import run_scenario
+
+    if args.action == "list":
+        print(f"  {'name':<10} {'scales':<19} {'default seed':<12} "
+              f"description")
+        for name in SCENARIO_NAMES:
+            spec = SCENARIOS[name]
+            print(f"  {name:<10} {'/'.join(spec.scales):<19} "
+                  f"{spec.default_seed:<12} {spec.description}")
+        print("\nevery scenario is seeded (--seed) and ships a "
+              "machine-checkable expected-results contract; see "
+              "docs/WORKLOADS.md")
+        return 0
+
+    names = _corpus_names(args.scenario)
+    if args.action == "run":
+        from .workloads import trace_summary
+        print(f"{'scenario':<10} {'scale':<7} {'seed':<6} "
+              f"{'records':>9} {'kernel%':>8} {'traps':>6}  exits")
+        for name in names:
+            build, run = run_scenario(SCENARIOS[name], args.scale,
+                                      seed=args.seed, collect_trace=True)
+            summary = trace_summary(run.result.trace)
+            exits = ",".join(str(code) for code
+                             in run.result.process_exit_codes)
+            print(f"{name:<10} {args.scale:<7} {build.seed:<6} "
+                  f"{len(run.result.trace):>9} "
+                  f"{100 * summary['kernel_fraction']:>7.1f}% "
+                  f"{run.result.traps_taken:>6}  [{exits}]")
+        print("all contracts satisfied")
+        return 0
+
+    # verify
+    from .scenarios.verify import verify_corpus
+    configs = tuple(args.config) if args.config else None
+    kwargs = {"configs": configs} if configs else {}
+    progress = None if args.json else \
+        (lambda line: print(line, file=sys.stderr))
+    table, ok = verify_corpus(args.scale, names=names, seed=args.seed,
+                              progress=progress, **kwargs)
+    document = {"schema": "repro.corpus/1", "scale": args.scale,
+                "ok": ok, "table": table.as_dict()}
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(table.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"verification table -> {args.output}",
+              file=sys.stderr if args.json else sys.stdout)
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -842,23 +923,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("workload")
     trace.add_argument("output")
     trace.add_argument("--scale", default="small",
-                       choices=("tiny", "small", "full"))
+                       choices=("tiny", "small", "medium", "full"))
     trace.add_argument("--seed", type=int,
-                       help="generator seed (synthetic workload only)")
+                       help="generator seed (synthetic or scenario "
+                            "workloads only)")
     trace.set_defaults(func=_cmd_trace)
 
     simulate = sub.add_parser("simulate", help="run the timing core")
     simulate.add_argument("--workload", default="stream",
-                          help="suite workload, 'os-mix', or 'synthetic'")
+                          help="suite workload, 'os-mix', a scenario, "
+                               "or 'synthetic'")
     simulate.add_argument("--scale", default="small",
-                          choices=("tiny", "small", "full"))
+                          choices=("tiny", "small", "medium", "full"))
     simulate.add_argument("--trace-file",
                           help="simulate a saved .npz trace instead")
     simulate.add_argument("--config", default="1P",
                           choices=CONFIG_NAMES + EXTENDED_CONFIG_NAMES)
     simulate.add_argument("--issue-width", type=int, default=4)
     simulate.add_argument("--seed", type=int,
-                          help="generator seed (synthetic workload only)")
+                          help="generator seed (synthetic or scenario "
+                               "workloads only)")
     simulate.add_argument("--json", action="store_true",
                           help="emit a machine-readable run report instead "
                                "of the human summary")
@@ -1143,6 +1227,43 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--json", action="store_true",
                        help="emit repro.watch/1 report(s) as JSON")
     watch.set_defaults(func=_cmd_watch)
+
+    corpus = sub.add_parser("corpus",
+                            help="OS-activity scenario corpus: list, "
+                                 "run, verify")
+    corpus_actions = corpus.add_subparsers(dest="action", required=True)
+    corpus_actions.add_parser(
+        "list", help="catalogue of scenario families").set_defaults(
+        func=_cmd_corpus)
+    corpus_run = corpus_actions.add_parser(
+        "run", help="functionally run scenarios and check their "
+                    "expected-results contracts")
+    corpus_verify = corpus_actions.add_parser(
+        "verify", help="full co-execution verification: contract + "
+                       "golden/invariant timing replay + fast-path "
+                       "differential, one pass/fail table")
+    for sub_parser in (corpus_run, corpus_verify):
+        sub_parser.add_argument("scenario", nargs="*",
+                                help="scenario names (default: all)")
+        sub_parser.add_argument("--scale", default="tiny",
+                                choices=SCENARIO_SCALES,
+                                help="scenario scale (default tiny)")
+        sub_parser.add_argument("--seed", type=int,
+                                help="generator seed (default: each "
+                                     "scenario's default seed)")
+        sub_parser.set_defaults(func=_cmd_corpus)
+    corpus_verify.add_argument("--config", action="append",
+                               metavar="NAME",
+                               choices=CONFIG_NAMES,
+                               help="machine configuration to verify "
+                                    "on (repeatable; default: 1P, 2P, "
+                                    "1P-wide+LB+SC)")
+    corpus_verify.add_argument("--json", action="store_true",
+                               help="emit the repro.corpus/1 table as "
+                                    "JSON")
+    corpus_verify.add_argument("-o", "--output", metavar="PATH",
+                               help="also write the JSON table to PATH "
+                                    "(CI artifact)")
     return parser
 
 

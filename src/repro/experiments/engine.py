@@ -70,9 +70,10 @@ class TraceSpec:
     """A picklable description of a trace (not the trace itself)."""
 
     kind: str                            # workload | os-mix | os-mix-user
-    name: str | None = None              # ... | synthetic
+    name: str | None = None              # ... | scenario[-user] | synthetic
     scale: str | None = None
     synthetic: SyntheticConfig | None = None
+    scenario_seed: int | None = None
 
     @staticmethod
     def workload(name: str, scale: str) -> "TraceSpec":
@@ -89,13 +90,24 @@ class TraceSpec:
         return TraceSpec(kind, "os-mix", scale)
 
     @staticmethod
+    def scenario(name: str, scale: str, seed: int | None = None,
+                 user_only: bool = False) -> "TraceSpec":
+        """A scenario-corpus entry (:mod:`repro.scenarios`) at *scale*;
+        ``seed=None`` uses the scenario's default seed.  ``user_only``
+        filters out kernel records, like :meth:`os_mix`."""
+        kind = "scenario-user" if user_only else "scenario"
+        return TraceSpec(kind, name, scale, scenario_seed=seed)
+
+    @staticmethod
     def from_synthetic(config: SyntheticConfig) -> "TraceSpec":
         return TraceSpec("synthetic", "synthetic", None, config)
 
     @property
     def seed(self) -> int | None:
-        """The generator seed, for synthetic traces."""
-        return self.synthetic.seed if self.synthetic is not None else None
+        """The generator seed, for synthetic and scenario traces."""
+        if self.synthetic is not None:
+            return self.synthetic.seed
+        return self.scenario_seed
 
     def report_identity(self) -> dict[str, object]:
         """Workload identity stamped into run reports, which is what
@@ -108,6 +120,11 @@ class TraceSpec:
         if self.kind in ("os-mix", "os-mix-user"):
             return {"workload": self.kind, "scale": self.scale,
                     "seed": None}
+        if self.kind in ("scenario", "scenario-user"):
+            name = self.name if self.kind == "scenario" \
+                else f"{self.name}-user"
+            return {"workload": name, "scale": self.scale,
+                    "seed": self.scenario_seed}
         if self.kind == "synthetic":
             return {"workload": "synthetic", "scale": None,
                     "seed": self.seed}
@@ -132,6 +149,14 @@ class TraceSpec:
         if self.kind == "os-mix-user":
             return [record
                     for record in suite.build_os_mix_trace(self.scale)
+                    if not record.kernel]
+        if self.kind == "scenario":
+            return suite.build_scenario_trace(self.name, self.scale,
+                                              seed=self.scenario_seed)
+        if self.kind == "scenario-user":
+            return [record for record in
+                    suite.build_scenario_trace(self.name, self.scale,
+                                               seed=self.scenario_seed)
                     if not record.kernel]
         if self.kind == "synthetic":
             config = self.synthetic

@@ -163,13 +163,6 @@ sys_time:
     sd   t1, A0SLOT(t0)
     j    resume
 
-# -- timer interrupt ------------------------------------------------------
-handle_timer:
-    la   t1, kg_timer
-    ld   t1, 0(t1)
-    mtsr timer, t1                 # restart the interval
-    j    schedule
-
 # -- faults (illegal, misaligned, bad address, unknown syscall) -----------
 handle_fault:
     mfsr t1, cause
@@ -179,8 +172,16 @@ handle_fault:
     j    schedule
 
 # -- round-robin scheduler ------------------------------------------------
-# t0 = current PCB (context already saved).
+# t0 = current PCB (context already saved).  Every dispatch reloads the
+# timer, so whoever runs next gets a full quantum — without this, the
+# interval keeps accumulating across yield/exit switches and a
+# syscall-dense mix can deliver a timer interrupt at the very ERET into
+# a process, starving it forever.
+handle_timer:
 schedule:
+    la   t1, kg_timer
+    ld   t1, 0(t1)
+    mtsr timer, t1                 # fresh quantum for the next process
     la   s0, kg_curidx
     ld   t1, 0(s0)                 # current index
     la   s1, kg_nproc

@@ -1,0 +1,66 @@
+"""``repro.scenarios`` — the OS-activity scenario corpus.
+
+Seeded, parameterized generators of OS-heavy multi-process workloads
+(process trees, I/O storms, syscall pipelines, bulk-copy storms,
+locality mixes), each shipping a machine-checkable expected-results
+contract computed by a pure-Python reference model.  See
+``docs/WORKLOADS.md`` for the catalogue and
+:mod:`repro.scenarios.verify` for the corpus-wide co-execution
+harness.
+"""
+
+from __future__ import annotations
+
+from . import copystorm, iostorm, locality, proctree, syspipe
+from .base import ExpectedResults, MemRegion, ScenarioSpec
+from .runtime import (
+    ScenarioBuild,
+    ScenarioRun,
+    check_contract,
+    materialize,
+    run_build,
+    run_scenario,
+)
+
+_MODULES = (proctree, iostorm, syspipe, copystorm, locality)
+
+
+def _build_registry() -> dict[str, ScenarioSpec]:
+    registry: dict[str, ScenarioSpec] = {}
+    for module in _MODULES:
+        registry[module.NAME] = ScenarioSpec(
+            name=module.NAME,
+            description=module.DESCRIPTION,
+            tags=tuple(module.TAGS),
+            default_seed=module.DEFAULT_SEED,
+            programs=module.programs,
+            expected=module.expected,
+            scales={scale: dict(params)
+                    for scale, params in module.SCALES.items()},
+        )
+    return registry
+
+
+#: All registered scenario families, keyed by name.
+SCENARIOS: dict[str, ScenarioSpec] = _build_registry()
+
+#: Presentation order for tables and the corpus CLI.
+SCENARIO_NAMES = tuple(SCENARIOS)
+
+#: Scales every scenario declares, smallest first.
+SCENARIO_SCALES = ("tiny", "small", "medium")
+
+__all__ = [
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "SCENARIO_SCALES",
+    "ExpectedResults",
+    "MemRegion",
+    "ScenarioBuild",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "check_contract",
+    "materialize",
+    "run_build",
+    "run_scenario",
+]

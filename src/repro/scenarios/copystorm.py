@@ -1,0 +1,188 @@
+"""``copystorm`` — kernel-style bulk-copy / copy-on-write storms.
+
+Every process ping-pongs a buffer between two halves of its data
+window: copy (dword loop), then mutate a few pseudo-random bytes —
+the copy-on-write pattern where a page is duplicated and then lightly
+dirtied — and repeat.  Process 0 additionally ``sys_write``s a slice
+of the fresh copy every round, driving the kernel's byte-copy console
+path; it is the only console writer, so the console contract is exact
+(raw bytes, not text).  Exit codes and memory regions pin the final
+buffer contents.
+"""
+
+from __future__ import annotations
+
+from ..kernel import layout
+from .base import (
+    LCG_INC,
+    LCG_MUL,
+    MASK64,
+    ExpectedResults,
+    MemRegion,
+    derive_seed,
+    lcg,
+)
+
+NAME = "copystorm"
+DESCRIPTION = "bulk memcpy + copy-on-write dirtying storm"
+TAGS = ("os-heavy", "store-heavy", "copy", "multi-process")
+DEFAULT_SEED = 4001
+
+SCALES = {
+    "tiny": {"procs": 2, "bytes": 256, "rounds": 4, "mutates": 6,
+             "slice": 32, "timer": 400, "max_instructions": 500_000},
+    "small": {"procs": 3, "bytes": 1024, "rounds": 10, "mutates": 12,
+              "slice": 64, "timer": 1500, "max_instructions": 3_000_000},
+    "medium": {"procs": 4, "bytes": 4096, "rounds": 20, "mutates": 24,
+               "slice": 128, "timer": 4000, "max_instructions": 20_000_000},
+}
+
+_OUT_OFF = 0
+_BUF_A_OFF = 8
+
+
+def _buf_b_off(nbytes: int) -> int:
+    return _BUF_A_OFF + nbytes
+
+
+def _proc_source(seed: int, slot: int, nbytes: int, rounds: int,
+                 mutates: int, slice_len: int) -> str:
+    write_block = ""
+    if slot == 0:
+        write_block = f"""
+    mv   a0, s1                # slice of the fresh copy
+    li   a1, {slice_len}
+    li   a7, SYS_WRITE
+    syscall 0"""
+    return f"""
+.equ SYS_EXIT, 1
+.equ SYS_WRITE, 2
+.data
+out:   .space 8
+buf_a: .space {nbytes}
+buf_b: .space {nbytes}
+.text
+main:
+    # -- fill buf_a with LCG dwords ------------------------------------
+    li   s4, {derive_seed(seed, slot)}
+    la   t0, buf_a
+    li   t1, {nbytes // 8}
+fill:
+    li   t5, {LCG_MUL}
+    mul  s4, s4, t5
+    addi s4, s4, {LCG_INC}
+    sd   s4, 0(t0)
+    addi t0, t0, 8
+    subi t1, t1, 1
+    bnez t1, fill
+    la   s0, buf_a             # current source
+    la   s1, buf_b             # current destination
+    li   s6, {rounds}
+round:
+    # -- bulk copy source -> destination (dword loop) ------------------
+    mv   t1, s0
+    mv   t2, s1
+    li   t3, {nbytes // 8}
+copy:
+    ld   t4, 0(t1)
+    sd   t4, 0(t2)
+    addi t1, t1, 8
+    addi t2, t2, 8
+    subi t3, t3, 1
+    bnez t3, copy
+    # -- dirty a few pseudo-random bytes of the copy -------------------
+    li   t3, {mutates}
+mutate:
+    li   t5, {LCG_MUL}
+    mul  s4, s4, t5
+    addi s4, s4, {LCG_INC}
+    srli t4, s4, 13
+    andi t4, t4, {nbytes - 1}
+    add  t4, t4, s1
+    lbu  t5, 0(t4)
+    xori t5, t5, 0x5a
+    sb   t5, 0(t4)
+    subi t3, t3, 1
+    bnez t3, mutate{write_block}
+    # -- ping-pong: the dirtied copy becomes the next source -----------
+    mv   t1, s0
+    mv   s0, s1
+    mv   s1, t1
+    subi s6, s6, 1
+    bnez s6, round
+    # -- checksum the final buffer -------------------------------------
+    li   s5, 0
+    mv   t1, s0
+    li   t3, {nbytes // 8}
+sum:
+    ld   t4, 0(t1)
+    add  s5, s5, t4
+    addi t1, t1, 8
+    subi t3, t3, 1
+    bnez t3, sum
+    la   t0, out
+    sd   s5, 0(t0)
+    li   t5, 0xffff
+    and  a0, s5, t5
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def programs(seed: int, procs: int, bytes: int, rounds: int, mutates: int,
+             slice: int, timer: int,
+             max_instructions: int) -> list[tuple[str, str]]:
+    nbytes = bytes
+    if nbytes & (nbytes - 1) or nbytes < 64:
+        raise ValueError("bytes must be a power of two >= 64")
+    return [(f"copystorm-p{slot}",
+             _proc_source(seed, slot, nbytes, rounds, mutates, slice))
+            for slot in range(procs)]
+
+
+def _reference_proc(seed: int, slot: int, nbytes: int, rounds: int,
+                    mutates: int, slice_len: int,
+                    ) -> tuple[bytes, bytes, int, bytes]:
+    """Mirror one process: returns (buf_a, buf_b, checksum, console)."""
+    x = derive_seed(seed, slot)
+    buf_a = bytearray()
+    for _ in range(nbytes // 8):
+        x = lcg(x)
+        buf_a += x.to_bytes(8, "little")
+    buf_b = bytearray(nbytes)
+    src, dst = buf_a, buf_b
+    console = bytearray()
+    for _ in range(rounds):
+        dst[:] = src
+        for _ in range(mutates):
+            x = lcg(x)
+            index = (x >> 13) & (nbytes - 1)
+            dst[index] ^= 0x5A
+        if slot == 0:
+            console += dst[:slice_len]
+        src, dst = dst, src
+    checksum = 0
+    for offset in range(0, nbytes, 8):
+        checksum = (checksum
+                    + int.from_bytes(src[offset:offset + 8], "little")) \
+            & MASK64
+    return bytes(buf_a), bytes(buf_b), checksum, bytes(console)
+
+
+def expected(seed: int, procs: int, bytes: int, rounds: int, mutates: int,
+             slice: int, timer: int,
+             max_instructions: int) -> ExpectedResults:
+    nbytes = bytes
+    exit_codes = []
+    regions = []
+    console = b""
+    for slot in range(procs):
+        buf_a, buf_b, checksum, chunk = _reference_proc(
+            seed, slot, nbytes, rounds, mutates, slice)
+        if slot == 0:
+            console = chunk
+        exit_codes.append(checksum & 0xFFFF)
+        data = checksum.to_bytes(8, "little") + buf_a + buf_b
+        regions.append(MemRegion.of(f"p{slot}-state",
+                                    layout.user_data_base(slot), data))
+    return ExpectedResults.exact_console(exit_codes, regions, console)

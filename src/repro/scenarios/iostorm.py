@@ -1,0 +1,112 @@
+"""``iostorm`` — an interrupt-driven console I/O storm.
+
+Every process alternates a short compute burst with a ``sys_write`` of
+a fixed-byte chunk, under an aggressively short timer interval — the
+trace is saturated with trap entries, context save/restore bursts, and
+the kernel's byte-by-byte console copy loop.  Each write is atomic
+(the kernel runs with interrupts disabled) but the chunk *order* is
+schedule-dependent, so the console contract is a byte histogram: each
+process writes a byte value unique to it.
+"""
+
+from __future__ import annotations
+
+from ..kernel import layout
+from .base import (
+    LCG_INC,
+    LCG_MUL,
+    MASK64,
+    ExpectedResults,
+    MemRegion,
+    derive_seed,
+    lcg,
+)
+
+NAME = "iostorm"
+DESCRIPTION = "interrupt-heavy console write storm (kernel copy loop)"
+TAGS = ("os-heavy", "interrupt-heavy", "io", "multi-process")
+DEFAULT_SEED = 2003
+
+SCALES = {
+    "tiny": {"procs": 3, "writes": 5, "chunk": 20, "compute": 30,
+             "timer": 300, "max_instructions": 400_000},
+    "small": {"procs": 4, "writes": 16, "chunk": 80, "compute": 100,
+              "timer": 450, "max_instructions": 2_500_000},
+    "medium": {"procs": 6, "writes": 40, "chunk": 160, "compute": 260,
+               "timer": 800, "max_instructions": 12_000_000},
+}
+
+
+def _byte_for(slot: int) -> int:
+    return 0x61 + slot  # 'a', 'b', ...
+
+
+def _proc_source(seed: int, slot: int, writes: int, chunk: int,
+                 compute: int) -> str:
+    return f"""
+.equ SYS_EXIT, 1
+.equ SYS_WRITE, 2
+.data
+out: .space 8
+buf: .space {chunk}
+.text
+main:
+    la   t0, buf               # fill the chunk with this process's byte
+    li   t1, {chunk}
+    li   t2, {_byte_for(slot)}
+fill:
+    sb   t2, 0(t0)
+    addi t0, t0, 1
+    subi t1, t1, 1
+    bnez t1, fill
+    li   s4, {derive_seed(seed, slot)}
+    li   s5, 0                 # accumulator
+    li   s6, {writes}
+wloop:
+    li   t4, {compute}
+burst:
+    li   t5, {LCG_MUL}
+    mul  s4, s4, t5
+    addi s4, s4, {LCG_INC}
+    add  s5, s5, s4
+    subi t4, t4, 1
+    bnez t4, burst
+    la   a0, buf
+    li   a1, {chunk}
+    li   a7, SYS_WRITE
+    syscall 0
+    subi s6, s6, 1
+    bnez s6, wloop
+    la   t0, out
+    sd   s5, 0(t0)
+    li   t5, 0xffff
+    and  a0, s5, t5
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def programs(seed: int, procs: int, writes: int, chunk: int, compute: int,
+             timer: int, max_instructions: int) -> list[tuple[str, str]]:
+    return [(f"iostorm-p{slot}",
+             _proc_source(seed, slot, writes, chunk, compute))
+            for slot in range(procs)]
+
+
+def expected(seed: int, procs: int, writes: int, chunk: int, compute: int,
+             timer: int, max_instructions: int) -> ExpectedResults:
+    exit_codes = []
+    regions = []
+    counts: dict[int, int] = {}
+    for slot in range(procs):
+        x = derive_seed(seed, slot)
+        acc = 0
+        for _ in range(writes * compute):
+            x = lcg(x)
+            acc = (acc + x) & MASK64
+        exit_codes.append(acc & 0xFFFF)
+        counts[_byte_for(slot)] = writes * chunk
+        data = acc.to_bytes(8, "little") + bytes([_byte_for(slot)]) * chunk
+        regions.append(MemRegion.of(f"p{slot}-state",
+                                    layout.user_data_base(slot), data))
+    return ExpectedResults.counted_console(exit_codes, regions, counts)

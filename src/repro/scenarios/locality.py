@@ -1,0 +1,141 @@
+"""``locality`` — seeded synthetic mixes with locality knobs.
+
+Each process walks a private table with a seed-derived profile —
+stride, working-set size — accumulating loads and writing a running
+checksum back at a shifted index, with a periodic ``sys_yield`` so the
+mix multiprograms under the scheduler.  The knobs span the locality
+spectrum the paper's techniques are sensitive to: small working sets
+that live in the line buffer, large strides that defeat it.
+"""
+
+from __future__ import annotations
+
+from ..kernel import layout
+from .base import (
+    LCG_INC,
+    LCG_MUL,
+    MASK64,
+    ExpectedResults,
+    MemRegion,
+    derive_seed,
+    lcg,
+)
+
+NAME = "locality"
+DESCRIPTION = "strided walkers with seed-derived locality profiles"
+TAGS = ("os-heavy", "synthetic", "locality", "multi-process")
+DEFAULT_SEED = 5003
+
+SCALES = {
+    "tiny": {"procs": 3, "iters": 220, "wbase": 512, "yield_every": 40,
+             "timer": 350, "max_instructions": 400_000},
+    "small": {"procs": 4, "iters": 1800, "wbase": 2048, "yield_every": 150,
+              "timer": 1500, "max_instructions": 2_500_000},
+    "medium": {"procs": 6, "iters": 8000, "wbase": 4096, "yield_every": 400,
+               "timer": 4000, "max_instructions": 15_000_000},
+}
+
+_OUT_OFF = 0
+_TABLE_OFF = 8
+
+
+def _profile(seed: int, slot: int, wbase: int) -> tuple[int, int]:
+    """(stride, working-set bytes) for one process, seed-derived."""
+    x = derive_seed(seed, slot, salt=2)
+    stride = 8 << (x % 4)              # 8 / 16 / 32 / 64
+    wsize = wbase << ((x >> 7) % 2)    # wbase or 2*wbase
+    return stride, wsize
+
+
+def _proc_source(seed: int, slot: int, iters: int, wbase: int,
+                 yield_every: int) -> str:
+    stride, wsize = _profile(seed, slot, wbase)
+    return f"""
+.equ SYS_EXIT, 1
+.equ SYS_YIELD, 4
+.data
+out:   .space 8
+table: .space {wsize}
+.text
+main:
+    # -- fill the table with LCG dwords --------------------------------
+    li   s4, {derive_seed(seed, slot)}
+    la   s7, table
+    mv   t0, s7
+    li   t1, {wsize // 8}
+fill:
+    li   t5, {LCG_MUL}
+    mul  s4, s4, t5
+    addi s4, s4, {LCG_INC}
+    sd   s4, 0(t0)
+    addi t0, t0, 8
+    subi t1, t1, 1
+    bnez t1, fill
+    li   s4, 0                 # walk offset
+    li   s5, 0                 # accumulator
+    li   s6, {iters}
+    li   s8, {wsize - 1}
+    li   s3, {yield_every}
+walk:
+    and  t1, s4, s8
+    add  t1, t1, s7
+    ld   t2, 0(t1)
+    add  s5, s5, t2
+    li   t3, {wsize // 2}
+    add  t3, s4, t3
+    and  t3, t3, s8
+    add  t3, t3, s7
+    sd   s5, 0(t3)
+    addi s4, s4, {stride}
+    subi s3, s3, 1
+    bnez s3, no_yield
+    li   s3, {yield_every}
+    li   a7, SYS_YIELD
+    syscall 0
+no_yield:
+    subi s6, s6, 1
+    bnez s6, walk
+    la   t0, out
+    sd   s5, 0(t0)
+    li   t5, 0xffff
+    and  a0, s5, t5
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def programs(seed: int, procs: int, iters: int, wbase: int,
+             yield_every: int, timer: int,
+             max_instructions: int) -> list[tuple[str, str]]:
+    if wbase & (wbase - 1) or wbase < 128:
+        raise ValueError("wbase must be a power of two >= 128")
+    return [(f"locality-p{slot}",
+             _proc_source(seed, slot, iters, wbase, yield_every))
+            for slot in range(procs)]
+
+
+def expected(seed: int, procs: int, iters: int, wbase: int,
+             yield_every: int, timer: int,
+             max_instructions: int) -> ExpectedResults:
+    exit_codes = []
+    regions = []
+    for slot in range(procs):
+        stride, wsize = _profile(seed, slot, wbase)
+        x = derive_seed(seed, slot)
+        table = []
+        for _ in range(wsize // 8):
+            x = lcg(x)
+            table.append(x)
+        offset = 0
+        acc = 0
+        mask = wsize - 1
+        for _ in range(iters):
+            acc = (acc + table[(offset & mask) // 8]) & MASK64
+            table[((offset + wsize // 2) & mask) // 8] = acc
+            offset += stride
+        exit_codes.append(acc & 0xFFFF)
+        data = acc.to_bytes(8, "little") + b"".join(
+            value.to_bytes(8, "little") for value in table)
+        regions.append(MemRegion.of(f"p{slot}-state",
+                                    layout.user_data_base(slot), data))
+    return ExpectedResults(tuple(exit_codes), tuple(regions))

@@ -1,0 +1,228 @@
+"""``proctree`` — a fork/exec-style process tree over shared mailboxes.
+
+A parent process (slot 0) repeatedly farms work descriptors out to a
+set of worker children through per-child mailbox words, then collects
+their results — the mini-OS equivalent of a fork/join process tree.
+There is no memory protection between process windows, so the mailboxes
+and result slots simply live in the parent's data segment and the
+children address them absolutely; every wait is a ``sys_yield`` spin,
+so the scenario is dense in scheduler round-trips and full context
+save/restore bursts.
+
+The parent is the only console writer (it prints the final checksum as
+four hex digits), so the console contract is exact.
+"""
+
+from __future__ import annotations
+
+from ..kernel import layout
+from .base import (
+    LCG_INC,
+    LCG_MUL,
+    MASK64,
+    ExpectedResults,
+    MemRegion,
+    derive_seed,
+    lcg,
+)
+
+NAME = "proctree"
+DESCRIPTION = "fork/join process tree over shared-memory mailboxes"
+TAGS = ("os-heavy", "syscall-dense", "multi-process")
+DEFAULT_SEED = 1009
+
+SCALES = {
+    "tiny": {"children": 3, "rounds": 2, "task_len": 24,
+             "timer": 250, "max_instructions": 400_000},
+    "small": {"children": 5, "rounds": 6, "task_len": 160,
+              "timer": 900, "max_instructions": 2_000_000},
+    "medium": {"children": 7, "rounds": 16, "task_len": 420,
+               "timer": 2500, "max_instructions": 10_000_000},
+}
+
+#: Parent data layout (offsets from the slot-0 data base).
+_OUT_OFF = 0
+_RESULTS_OFF = 8
+
+
+def _mailbox_off(children: int) -> int:
+    return _RESULTS_OFF + 8 * children
+
+
+def _lcg_asm(x: str, tmp: str) -> str:
+    return (f"    li   {tmp}, {LCG_MUL}\n"
+            f"    mul  {x}, {x}, {tmp}\n"
+            f"    addi {x}, {x}, {LCG_INC}")
+
+
+def _task_value(x: int) -> int:
+    """The task descriptor derived from one LCG draw: nonzero and
+    never the stop sentinel (1)."""
+    return (x & 0x3FFF_FFFF) | 2
+
+
+def _parent_source(seed: int, children: int, rounds: int) -> str:
+    return f"""
+.equ SYS_EXIT, 1
+.equ SYS_WRITE, 2
+.equ SYS_YIELD, 4
+.data
+out:     .space 8
+results: .space {8 * children}
+mailbox: .space {8 * children}
+iobuf:   .space 8
+.text
+main:
+    li   s5, {derive_seed(seed, 0)}   # task LCG state
+    li   s6, {rounds}
+    li   s4, 0                 # checksum accumulator
+round:
+    # -- post one task per child ---------------------------------------
+    la   s0, mailbox
+    li   s1, {children}
+task_loop:
+{_lcg_asm('s5', 't5')}
+    li   t5, 0x3fffffff
+    and  t6, s5, t5
+    ori  t6, t6, 2
+    sd   t6, 0(s0)
+    addi s0, s0, 8
+    subi s1, s1, 1
+    bnez s1, task_loop
+    # -- collect every child's result (yield while pending) -----------
+    la   s0, results
+    li   s1, {children}
+collect_loop:
+wait_result:
+    ld   t1, 0(s0)
+    bnez t1, got_result
+    li   a7, SYS_YIELD
+    syscall 0
+    j    wait_result
+got_result:
+    add  s4, s4, t1
+    sd   zero, 0(s0)
+    addi s0, s0, 8
+    subi s1, s1, 1
+    bnez s1, collect_loop
+    subi s6, s6, 1
+    bnez s6, round
+    # -- tell every child to stop (sentinel task = 1) -------------------
+    la   s0, mailbox
+    li   s1, {children}
+    li   t1, 1
+stop_loop:
+    sd   t1, 0(s0)
+    addi s0, s0, 8
+    subi s1, s1, 1
+    bnez s1, stop_loop
+    # -- publish the checksum and print it as four hex digits ----------
+    la   t0, out
+    sd   s4, 0(t0)
+    li   t5, 0xffff
+    and  s4, s4, t5
+    la   t0, iobuf
+    li   t1, 12
+hexloop:
+    srl  t2, s4, t1
+    andi t2, t2, 15
+    slti t3, t2, 10
+    bnez t3, hexdigit
+    addi t2, t2, 39            # 'a' - '0' - 10
+hexdigit:
+    addi t2, t2, 48
+    sb   t2, 0(t0)
+    addi t0, t0, 1
+    subi t1, t1, 4
+    bgez t1, hexloop
+    li   t2, 10
+    sb   t2, 0(t0)
+    la   a0, iobuf
+    li   a1, 5
+    li   a7, SYS_WRITE
+    syscall 0
+    mv   a0, s4
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def _child_source(index: int, children: int, task_len: int) -> str:
+    parent_data = layout.user_data_base(0)
+    mailbox = parent_data + _mailbox_off(children) + 8 * index
+    result = parent_data + _RESULTS_OFF + 8 * index
+    return f"""
+.equ SYS_EXIT, 1
+.equ SYS_YIELD, 4
+.equ MAILBOX, {mailbox}
+.equ RESULT, {result}
+.text
+main:
+    li   s2, 0                 # per-child accumulator
+    li   s7, MAILBOX
+    li   s8, RESULT
+poll:
+    ld   t1, 0(s7)
+    bnez t1, have_task
+    li   a7, SYS_YIELD
+    syscall 0
+    j    poll
+have_task:
+    li   t2, 1
+    beq  t1, t2, finish
+    sd   zero, 0(s7)           # take the task
+    mv   t3, t1                # chain LCG from the descriptor
+    li   t4, {task_len}
+    li   t6, 0
+chain:
+{_lcg_asm('t3', 't5')}
+    add  t6, t6, t3
+    subi t4, t4, 1
+    bnez t4, chain
+    ori  t6, t6, 1             # results are never zero
+    add  s2, s2, t6
+    sd   t6, 0(s8)
+    j    poll
+finish:
+    li   t5, 0xffff
+    and  a0, s2, t5
+    li   a7, SYS_EXIT
+    syscall 0
+"""
+
+
+def programs(seed: int, children: int, rounds: int, task_len: int,
+             timer: int, max_instructions: int) -> list[tuple[str, str]]:
+    out = [("proctree-parent", _parent_source(seed, children, rounds))]
+    for index in range(children):
+        out.append((f"proctree-child{index}",
+                    _child_source(index, children, task_len)))
+    return out
+
+
+def expected(seed: int, children: int, rounds: int, task_len: int,
+             timer: int, max_instructions: int) -> ExpectedResults:
+    """Pure-Python reference model of the whole tree."""
+    x = derive_seed(seed, 0)
+    child_acc = [0] * children
+    parent_acc = 0
+    for _ in range(rounds):
+        for child in range(children):
+            x = lcg(x)
+            task = _task_value(x)
+            chain, r = task, 0
+            for _ in range(task_len):
+                chain = lcg(chain)
+                r = (r + chain) & MASK64
+            r |= 1
+            child_acc[child] = (child_acc[child] + r) & MASK64
+            parent_acc = (parent_acc + r) & MASK64
+    exit_codes = [parent_acc & 0xFFFF] + \
+        [acc & 0xFFFF for acc in child_acc]
+    console = f"{parent_acc & 0xFFFF:04x}\n".encode()
+    parent_data = layout.user_data_base(0)
+    state = (parent_acc.to_bytes(8, "little")          # out
+             + b"\x00" * (8 * children)                # results, drained
+             + (1).to_bytes(8, "little") * children)   # mailboxes: stop
+    regions = (MemRegion.of("parent-state", parent_data, state),)
+    return ExpectedResults.exact_console(exit_codes, regions, console)

@@ -1,0 +1,265 @@
+"""``syspipe`` — a syscall-dense producer/consumer pipeline.
+
+Processes form a chain: stage 0 generates values, every middle stage
+transforms them, the final stage folds them into a checksum.  Stages
+hand values through single-producer/single-consumer ring buffers in
+the upstream stage's data window (head written only by the producer,
+tail only by the consumer), and every full/empty wait is a
+``sys_yield`` — with small rings the trace is dominated by syscall
+traps and scheduler round-trips, the paper's "syscall-dense pipeline"
+stream.  A zero value is the end-of-stream sentinel; every stage
+forwards it before exiting with its own running checksum.
+"""
+
+from __future__ import annotations
+
+from ..kernel import layout
+from .base import (
+    LCG_INC,
+    LCG_MUL,
+    MASK64,
+    ExpectedResults,
+    MemRegion,
+    derive_seed,
+    lcg,
+)
+
+NAME = "syspipe"
+DESCRIPTION = "producer/consumer ring pipeline (syscall-dense)"
+TAGS = ("os-heavy", "syscall-dense", "pipeline", "multi-process")
+DEFAULT_SEED = 3001
+
+SCALES = {
+    "tiny": {"stages": 3, "items": 30, "ring": 4,
+             "timer": 300, "max_instructions": 500_000},
+    "small": {"stages": 4, "items": 180, "ring": 8,
+              "timer": 1200, "max_instructions": 3_000_000},
+    "medium": {"stages": 5, "items": 700, "ring": 8,
+               "timer": 3000, "max_instructions": 15_000_000},
+}
+
+#: Per-stage data layout: checksum, then the ring this stage produces.
+_OUT_OFF = 0
+_HEAD_OFF = 8
+_TAIL_OFF = 16
+_RING_OFF = 24
+
+
+def _stage_const(seed: int, stage: int) -> int:
+    return derive_seed(seed, stage, salt=1) & 0xFFFF
+
+
+def _transform(value: int, const: int) -> int:
+    return (((value ^ (value >> 9)) + const) & 0x3FFF_FFFF) | 1
+
+
+def _push_block(prefix: str, ring: int) -> str:
+    """Push t2 into the ring addressed by s7/s8/s3 (head/tail/base)."""
+    return f"""
+{prefix}_wait:
+    ld   t3, 0(s7)
+    ld   t4, 0(s8)
+    sub  t5, t3, t4
+    li   t6, {ring}
+    blt  t5, t6, {prefix}_ok
+    li   a7, SYS_YIELD
+    syscall 0
+    j    {prefix}_wait
+{prefix}_ok:
+    andi t4, t3, {ring - 1}
+    slli t4, t4, 3
+    add  t4, t4, s3
+    sd   t2, 0(t4)
+    addi t3, t3, 1
+    sd   t3, 0(s7)"""
+
+
+def _pop_block(ring: int) -> str:
+    """Pop the ring addressed by s4/s5/s6 (head/tail/base) into t2."""
+    return f"""
+pop_wait:
+    ld   t3, 0(s4)
+    ld   t4, 0(s5)
+    bne  t3, t4, pop_ok
+    li   a7, SYS_YIELD
+    syscall 0
+    j    pop_wait
+pop_ok:
+    andi t5, t4, {ring - 1}
+    slli t5, t5, 3
+    add  t5, t5, s6
+    ld   t2, 0(t5)
+    addi t4, t4, 1
+    sd   t4, 0(s5)"""
+
+
+_EXIT_BLOCK = """
+    la   t0, out
+    sd   s2, 0(t0)
+    li   t5, 0xffff
+    and  a0, s2, t5
+    li   a7, SYS_EXIT
+    syscall 0"""
+
+
+def _in_equs(slot: int) -> str:
+    base = layout.user_data_base(slot - 1)
+    return (f".equ HEAD_IN, {base + _HEAD_OFF}\n"
+            f".equ TAIL_IN, {base + _TAIL_OFF}\n"
+            f".equ RING_IN, {base + _RING_OFF}")
+
+
+def _out_equs(slot: int) -> str:
+    base = layout.user_data_base(slot)
+    return (f".equ HEAD_OUT, {base + _HEAD_OFF}\n"
+            f".equ TAIL_OUT, {base + _TAIL_OFF}\n"
+            f".equ RING_OUT, {base + _RING_OFF}")
+
+
+_DATA = f"""
+.data
+out:  .space 8
+head: .space 8
+tail: .space 8
+"""
+
+
+def _producer_source(seed: int, items: int, ring: int) -> str:
+    return f"""
+.equ SYS_EXIT, 1
+.equ SYS_YIELD, 4
+{_out_equs(0)}
+{_DATA}ringbuf: .space {8 * ring}
+.text
+main:
+    li   s4, {derive_seed(seed, 0)}
+    li   s2, 0
+    li   s0, {items}
+    li   s7, HEAD_OUT
+    li   s8, TAIL_OUT
+    li   s3, RING_OUT
+prod_loop:
+    beqz s0, send_stop
+    li   t5, {LCG_MUL}
+    mul  s4, s4, t5
+    addi s4, s4, {LCG_INC}
+    li   t5, 0x3fffffff
+    and  t2, s4, t5
+    ori  t2, t2, 1
+    li   t5, 31
+    mul  s2, s2, t5
+    add  s2, s2, t2
+{_push_block('push', ring)}
+    subi s0, s0, 1
+    j    prod_loop
+send_stop:
+    li   t2, 0
+{_push_block('stop', ring)}
+{_EXIT_BLOCK}
+"""
+
+
+def _middle_source(seed: int, slot: int, ring: int) -> str:
+    return f"""
+.equ SYS_EXIT, 1
+.equ SYS_YIELD, 4
+{_in_equs(slot)}
+{_out_equs(slot)}
+{_DATA}ringbuf: .space {8 * ring}
+.text
+main:
+    li   s2, 0
+    li   s4, HEAD_IN
+    li   s5, TAIL_IN
+    li   s6, RING_IN
+    li   s7, HEAD_OUT
+    li   s8, TAIL_OUT
+    li   s3, RING_OUT
+loop:
+{_pop_block(ring)}
+    beqz t2, forward_stop
+    srli t5, t2, 9
+    xor  t2, t2, t5
+    li   t5, {_stage_const(seed, slot)}
+    add  t2, t2, t5
+    li   t5, 0x3fffffff
+    and  t2, t2, t5
+    ori  t2, t2, 1
+    li   t5, 31
+    mul  s2, s2, t5
+    add  s2, s2, t2
+{_push_block('push', ring)}
+    j    loop
+forward_stop:
+{_push_block('stop', ring)}
+{_EXIT_BLOCK}
+"""
+
+
+def _consumer_source(slot: int, ring: int) -> str:
+    return f"""
+.equ SYS_EXIT, 1
+.equ SYS_YIELD, 4
+{_in_equs(slot)}
+{_DATA}
+.text
+main:
+    li   s2, 0
+    li   s4, HEAD_IN
+    li   s5, TAIL_IN
+    li   s6, RING_IN
+loop:
+{_pop_block(ring)}
+    beqz t2, done
+    li   t5, 31
+    mul  s2, s2, t5
+    add  s2, s2, t2
+    j    loop
+done:
+{_EXIT_BLOCK}
+"""
+
+
+def programs(seed: int, stages: int, items: int, ring: int,
+             timer: int, max_instructions: int) -> list[tuple[str, str]]:
+    if stages < 2:
+        raise ValueError("syspipe needs at least two stages")
+    if ring & (ring - 1):
+        raise ValueError("ring capacity must be a power of two")
+    out = [("syspipe-prod", _producer_source(seed, items, ring))]
+    for slot in range(1, stages - 1):
+        out.append((f"syspipe-xform{slot}",
+                    _middle_source(seed, slot, ring)))
+    out.append(("syspipe-sink", _consumer_source(stages - 1, ring)))
+    return out
+
+
+def expected(seed: int, stages: int, items: int, ring: int,
+             timer: int, max_instructions: int) -> ExpectedResults:
+    def fold(values) -> int:
+        acc = 0
+        for value in values:
+            acc = (acc * 31 + value) & MASK64
+        return acc
+
+    x = derive_seed(seed, 0)
+    stream = []
+    for _ in range(items):
+        x = lcg(x)
+        stream.append((x & 0x3FFF_FFFF) | 1)
+    accs = [fold(stream)]
+    for slot in range(1, stages - 1):
+        const = _stage_const(seed, slot)
+        stream = [_transform(value, const) for value in stream]
+        accs.append(fold(stream))
+    accs.append(fold(stream))  # the sink folds the final stream
+    regions = []
+    for slot, acc in enumerate(accs):
+        produced = items + 1 if slot < stages - 1 else 0
+        state = (acc.to_bytes(8, "little")
+                 + produced.to_bytes(8, "little")     # head
+                 + produced.to_bytes(8, "little"))    # tail (drained)
+        regions.append(MemRegion.of(f"stage{slot}-state",
+                                    layout.user_data_base(slot), state))
+    exit_codes = [acc & 0xFFFF for acc in accs]
+    return ExpectedResults(tuple(exit_codes), tuple(regions))

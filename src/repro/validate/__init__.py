@@ -5,13 +5,14 @@ See ``docs/VALIDATION.md`` for the invariant catalogue and workflow.
 
 from .base import (MAX_VIOLATIONS, ValidationError, ValidationSuite,
                    Validator, Violation)
-from .golden import GoldenChecker
+from .golden import GoldenChecker, SystemGoldenChecker
 from .invariants import InvariantChecker
 
 __all__ = [
     "MAX_VIOLATIONS",
     "GoldenChecker",
     "InvariantChecker",
+    "SystemGoldenChecker",
     "ValidationError",
     "ValidationSuite",
     "Validator",

@@ -22,8 +22,13 @@ the state after the last committed instruction, and match the digests
 :func:`repro.func.run.run_bare` reports for the same program because
 the final (never-traced) exit syscall does not mutate state.
 
-Only bare user-mode traces are supported — the mini-OS path interleaves
-kernel instructions that ``run_bare`` traces do not carry.
+:class:`GoldenChecker` replays bare user-mode traces.
+:class:`SystemGoldenChecker` replays full-system (mini-OS) traces —
+kernel instructions, syscalls, and timer interrupts included: it
+rebuilds the same kernel+user image and, because interrupt delivery is
+deterministic in retired-instruction counts and trap deliveries retire
+nothing, the replayed commit stream lines up instruction for
+instruction with the timing core's.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from ..func.memory import ConsoleDevice, Memory
 from ..func.run import DEFAULT_STACK_TOP
 from ..func.syscalls import HostSyscalls
 from ..isa import Program, decode
+from ..kernel.image import build_system
 from ..isa.opcodes import OpClass
 from ..trace.record import TraceRecord
 from .base import Validator
@@ -66,6 +72,10 @@ class GoldenChecker(Validator):
                                   syscall_handler=HostSyscalls(console))
         self.interp.state.status = 0  # user mode, like run_bare
         self.interp.state.write_reg(_SP, stack_top)
+        self._init_tracking(trace)
+
+    def _init_tracking(self,
+                       trace: Sequence[TraceRecord] | None) -> None:
         self._expected = len(trace) if trace is not None else None
         self._commits = 0
         self._dead = False
@@ -105,6 +115,14 @@ class GoldenChecker(Validator):
                           f"golden model faulted at pc {record.pc:#x}: "
                           f"{exc}")
             return
+        # Interrupt deliveries are interpreter steps that retire nothing
+        # and emit no trace record; the trace encodes them only as the
+        # previous record's next_pc pointing at the trap vector.  Replay
+        # any delivery due here so the pc chain lines up.  (Bare
+        # user-mode runs never arm the timer, so this is a no-op for
+        # plain GoldenChecker.)
+        while self.interp._timer_pending():
+            self.interp.step()
         if state.pc != record.next_pc:
             self._pending_next = (
                 f"record at pc {record.pc:#x} says next_pc "
@@ -181,3 +199,32 @@ class GoldenChecker(Validator):
             return None
         return {"registers": self.interp.state.digest(),
                 "memory": self.memory.content_digest()}
+
+
+class SystemGoldenChecker(GoldenChecker):
+    """Lock-step replay for full-system (mini-OS) traces.
+
+    Rebuilds the same kernel+user image as the functional run that
+    produced the trace and replays the commit stream through a fresh
+    kernel-mode interpreter — kernel instructions, syscall dispatches
+    and context switches are checked exactly like user instructions.
+    Timer interrupts are deterministic in retired-instruction counts
+    and their delivery retires nothing, so :meth:`on_commit`'s drain
+    loop reproduces every delivery point without needing them in the
+    trace.
+
+    The end digests equal the functional run's (the final ``halt``
+    never retires and never mutates state), so scenario contracts can
+    compare them directly.
+    """
+
+    def __init__(self, programs: Sequence[Program],
+                 timer_interval: int = 20_000,
+                 trace: Sequence[TraceRecord] | None = None,
+                 tracer=None, strict: bool = False) -> None:
+        Validator.__init__(self, tracer=tracer, strict=strict)
+        system = build_system(list(programs), timer_interval)
+        self.memory = system.memory
+        self.interp = Interpreter(self.memory, entry=system.entry,
+                                  trap_vector=system.trap_vector)
+        self._init_tracking(trace)

@@ -6,6 +6,7 @@ from .suite import (
     WORKLOADS,
     WorkloadSpec,
     build_os_mix_trace,
+    build_scenario_trace,
     build_trace,
     cached_trace,
     clear_trace_cache,
@@ -21,6 +22,7 @@ __all__ = [
     "WORKLOADS",
     "WorkloadSpec",
     "build_os_mix_trace",
+    "build_scenario_trace",
     "build_trace",
     "cached_trace",
     "clear_trace_cache",

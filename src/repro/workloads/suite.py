@@ -22,6 +22,7 @@ caching; they never fail a run.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import os
 from dataclasses import dataclass, field
@@ -212,6 +213,15 @@ def content_digest(*parts: str) -> str:
     return hasher.hexdigest()[:12]
 
 
+@functools.lru_cache(maxsize=1)
+def _kernel_fingerprint() -> str:
+    """Digest of the mini-OS source.  Kernel instructions appear in
+    every full-system trace, so kernel edits must invalidate cached
+    os-mix and scenario traces."""
+    from ..kernel.source import kernel_source
+    return content_digest(kernel_source())
+
+
 def cached_trace(label: str, digest: str,
                  build: Callable[[], list[TraceRecord]],
                  ) -> list[TraceRecord]:
@@ -327,8 +337,43 @@ def build_os_mix_trace(scale: str = "small", members=OS_MIX_MEMBERS,
         return result.trace
 
     digest = content_digest(*sources, ",".join(members), str(interval),
-                     str(max_instructions))
+                            str(max_instructions), _kernel_fingerprint())
     return cached_trace(f"os-mix-{scale}", digest, build)
+
+
+def build_scenario_trace(name: str, scale: str = "small",
+                         seed: int | None = None,
+                         overrides: dict[str, int] | None = None,
+                         ) -> list[TraceRecord]:
+    """Build (or fetch) the verified trace of one scenario-corpus entry.
+
+    The cache key covers the scenario name, scale, **seed**, every
+    resolved parameter, the generated per-process sources, and the
+    kernel fingerprint — the same scenario name with a different seed
+    or knob override can never collide, and kernel edits invalidate
+    stale entries.  The functional run is contract-checked (exit codes,
+    memory regions, console) before the trace is cached.
+    """
+    from ..scenarios import SCENARIOS
+    from ..scenarios.runtime import check_contract, materialize, run_build
+    spec = SCENARIOS[name]
+    build = materialize(spec, scale, seed=seed, overrides=overrides)
+
+    def build_fn() -> list[TraceRecord]:
+        run = run_build(build, collect_trace=True)
+        problems = check_contract(build, run)
+        if problems:
+            raise SimError(
+                f"scenario {name!r} ({scale}, seed {build.seed}) violated "
+                f"its contract: " + "; ".join(problems))
+        return run.result.trace
+
+    params = ",".join(f"{key}={value}"
+                      for key, value in sorted(build.params.items()))
+    digest = content_digest(*build.sources, name, scale, str(build.seed),
+                            params, _kernel_fingerprint())
+    return cached_trace(f"sc-{name}-{scale}-s{build.seed}", digest,
+                        build_fn)
 
 
 def trace_summary(trace: list[TraceRecord]) -> dict[str, float]:

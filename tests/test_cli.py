@@ -775,3 +775,44 @@ class TestSpansAndProgress:
         assert summary["jobs"]["failed"] == 0
         assert summary["jobs"]["total"] == len(manifest["runs"])
         assert summary["workers"]
+
+
+class TestCorpus:
+    def test_list_catalogue(self, capsys):
+        assert main(["corpus", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("proctree", "iostorm", "syspipe", "copystorm",
+                     "locality"):
+            assert name in out
+        assert "contract" in out
+
+    def test_run_checks_contracts(self, capsys):
+        assert main(["corpus", "run", "syspipe", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "syspipe" in out
+        assert "all contracts satisfied" in out
+
+    def test_verify_single_scenario_writes_table(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "corpus.json"
+        assert main(["corpus", "verify", "copystorm", "--scale", "tiny",
+                     "--config", "1P", "-o", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro.corpus/1"
+        assert document["ok"] is True
+        rows = document["table"]["rows"]
+        assert [row[3] for row in rows] == \
+            ["contract", "golden+invariants", "fastpath"]
+        table_text = capsys.readouterr().out
+        assert "pass" in table_text and "FAIL" not in table_text
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit, match="nonesuch"):
+            main(["corpus", "run", "nonesuch"])
+
+    def test_simulate_accepts_scenario_with_seed(self, capsys):
+        assert main(["simulate", "--workload", "iostorm",
+                     "--scale", "tiny", "--seed", "7",
+                     "--config", "1P"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out

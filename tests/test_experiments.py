@@ -78,6 +78,14 @@ class TestF2Headline:
             for value in row[1:]:
                 assert 0.3 < value < 1.3
 
+    def test_scenario_rows_present_with_own_mean(self, tables):
+        from repro.experiments.f2_headline import SCENARIO_ROWS
+        table = tables["F2"]
+        for name in SCENARIO_ROWS:
+            assert table.cell(name, "tech/2P") > \
+                table.cell(name, "1P/2P"), name
+        assert table.cell("MEAN (scenarios)", "tech/2P+SC") > 0.9
+
 
 class TestF3LineBuffer:
     def test_lb_fraction_bounds(self, tables):
@@ -142,14 +150,36 @@ class TestT2(object):
 
 
 class TestF7OsEffect:
-    def test_both_views_present(self, tables):
-        names = tables["F7"].column("trace")
-        assert names == ["with-kernel", "user-only"]
+    @staticmethod
+    def _rows(table):
+        return {(row[0], row[1]): row for row in table.rows}
+
+    def test_streams_and_views_present(self, tables):
+        from repro.experiments.f7_os_effect import STREAMS
+        table = tables["F7"]
+        assert table.column("stream") == \
+            [stream for stream in STREAMS for _ in range(2)]
+        assert table.column("trace") == \
+            ["with-kernel", "user-only"] * len(STREAMS)
 
     def test_user_only_is_smaller(self, tables):
         table = tables["F7"]
-        assert table.cell("user-only", "instructions") < \
-            table.cell("with-kernel", "instructions")
+        instructions = table.columns.index("instructions")
+        rows = self._rows(table)
+        for (stream, view), row in rows.items():
+            if view != "with-kernel":
+                continue
+            assert row[instructions] > \
+                rows[(stream, "user-only")][instructions], stream
+
+    def test_os_activity_share_nonzero(self, tables):
+        table = tables["F7"]
+        kernel_frac = table.columns.index("kernel_frac")
+        for row in table.rows:
+            if row[1] == "with-kernel":
+                assert row[kernel_frac] > 0.3, row[0]
+            else:
+                assert row[kernel_frac] == 0.0, row[0]
 
 
 class TestAblations:

@@ -21,26 +21,20 @@ from repro.core import pipeline
 from repro.core.pipeline import OoOCore
 from repro.func import run_bare
 from repro.presets import CONFIG_NAMES, machine
+from repro.scenarios.verify import result_view as _result_view
 from repro.trace.fuzz import generate_program
-from repro.workloads import build_trace
+from repro.workloads import build_scenario_trace, build_trace
 
 #: Workloads for the grid sweep (tiny keeps the full grid fast).
 GRID_WORKLOADS = ("stream", "qsort")
 
+#: Scenario-corpus entries for the full-system sweep: interrupt-heavy
+#: and syscall-dense streams exercise trap entries, context-switch
+#: bursts, and the kernel console copy loop on both cycle loops.
+SCENARIO_TRACES = ("iostorm", "syspipe")
+
 #: Fuzzer seeds for the random-program sweep.
 FUZZ_SEEDS = (11, 29, 63)
-
-
-def _result_view(result) -> dict:
-    """Everything CoreResult exposes, flattened to comparable values."""
-    return {
-        "cycles": result.cycles,
-        "instructions": result.instructions,
-        "stats": result.stats.as_dict(),
-        "ledger": result.ledger.as_dict(),
-        "load_latency": result.load_latency.as_dict(),
-        "digests": result.digests,
-    }
 
 
 def _run_pair(config_name: str, trace, monkeypatch) -> tuple[dict, dict]:
@@ -63,6 +57,18 @@ def _run_pair(config_name: str, trace, monkeypatch) -> tuple[dict, dict]:
 def test_fastpath_matches_reference_on_f2_grid(
         workload, config_name, monkeypatch):
     trace = build_trace(workload, "tiny")
+    slow, fast = _run_pair(config_name, trace, monkeypatch)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("scenario", SCENARIO_TRACES)
+@pytest.mark.parametrize("config_name", ("1P", "2P", "1P-wide+LB+SC"))
+def test_fastpath_matches_reference_on_scenarios(
+        scenario, config_name, monkeypatch):
+    # Full-system traces: kernel instructions, syscalls, and timer
+    # interrupts included.  The whole CoreResult view (stats, ledger,
+    # load-latency histogram, digests) must be byte-identical.
+    trace = build_scenario_trace(scenario, "tiny")
     slow, fast = _run_pair(config_name, trace, monkeypatch)
     assert fast == slow
 
