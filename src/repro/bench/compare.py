@@ -125,23 +125,34 @@ def validate_bench_manifest(manifest: dict) -> None:
         raise SchemaError(problems)
 
 
-def _deterministic_view(manifest: dict) -> dict:
-    """The exact-match subset of a manifest."""
+def _cell_label(cell: dict) -> str:
+    return f"{cell.get('workload')}@{cell.get('scale')}" \
+           f"/{cell.get('config')}"
+
+
+def _deterministic_view(manifest: dict,
+                        labels: frozenset[str]) -> dict:
+    """The exact-match subset of a manifest, restricted to the cell
+    labels both sides ran (matrix growth is additive, not a diff)."""
     return {
         "schema": manifest.get("schema"),
         "mode": manifest.get("mode"),
-        "matrix": manifest.get("matrix"),
+        "matrix": [cell for cell in manifest.get("matrix") or ()
+                   if isinstance(cell, dict)
+                   and _cell_label(cell) in labels],
         "results": [{key: result.get(key)
                      for key in ("label", "workload", "scale", "config",
                                  "instructions", "cycles", "ipc")}
-                    for result in manifest.get("results") or ()],
+                    for result in manifest.get("results") or ()
+                    if result.get("label") in labels],
     }
 
 
-def _throughput_view(manifest: dict) -> dict:
+def _throughput_view(manifest: dict, labels: frozenset[str]) -> dict:
     """The tolerance-compared subset: per-cell median kIPS."""
     return {"kips": {result["label"]: result["kips"]["median"]
-                     for result in manifest.get("results") or ()}}
+                     for result in manifest.get("results") or ()
+                     if result.get("label") in labels}}
 
 
 def compare_bench(baseline: dict, candidate: dict,
@@ -154,18 +165,33 @@ def compare_bench(baseline: dict, candidate: dict,
     ``ok`` is true iff both compare clean; ``deterministic_ok`` false
     means the two manifests disagree about *what was simulated*, not
     just how fast.
+
+    Both comparisons cover only the cell labels present in **both**
+    manifests: the pinned matrix grows over time, so a cell only the
+    candidate ran is reported under ``new_cells`` (and a cell only the
+    baseline ran under ``removed_cells``) as a note, never a failure.
     """
-    deterministic = compare_documents(_deterministic_view(baseline),
-                                      _deterministic_view(candidate),
-                                      tolerance=0.0, ignore=frozenset())
-    throughput = compare_documents(_throughput_view(baseline),
-                                   _throughput_view(candidate),
+    base_labels = {result.get("label")
+                   for result in baseline.get("results") or ()}
+    cand_labels = {result.get("label")
+                   for result in candidate.get("results") or ()}
+    common = frozenset(base_labels & cand_labels)
+    deterministic = compare_documents(
+        _deterministic_view(baseline, common),
+        _deterministic_view(candidate, common),
+        tolerance=0.0, ignore=frozenset())
+    throughput = compare_documents(_throughput_view(baseline, common),
+                                   _throughput_view(candidate, common),
                                    tolerance=tolerance,
                                    ignore=frozenset())
     return {
         "schema": "repro.bench.compare/1",
         "schema_version": 1,
         "tolerance": tolerance,
+        "new_cells": sorted(str(label)
+                            for label in cand_labels - base_labels),
+        "removed_cells": sorted(str(label)
+                                for label in base_labels - cand_labels),
         "deterministic": deterministic,
         "throughput": throughput,
         "deterministic_ok": deterministic["equal"],
@@ -178,6 +204,11 @@ def render_bench_comparison(report: dict, label_a: str,
                             label_b: str) -> str:
     """Human-readable rendering of a :func:`compare_bench` report."""
     lines = []
+    for label in report.get("new_cells") or ():
+        lines.append(f"note: {label} is a new cell (only in {label_b}); "
+                     f"not compared")
+    for label in report.get("removed_cells") or ():
+        lines.append(f"note: {label} only in {label_a}; not compared")
     if report["deterministic_ok"]:
         lines.append("deterministic results: identical")
     else:

@@ -58,7 +58,9 @@ class BenchCell:
 
 
 #: CI smoke matrix: the port-bandwidth extremes plus the techniques
-#: config, over short memory-heavy and control-heavy workloads.
+#: config, over short memory-heavy and control-heavy workloads, plus
+#: one OS-activity scenario so full-system throughput is tracked
+#: longitudinally (scenario cells run at each scenario's default seed).
 QUICK_MATRIX = (
     BenchCell("stream", "tiny", "1P"),
     BenchCell("stream", "tiny", "2P"),
@@ -66,6 +68,7 @@ QUICK_MATRIX = (
     BenchCell("memops", "tiny", "2P"),
     BenchCell("qsort", "tiny", "1P"),
     BenchCell("qsort", "tiny", "2P+SC"),
+    BenchCell("iostorm", "tiny", "2P+SC"),
 )
 
 #: The full matrix: small-scale runs across the paper's main configs.
@@ -112,9 +115,19 @@ def _summarize(values: list[float]) -> dict[str, object]:
             "iqr": _iqr(values)}
 
 
+def _cell_trace(workload: str, scale: str):
+    """Build a matrix cell's trace: scenario names route to the
+    scenario-corpus builder (default seed), everything else to the
+    workload suite."""
+    from ..scenarios import SCENARIOS
+    if workload in SCENARIOS:
+        return suite.build_scenario_trace(workload, scale)
+    return suite.build_trace(workload, scale)
+
+
 def _bench_cell(cell: BenchCell, warmup: int, repeats: int,
                 ) -> dict[str, object]:
-    trace = suite.build_trace(cell.workload, cell.scale)
+    trace = _cell_trace(cell.workload, cell.scale)
     config = preset_machine(cell.config)
     for _ in range(warmup):
         OoOCore(config).run(trace)
@@ -157,12 +170,12 @@ def _time_trace_gen(matrix: tuple[BenchCell, ...]) -> list[dict]:
         suite.clear_trace_cache()
         try:
             start = time.perf_counter()
-            suite.build_trace(workload, scale)
+            _cell_trace(workload, scale)
             cold = time.perf_counter() - start
         finally:
             suite.set_trace_cache_dir(previous_dir)
         start = time.perf_counter()
-        trace = suite.build_trace(workload, scale)
+        trace = _cell_trace(workload, scale)
         warm = time.perf_counter() - start
         timings.append({"label": f"{workload}@{scale}",
                         "workload": workload, "scale": scale,

@@ -13,6 +13,9 @@
     repro simulate --metrics-interval 512 --json
     repro simulate --pipe-trace run.kanata --self-profile
     repro simulate --workload qsort --validate
+    repro simulate --workload qsort --hotspots
+    repro hotspots --workload qsort --annotate
+    repro events run.jsonl.gz --pc 0x402000 --limit 10
     repro fuzz --seed 1 --count 50 --artifacts fuzz-artifacts
     repro fuzz --replay fuzz-artifacts/seed17.repro
     repro events run.jsonl.gz --event stall --limit 20
@@ -52,13 +55,15 @@ from .asm import AsmError, assemble
 from .core import simulate as core_simulate
 from .func import RunResult, SimError, run_bare
 from .isa import INSTRUCTION_BYTES
-from .obs import (WHATIF_PORT, CritPathRecorder, JsonlTracer, PipeTrace,
+from .obs import (HOTSPOT_SORTS, WHATIF_PORT, CritPathRecorder,
+                  HotspotRecorder, JsonlTracer, PipeTrace,
                   SelfProfiler, SpanRecorder, build_critpath_report,
-                  build_run_report, compare_documents, count_spans,
+                  build_hotspots_report, build_run_report,
+                  compare_documents, count_spans,
                   expand_manifest_paths, iter_events,
                   render_comparison, render_critpath_report,
-                  resolve_ledger_path, summarize_events,
-                  write_chrome_trace)
+                  render_hotspots_report, resolve_ledger_path,
+                  summarize_events, write_chrome_trace)
 from .obs import spans as obs_spans
 from .presets import CONFIG_NAMES, EXTENDED_CONFIG_NAMES, machine
 from .scenarios import SCENARIO_NAMES, SCENARIO_SCALES, SCENARIOS
@@ -202,13 +207,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     critpath = None
     if getattr(args, "critpath", None) is not None:
         critpath = CritPathRecorder(whatif=[WHATIF_PORT])
+    hotspots = None
+    if getattr(args, "hotspots", None) is not None:
+        hotspots = HotspotRecorder()
     start = time.perf_counter()
     try:
         result = core_simulate(trace, config, tracer=tracer,
                                metrics_interval=args.metrics_interval,
                                pipe_trace=pipe, profiler=profiler,
                                validator=validator, spans=recorder,
-                               critpath=critpath)
+                               critpath=critpath, hotspots=hotspots)
     finally:
         if tracer is not None:
             tracer.close()
@@ -237,6 +245,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             json.dump(critpath_report, handle, indent=2)
             handle.write("\n")
 
+    hotspots_path = None
+    hotspots_report = None
+    if hotspots is not None:
+        hotspots.check_conservation(result)
+        hotspots_report = build_hotspots_report(
+            hotspots, result, config, workload=workload, scale=scale,
+            seed=args.seed, trace_file=trace_file, wall_time=wall_time,
+            disasm=_workload_disasm(workload, scale))
+        hotspots_path = args.hotspots or (
+            f"HOTSPOTS_{workload or 'trace'}_{args.config}.json")
+        with open(hotspots_path, "w", encoding="utf-8") as handle:
+            json.dump(hotspots_report, handle, indent=2)
+            handle.write("\n")
+
     ledger_path = resolve_ledger_path(args.ledger)
     if args.json or ledger_path is not None:
         report = build_run_report(result, config, workload=workload,
@@ -251,6 +273,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 added = ledger.ingest(report, source="simulate")
                 if critpath_report is not None:
                     ledger.ingest(critpath_report, source=critpath_path)
+                if hotspots_report is not None:
+                    ledger.ingest(hotspots_report, source=hotspots_path)
             print(f"ledger: {'ingested into' if added else 'already in'} "
                   f"{ledger_path}", file=sys.stderr)
     if args.json:
@@ -294,6 +318,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  self-profile: {profiler.summary()} -> {profile_path}")
     if critpath is not None:
         print(f"  critpath: {critpath.summary()} -> {critpath_path}")
+    if hotspots is not None:
+        print(f"  hotspots: {hotspots.summary()} -> {hotspots_path}")
     if validator is not None:
         if validator.ok:
             print("  validation: all invariants hold")
@@ -350,6 +376,64 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
         print(json.dumps(report, indent=2))
     else:
         print(render_critpath_report(report, top=args.top))
+        if args.output:
+            print(f"\nmanifest -> {args.output}")
+    return 0
+
+
+def _workload_disasm(name: str | None,
+                     scale: str | None) -> dict[int, str] | None:
+    """PC -> disassembly for plain suite workloads, assembled fresh.
+    Scenario/os-mix traces relocate user code per process slot and
+    synthetic traces have no program, so those stay unannotated."""
+    if name is None or name not in WORKLOADS:
+        return None
+    spec = WORKLOADS[name]
+    source = spec.source(**spec.params(scale))
+    program = assemble(source, source_name=f"<{name}>")
+    return {program.text_base + index * INSTRUCTION_BYTES: str(instr)
+            for index, instr in enumerate(program.text)}
+
+
+def _cmd_hotspots(args: argparse.Namespace) -> int:
+    if args.trace_file:
+        if args.seed is not None:
+            raise SystemExit("--seed cannot be combined with --trace-file")
+        trace = load_trace(args.trace_file)
+        workload, scale, trace_file = None, None, args.trace_file
+    else:
+        trace = _build_named_trace(args.workload, args.scale, args.seed)
+        workload, scale, trace_file = args.workload, args.scale, None
+    recorder = HotspotRecorder()
+    config = machine(args.config)
+    start = time.perf_counter()
+    result = core_simulate(trace, config, hotspots=recorder)
+    wall_time = time.perf_counter() - start
+    recorder.check_conservation(result)
+    report = build_hotspots_report(recorder, result, config,
+                                   workload=workload, scale=scale,
+                                   seed=args.seed, trace_file=trace_file,
+                                   wall_time=wall_time,
+                                   disasm=_workload_disasm(workload,
+                                                           scale))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    ledger_path = resolve_ledger_path(args.ledger)
+    if ledger_path is not None:
+        from .obs.ledger import Ledger
+        with Ledger(ledger_path) as ledger:
+            added = ledger.ingest(report,
+                                  source=args.output or "hotspots")
+        print(f"ledger: {'ingested into' if added else 'already in'} "
+              f"{ledger_path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_hotspots_report(report, top=args.top,
+                                     annotate=args.annotate,
+                                     sort=args.sort))
         if args.output:
             print(f"\nmanifest -> {args.output}")
     return 0
@@ -599,6 +683,27 @@ def _parse_cycle_range(text: str) -> tuple[int | None, int | None]:
     return since, until
 
 
+def _parse_pc(text: str, flag: str = "--pc") -> int:
+    """Accept a PC as decimal or 0x-prefixed hex."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise SystemExit(f"{flag} wants a decimal or 0x-hex address, "
+                         f"got {text!r}")
+
+
+def _parse_pc_range(text: str) -> tuple[int | None, int | None]:
+    """``A:B`` -> (low, high); either side may be empty; hex accepted."""
+    head, sep, tail = text.partition(":")
+    if not sep:
+        raise SystemExit(f"--pc-range wants FIRST:LAST, got {text!r}")
+    low = _parse_pc(head, "--pc-range") if head else None
+    high = _parse_pc(tail, "--pc-range") if tail else None
+    if low is not None and high is not None and high < low:
+        raise SystemExit(f"--pc-range is empty: {text!r}")
+    return low, high
+
+
 def _cmd_events(args: argparse.Namespace) -> int:
     import gzip
     if args.cycle_range:
@@ -606,19 +711,25 @@ def _cmd_events(args: argparse.Namespace) -> int:
             raise SystemExit("--cycle-range replaces --since/--until; "
                              "give one or the other")
         args.since, args.until = _parse_cycle_range(args.cycle_range)
+    pc = _parse_pc(args.pc) if args.pc is not None else None
+    pc_range = _parse_pc_range(args.pc_range) if args.pc_range else None
+    if pc is not None and pc_range is not None:
+        raise SystemExit("--pc and --pc-range are mutually exclusive")
     events = set(args.event) if args.event else None
     try:
         if args.limit:
             shown = 0
             for record in iter_events(args.capture, events,
-                                      args.since, args.until):
+                                      args.since, args.until,
+                                      pc=pc, pc_range=pc_range):
                 print(json.dumps(record, separators=(",", ":")))
                 shown += 1
                 if shown >= args.limit:
                     break
             return 0
         summary = summarize_events(args.capture, events,
-                                   args.since, args.until)
+                                   args.since, args.until,
+                                   pc=pc, pc_range=pc_range)
         print(summary.render())
         return 0
     except (json.JSONDecodeError, gzip.BadGzipFile, UnicodeDecodeError) \
@@ -729,11 +840,13 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
                   f"{counts['manifests.experiment']} experiment, "
                   f"{counts['manifests.bench']} bench, "
                   f"{counts['manifests.compare']} compare, "
-                  f"{counts['manifests.critpath']} critpath)")
+                  f"{counts['manifests.critpath']} critpath, "
+                  f"{counts['manifests.hotspots']} hotspots)")
             print(f"  normalized rows: {counts['runs']} runs, "
                   f"{counts['bench_cells']} bench cells, "
                   f"{counts['experiments']} experiment tables, "
-                  f"{counts['critpaths']} critpath stacks")
+                  f"{counts['critpaths']} critpath stacks, "
+                  f"{counts['hotspots']} hotspot profiles")
             print(f"  code versions ({len(versions)}): "
                   f"{', '.join(versions) if versions else '-'}")
             return 0
@@ -979,6 +1092,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "CRITPATH_<workload>_<config>.json); "
                                "see 'repro critpath' for the report "
                                "view")
+    simulate.add_argument("--hotspots", metavar="PATH", nargs="?",
+                          const="",
+                          help="attach the per-PC hotspot profiler and "
+                               "write a repro.hotspots/1 manifest to "
+                               "PATH (default "
+                               "HOTSPOTS_<workload>_<config>.json); "
+                               "see 'repro hotspots' for the report "
+                               "view")
     simulate.add_argument("--stats", action="store_true",
                           help="dump every counter")
     simulate.add_argument("--ledger", metavar="DB",
@@ -1018,6 +1139,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help="ingest the manifest into this results "
                                "ledger (default: REPRO_LEDGER)")
     critpath.set_defaults(func=_cmd_critpath)
+
+    hotspots = sub.add_parser(
+        "hotspots",
+        help="program-level attribution: per-PC port/stall/miss "
+             "counters, address-stream analytics, kernel/user split")
+    hotspots.add_argument("--workload", default="stream",
+                          help="suite workload, 'os-mix', a scenario, "
+                               "or 'synthetic'")
+    hotspots.add_argument("--scale", default="small",
+                          choices=("tiny", "small", "medium", "full"))
+    hotspots.add_argument("--seed", type=int,
+                          help="generator seed (synthetic or scenario "
+                               "workloads only)")
+    hotspots.add_argument("--trace-file",
+                          help="analyse a saved .npz trace instead")
+    hotspots.add_argument("--config", default="1P",
+                          choices=CONFIG_NAMES + EXTENDED_CONFIG_NAMES)
+    hotspots.add_argument("--top", type=int, default=10,
+                          help="rows to list in the table view")
+    hotspots.add_argument("--sort", default="port",
+                          choices=HOTSPOT_SORTS,
+                          help="row ranking: port-conflict slots, total "
+                               "stall cycles, executions, or misses "
+                               "(default port)")
+    hotspots.add_argument("--annotate", action="store_true",
+                          help="annotated-disassembly view: every PC in "
+                               "address order with its counters, plus "
+                               "the top port-conflict PC's stride/"
+                               "set-heatmap block")
+    hotspots.add_argument("--json", action="store_true",
+                          help="emit the repro.hotspots/1 manifest "
+                               "instead of the ASCII report")
+    hotspots.add_argument("--output", metavar="PATH",
+                          help="also write the manifest to PATH")
+    hotspots.add_argument("--ledger", metavar="DB",
+                          help="ingest the manifest into this results "
+                               "ledger (default: REPRO_LEDGER)")
+    hotspots.set_defaults(func=_cmd_hotspots)
 
     fuzz = sub.add_parser("fuzz",
                           help="differential-fuzz the timing core against "
@@ -1059,6 +1218,15 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--cycle-range", metavar="FIRST:LAST",
                         help="keep cycles FIRST..LAST inclusive (either "
                              "side may be empty; replaces --since/--until)")
+    events.add_argument("--pc", metavar="ADDR",
+                        help="keep only events whose pc equals ADDR "
+                             "(decimal or 0x-hex); events without a pc "
+                             "field are dropped")
+    events.add_argument("--pc-range", metavar="FIRST:LAST",
+                        help="keep events with pc in FIRST..LAST "
+                             "inclusive (either side may be empty; "
+                             "hex accepted); events without a pc field "
+                             "are dropped")
     events.add_argument("--limit", type=int, metavar="N",
                         help="print the first N matching events as JSONL "
                              "instead of a summary")

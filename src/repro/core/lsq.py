@@ -35,6 +35,7 @@ from .uop import Uop
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..obs.critpath import CritPathRecorder
+    from ..obs.hotspots import HotspotRecorder
     from ..validate.base import Validator
 
 _INFINITY = float("inf")
@@ -50,13 +51,15 @@ class LoadStoreQueue:
                  stats: Stats | None = None,
                  tracer: Tracer | None = None,
                  validator: "Validator | None" = None,
-                 critpath: "CritPathRecorder | None" = None) -> None:
+                 critpath: "CritPathRecorder | None" = None,
+                 hotspots: "HotspotRecorder | None" = None) -> None:
         self.config = config
         self.dcache = dcache
         self.stats = stats if stats is not None else Stats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._validate = validator
         self._critpath = critpath
+        self._hotspots = hotspots
         self.loads: list[Uop] = []
         self.stores: list[Uop] = []
         self._cycle = 0
@@ -121,6 +124,8 @@ class LoadStoreQueue:
             if load.seq > barrier and not self.config.speculative_loads:
                 stats.inc("lsq.order_stalls")
                 load.lsq_block = "order"
+                if self._hotspots is not None:
+                    self._hotspots.note_lsq_wait(load, "order_stalls")
                 continue
             action = self._store_forwarding(load, cycle)
             if action == "forward":
@@ -130,6 +135,8 @@ class LoadStoreQueue:
             if action == "wait":
                 stats.inc("lsq.sq_waits")
                 load.lsq_block = "sq_wait"
+                if self._hotspots is not None:
+                    self._hotspots.note_lsq_wait(load, "sq_waits")
                 continue
             wb_action = dcache.write_buffer_check(load.line, load.byte_mask)
             if wb_action == "forward":
@@ -139,6 +146,8 @@ class LoadStoreQueue:
             if wb_action == "conflict":
                 stats.inc("lsq.wb_conflicts")
                 load.lsq_block = "wb_conflict"
+                if self._hotspots is not None:
+                    self._hotspots.note_lsq_wait(load, "wb_conflicts")
                 continue
             if lb_reads < lb_cap and dcache.line_buffer_hit(load.line):
                 lb_reads += 1
@@ -166,6 +175,9 @@ class LoadStoreQueue:
         else:
             batches = [[load] for load in requests]
         for index, batch in enumerate(batches):
+            if self._hotspots is not None:
+                # Per-access D-cache counters land on the batch leader.
+                dcache.access_context = batch[0].record
             result = dcache.load_access(batch[0].line)
             if result.status is AccessStatus.NO_PORT:
                 for blocked in batches[index:]:
@@ -184,6 +196,9 @@ class LoadStoreQueue:
             if len(batch) > 1:
                 stats.inc("lsq.combined_loads", len(batch) - 1)
                 stats.inc("lsq.combined_accesses")
+                if self._hotspots is not None:
+                    for load in batch[1:]:
+                        self._hotspots.note_lsq_combined(load)
             for load in batch:
                 self._finish(load, result.ready, complete, result.source)
 
@@ -194,6 +209,8 @@ class LoadStoreQueue:
             # it names the wait between address-ready and this grant.
             self._critpath.note_mem(load.seq, self._cycle, ready, source,
                                     load.lsq_block)
+        if self._hotspots is not None:
+            self._hotspots.note_lsq_service(load, source)
         load.mem_done = True
         load.mem_source = source
         load.lsq_block = None

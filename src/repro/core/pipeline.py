@@ -32,6 +32,7 @@ from ..isa import Opcode, OpClass
 from ..isa.opcodes import Bank
 from ..mem.hierarchy import MemorySystem
 from ..obs.critpath import CritPathRecorder
+from ..obs.hotspots import HotspotRecorder
 from ..obs.metrics import IntervalMetrics
 from ..obs.pipetrace import PipeTrace
 from ..obs.selfprof import SelfProfiler
@@ -141,7 +142,8 @@ class OoOCore:
                  spans: SpanRecorder | None = None,
                  validator: "Validator | None" = None,
                  fastpath: bool | None = None,
-                 critpath: CritPathRecorder | None = None) -> None:
+                 critpath: CritPathRecorder | None = None,
+                 hotspots: HotspotRecorder | None = None) -> None:
         self.machine = machine
         self.cfg: CoreConfig = machine.core
         self.stats = Stats()
@@ -175,11 +177,18 @@ class OoOCore:
         # (see repro.obs.critpath).  Off by default; every hook site is
         # a single `is None` check.
         self._critpath = critpath
+        # Per-PC hotspot recorder: program-level attribution (see
+        # repro.obs.hotspots).  The D-cache carries its own reference
+        # so per-access counters land on the access-context PC.
+        self._hotspots = hotspots
+        if hotspots is not None:
+            self.mem.dcache.hotspots = hotspots
         self.bpred = BranchPredictor(self.cfg.bpred, stats=self.stats)
         self.fu = FUPool(self.cfg.fu_specs, stats=self.stats)
         self.lsq = LoadStoreQueue(self.cfg, self.mem.dcache,
                                   stats=self.stats, tracer=self.tracer,
-                                  validator=validator, critpath=critpath)
+                                  validator=validator, critpath=critpath,
+                                  hotspots=hotspots)
         # Stall attribution: one slot-conservation ledger per run.
         self.ledger = StallLedger(
             max(self.cfg.issue_width, self.cfg.commit_width),
@@ -222,8 +231,8 @@ class OoOCore:
         if self._fastpath and rejection is not None:
             raise ValueError(
                 f"fastpath=True requires tracer, metrics, pipe trace, "
-                f"validator, profiler and critpath to all be off "
-                f"({rejection})")
+                f"validator, profiler, critpath and hotspots to all be "
+                f"off ({rejection})")
         use_fast = (rejection is None) if self._fastpath is None \
             else self._fastpath
         if not use_fast and rejection is None:
@@ -232,6 +241,8 @@ class OoOCore:
         self.fastpath_reason = None if use_fast else rejection
         if self._critpath is not None:
             self._critpath.begin_run(self.cfg)
+        if self._hotspots is not None:
+            self._hotspots.begin_run(self.cfg, self.mem.dcache)
         if use_fast:
             cycle = run_fast(self, trace)
         elif self.profiler is not None:
@@ -252,6 +263,8 @@ class OoOCore:
             self.metrics.finalize(self._committed)
         if self._critpath is not None:
             self._critpath.finalize(cycle, self._committed)
+        if self._hotspots is not None:
+            self._hotspots.finalize(cycle, self._committed)
         digests = None
         if self._validate is not None:
             self._validate.on_drain(self, cycle)
@@ -352,6 +365,8 @@ class OoOCore:
             return "self-profiler attached"
         if self._critpath is not None:
             return "critpath recorder attached"
+        if self._hotspots is not None:
+            return "hotspots recorder attached"
         return None
 
     def _fastpath_eligible(self) -> bool:
@@ -447,6 +462,8 @@ class OoOCore:
                 break
             if uop.is_store:
                 if direct_stores:
+                    if self._hotspots is not None:
+                        dcache.access_context = uop.record
                     result = dcache.store_access(uop.line)
                     if not result.ok:
                         self.stats.inc("core.commit_store_port_stalls")
@@ -482,6 +499,8 @@ class OoOCore:
                                                  uop.seq)
             if self._critpath is not None:
                 self._critpath.record_commit(uop, cycle)
+            if self._hotspots is not None:
+                self._hotspots.record_commit(uop)
         if commits:
             self._last_activity = cycle
             self.stats.inc("core.commits", commits)
@@ -501,6 +520,11 @@ class OoOCore:
             return
         cause = self._classify_stall(cycle, commit_block)
         ledger.account(cycle, commits, cause)
+        if self._hotspots is not None:
+            # Charge the lost slots to the commit-head PC the classifier
+            # blamed (empty window: the recorder's frontend bucket).
+            self._hotspots.note_stall(cause, ledger.width - commits,
+                                      self._rob[0] if self._rob else None)
         if self._tracing:
             self.tracer.emit(cycle, "stall", cause=cause.value,
                              lost=ledger.width - commits)
@@ -806,10 +830,12 @@ def simulate(trace: Sequence[TraceRecord],
              spans: SpanRecorder | None = None,
              validator: "Validator | None" = None,
              fastpath: bool | None = None,
-             critpath: CritPathRecorder | None = None) -> CoreResult:
+             critpath: CritPathRecorder | None = None,
+             hotspots: HotspotRecorder | None = None) -> CoreResult:
     """Convenience: run *trace* through a fresh machine instance."""
     return OoOCore(machine, tracer=tracer,
                    metrics_interval=metrics_interval,
                    pipe_trace=pipe_trace, profiler=profiler,
                    spans=spans, validator=validator,
-                   fastpath=fastpath, critpath=critpath).run(trace)
+                   fastpath=fastpath, critpath=critpath,
+                   hotspots=hotspots).run(trace)

@@ -97,6 +97,14 @@ class DataCacheSystem:
         self._ports_used = 0
         self._bank_mask = config.banks - 1
         self._banks_used: set[int] = set()
+        # Per-PC hotspot attribution (see repro.obs.hotspots): the LSQ /
+        # commit stage set `access_context` to the access's batch-leader
+        # trace record before a port access; write-buffer drains clear
+        # it (no program context).  Both stay None unless a recorder is
+        # attached, so the default cost is one `is None` check per
+        # counter site.
+        self.hotspots = None
+        self.access_context = None
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -157,11 +165,17 @@ class DataCacheSystem:
             return AccessStatus.NO_PORT
         if not self.bank_free(line):
             self.stats.inc("dcache.bank_conflicts")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "bank_conflicts")
             return AccessStatus.BANK_CONFLICT
         self._ports_used += 1
         if self._bank_mask:
             self._banks_used.add(self.bank_of(line))
         self.stats.inc("dcache.port_uses")
+        if self.hotspots is not None:
+            self.hotspots.note_dcache_port(self.access_context,
+                                           self._ports_used - 1)
         return AccessStatus.OK
 
     # ------------------------------------------------------------------
@@ -191,22 +205,36 @@ class DataCacheSystem:
         claim = self._claim_port(line)
         if claim is not AccessStatus.OK:
             self.stats.inc("dcache.load_no_port")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "load_no_port")
             return AccessResult(claim)
         cycle = self._cycle
         pending_ready = self._pending.get(line, 0)
         if pending_ready > cycle:
             self.stats.inc("dcache.load_secondary_misses")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "load_secondary_misses")
             ready = pending_ready
             source = "secondary"
         elif self.cache.lookup(line):
             self.stats.inc("dcache.load_hits")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context, "load_hits")
             ready = cycle + self.config.hit_latency
             source = "hit"
         else:
             if self.mshrs_busy() >= self.config.mshrs:
                 self.stats.inc("dcache.load_mshr_full")
+                if self.hotspots is not None:
+                    self.hotspots.note_dcache(self.access_context,
+                                              "load_mshr_full")
                 return AccessResult(AccessStatus.MSHR_FULL)
             self.stats.inc("dcache.load_misses")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "load_misses")
             ready = self._start_fill(line)
             source = "miss"
             self._maybe_prefetch(line + 1)
@@ -223,21 +251,36 @@ class DataCacheSystem:
         claim = self._claim_port(line)
         if claim is not AccessStatus.OK:
             self.stats.inc("dcache.store_no_port")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "store_no_port")
             return AccessResult(claim)
         cycle = self._cycle
         pending_ready = self._pending.get(line, 0)
         if pending_ready > cycle:
             # Merge into the in-flight fill; data lands with the line.
             self.stats.inc("dcache.store_mshr_merges")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "store_mshr_merges")
             self.cache.mark_dirty(line)
         elif self.cache.lookup(line):
             self.stats.inc("dcache.store_hits")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "store_hits")
             self.cache.mark_dirty(line)
         else:
             if self.mshrs_busy() >= self.config.mshrs:
                 self.stats.inc("dcache.store_mshr_full")
+                if self.hotspots is not None:
+                    self.hotspots.note_dcache(self.access_context,
+                                              "store_mshr_full")
                 return AccessResult(AccessStatus.MSHR_FULL)
             self.stats.inc("dcache.store_misses")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "store_misses")
             self._start_fill(line, dirty=True)
         if self.line_buffer is not None:
             self.line_buffer.note_store(line)
@@ -257,6 +300,8 @@ class DataCacheSystem:
         if self.mshrs_busy() >= self.config.mshrs:
             return
         self.stats.inc("dcache.prefetches")
+        if self.hotspots is not None:
+            self.hotspots.note_dcache(self.access_context, "prefetches")
         self._start_fill(line)
 
     def _start_fill(self, line: int, dirty: bool = False) -> int:
@@ -265,6 +310,9 @@ class DataCacheSystem:
         recovered = None if self.victim_cache is None else \
             self.victim_cache.extract(line)
         if recovered is not None:
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "victim_hits")
             ready = self._cycle + self.config.victim_latency
             dirty = dirty or recovered
         else:
@@ -291,6 +339,9 @@ class DataCacheSystem:
             victim_line, victim_dirty = pushed_out  # overflow writes back
         if victim_dirty:
             self.stats.inc("dcache.writebacks")
+            if self.hotspots is not None:
+                self.hotspots.note_dcache(self.access_context,
+                                          "writebacks")
             self.next_level.writeback(victim_line, self._cycle)
 
     # ------------------------------------------------------------------
@@ -302,6 +353,10 @@ class DataCacheSystem:
 
     def drain_write_buffer(self) -> None:
         """Spend leftover port cycles emptying the write buffer."""
+        if self.hotspots is not None:
+            # Retired stores drain asynchronously; their port traffic
+            # lands in the recorder's unattributed bucket.
+            self.access_context = None
         while self.ports_free() > 0:
             entry = self.write_buffer.head()
             if entry is None:

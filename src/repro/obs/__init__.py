@@ -45,6 +45,13 @@ Three layers, all optional from the timing core's point of view:
   exactly with total cycles, plus a what-if engine predicting the
   cycles of relaxed configurations (``repro critpath``, ``simulate
   --critpath``).
+* :mod:`repro.obs.hotspots` — **program-level attribution**: a
+  per-static-PC hotspot profiler (executions, per-port cache accesses,
+  conflict losses, buffer hits, stall cycles by cause) with per-PC
+  address-stream analytics (dominant stride, set/bank heatmaps,
+  working-set cardinality) and a kernel/user split, all
+  conservation-checked against the global counters (``repro
+  hotspots``, ``simulate --hotspots``).
 
 See ``docs/OBSERVABILITY.md`` for the event schema and stall taxonomy.
 """
@@ -67,6 +74,14 @@ from .compare import (
     render_comparison,
 )
 from .dash import build_dashboard
+from .hotspots import (
+    HOTSPOT_SORTS,
+    HOTSPOTS_SCHEMA,
+    HotspotRecorder,
+    build_hotspots_report,
+    render_hotspots_report,
+    validate_hotspots_report,
+)
 from .ledger import (
     LEDGER_DB_VERSION,
     LEDGER_ENV,
@@ -130,6 +145,12 @@ __all__ = [
     "expand_manifest_paths",
     "render_comparison",
     "build_dashboard",
+    "HOTSPOT_SORTS",
+    "HOTSPOTS_SCHEMA",
+    "HotspotRecorder",
+    "build_hotspots_report",
+    "render_hotspots_report",
+    "validate_hotspots_report",
     "LEDGER_DB_VERSION",
     "LEDGER_ENV",
     "Ledger",

@@ -425,6 +425,47 @@ def _bottleneck_section(ledger: Ledger) -> str:
     return "".join(parts)
 
 
+def _hotspots_section(ledger: Ledger) -> str:
+    parts = ['<h2 id="hotspots">Hotspots: top PCs by port-conflict '
+             'slots (latest per-PC attribution per key)</h2>']
+    rows = []
+    for key in ledger.hotspot_keys()[:MAX_PANELS]:
+        latest = ledger.latest_hotspots(key["trace_digest"],
+                                        key["config_digest"])
+        if latest is None:
+            continue
+        top = ", ".join(
+            f"{hex(row['pc'])}"
+            f"{'K' if row['kernel'] else ''}"
+            f" ({row['port_conflict_slots']})"
+            for row in latest["rows"][:4]
+            if row["port_conflict_slots"]) or "—"
+        total = (latest["kernel_instructions"]
+                 + latest["user_instructions"]) or 1
+        conflict = (latest["kernel_port_conflict"]
+                    + latest["user_port_conflict"])
+        kernel_share = (latest["kernel_port_conflict"] / conflict
+                        if conflict else 0.0)
+        rows.append([_run_key_label(key),
+                     latest["code_version"] or "unknown",
+                     _date(latest["ingested_at"]),
+                     latest["static_pcs"],
+                     f"{latest['kernel_instructions'] / total:.1%}",
+                     f"{kernel_share:.1%}",
+                     top])
+    if not rows:
+        parts.append('<div class="empty">No hotspot manifests in the '
+                     'ledger yet — simulate with <code>--hotspots '
+                     '--ledger ...</code> or run <code>repro '
+                     'hotspots</code>.</div>')
+        return "".join(parts)
+    parts.append(_table(
+        ["run key", "code version", "ingested", "static PCs",
+         "kernel instr share", "kernel port-conflict share",
+         "top port-conflict PCs (slots; K = kernel)"], rows))
+    return "".join(parts)
+
+
 def build_dashboard(ledger: Ledger,
                     title: str = "repro — longitudinal observability",
                     ) -> str:
@@ -439,6 +480,7 @@ def build_dashboard(ledger: Ledger,
         _ipc_section(ledger),
         _port_util_section(ledger),
         _bottleneck_section(ledger),
+        _hotspots_section(ledger),
     ]
     subtitle = (f"{_esc(ledger.path)} · "
                 f"{len(versions)} code version(s) · generated "

@@ -1,0 +1,824 @@
+"""Program-level attribution: per-PC hotspot profiling.
+
+Every other observability layer — the stall ledger, interval metrics,
+spans, even the critical-path CPI stack — reports costs as machine-wide
+aggregates.  This module answers the program-level question the paper's
+whole argument turns on: *which static memory reference* burns the port
+cycles, and is it kernel or user code?
+
+A :class:`HotspotRecorder` attaches to the timing core the same way the
+tracer, metrics and critpath recorders do (zero overhead when off:
+every call site is a single ``is None`` check) and accumulates, per
+static PC **and privilege level** (the PR 9 kernel layout marks every
+trace record ``kernel``/user):
+
+* **executions** — commits of that PC;
+* **retire-time stall slots** — the lost issue slots the stall ledger
+  charged while that PC sat at the commit head, split by
+  :class:`~repro.obs.stall.StallCause`;
+* **LSQ routing** (per load): order/forwarding waits, SQ/WB forwards,
+  line-buffer hits, real port loads, combining wins — the per-load
+  mirror of the global ``lsq.*`` counters;
+* **D-cache accesses** (per port access): per-port uses, bank
+  conflicts, hits/misses/secondary misses, MSHR-full retries, store
+  outcomes, prefetches, writebacks and victim-cache hits — the
+  per-access mirror of the global ``dcache.*`` / ``victim.*`` counters,
+  attributed to the access's batch-leader PC (write-buffer drains have
+  no program context and land in the ``unattributed`` bucket);
+* an **address-stream analyzer** (memory PCs only): dominant-stride
+  detection, touched-bank and touched-set histograms (rendered as an
+  ASCII set-conflict heatmap), and working-set cardinality.
+
+**Conservation contract.**  The recorder mirrors existing counters at
+their existing increment sites, so the per-PC rows reconcile *exactly*
+(integer-equal) with the pre-existing global counters:
+
+* ``sum(row.executions) == instructions``
+* per cause: ``sum(row.stall[c]) + frontend_stall[c] == ledger.lost[c]``
+  (cycles with an empty window have no commit-head PC; their slots land
+  in the ``frontend_stall`` bucket)
+* per ``lsq.*`` counter: ``sum(row.lsq[c]) == lsq.c``
+* per ``dcache.*`` counter: ``sum(row.dcache[c]) + unattributed[c] ==
+  dcache.c`` (and ``victim_hits`` against ``victim.hits``)
+* per-port: the per-PC port histograms sum to ``dcache.port_uses``.
+
+:func:`validate_hotspots_report` recomputes every sum from the manifest
+rows and rejects any drift; :meth:`HotspotRecorder.check_conservation`
+asserts the same against a live :class:`~repro.core.pipeline.CoreResult`.
+
+**Granularity note.**  ``lsq.*`` rows count *loads* while ``dcache.*``
+rows count *port accesses*: with load combining one access serves a
+whole chunk batch, so e.g. ``load_hits`` (accesses, charged to the
+batch leader) is at most ``port_loads`` (loads).  The 1996-era machine
+has no store-set predictor; the paper-adjacent "store-set squash" cost
+shows up here as the memory-ordering waits (``order_stalls`` /
+``sq_waits`` / ``wb_conflicts`` and the ``mem_order`` stall cause).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .codeversion import code_version
+from .report import SchemaError, _check_code_version, _dcache_dict, _require
+from .stall import CAUSE_ORDER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..core.config import CoreConfig
+    from ..core.pipeline import CoreResult
+    from ..core.uop import Uop
+    from ..mem.dcache import DataCacheSystem
+    from ..trace.record import TraceRecord
+
+#: Version of the hotspots manifest schema.
+HOTSPOTS_SCHEMA_VERSION = 1
+
+HOTSPOTS_SCHEMA = f"repro.hotspots/{HOTSPOTS_SCHEMA_VERSION}"
+
+#: Distinct strides tracked per memory PC before folding into "other".
+STRIDE_CAP = 64
+#: Distinct cache sets tracked per memory PC before folding.
+SET_CAP = 4096
+#: Working-set lines tracked per memory PC before saturating.
+WORKING_SET_CAP = 4096
+
+#: ``repro hotspots --sort`` choices -> row ranking.
+HOTSPOT_SORTS = ("port", "stall", "executions", "misses")
+
+#: Per-load LSQ counters mirrored per PC; each name ``c`` reconciles
+#: exactly with the global ``lsq.c`` counter.
+LSQ_COUNTERS = ("order_stalls", "sq_waits", "wb_conflicts", "sq_forwards",
+                "wb_forwards", "lb_loads", "port_loads", "combined_loads")
+
+#: Per-access D-cache counters mirrored per PC; each reconciles exactly
+#: with the global counter named in :data:`_DCACHE_STAT_NAMES`.
+DCACHE_COUNTERS = ("port_uses", "bank_conflicts", "load_no_port",
+                   "load_hits", "load_misses", "load_secondary_misses",
+                   "load_mshr_full", "store_no_port", "store_hits",
+                   "store_misses", "store_mshr_merges", "store_mshr_full",
+                   "prefetches", "writebacks", "victim_hits")
+
+_DCACHE_STAT_NAMES = {name: f"dcache.{name}" for name in DCACHE_COUNTERS}
+_DCACHE_STAT_NAMES["victim_hits"] = "victim.hits"
+
+#: ``Uop.mem_source`` -> the per-load LSQ service counter it tallies.
+_SOURCE_COUNTER = {
+    "sq": "sq_forwards",
+    "wb": "wb_forwards",
+    "lb": "lb_loads",
+    "hit": "port_loads",
+    "miss": "port_loads",
+    "secondary": "port_loads",
+}
+
+_CAUSE_VALUES = tuple(cause.value for cause in CAUSE_ORDER)
+_CAUSE_SET = frozenset(_CAUSE_VALUES)
+
+#: Intensity ramp for the set-conflict heatmap.
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+class _Row:
+    """Counters for one (static PC, privilege level) pair."""
+
+    __slots__ = ("pc", "kernel", "kind", "disasm", "executions",
+                 "stall", "lsq", "dcache", "ports",
+                 "last_addr", "accesses", "strides", "stride_other",
+                 "banks", "sets", "set_overflow", "lines", "lines_full")
+
+    def __init__(self, record: "TraceRecord", banks: int,
+                 ports: int) -> None:
+        self.pc = record.pc
+        self.kernel = record.kernel
+        self.kind = record.opclass.name
+        instr = record.instr
+        self.disasm = str(instr) if instr is not None else None
+        self.executions = 0
+        self.stall: dict[str, int] = {}
+        self.lsq: dict[str, int] = {}
+        self.dcache: dict[str, int] = {}
+        self.ports = [0] * ports
+        # Address-stream state (memory PCs only).
+        self.last_addr: int | None = None
+        self.accesses = 0
+        self.strides: dict[int, int] = {}
+        self.stride_other = 0
+        self.banks = [0] * banks
+        self.sets: dict[int, int] = {}
+        self.set_overflow = 0
+        self.lines: set[int] = set()
+        self.lines_full = False
+
+
+class HotspotRecorder:
+    """Streams per-PC execution/memory/stall attribution.
+
+    Attach via ``OoOCore(machine, hotspots=recorder)``; after ``run()``
+    the core calls :meth:`finalize` and the rows are available through
+    :meth:`rows` / :meth:`as_dict`.  One recorder serves one run.
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[tuple[int, bool], _Row] = {}
+        self._frontend: dict[str, int] = {}
+        self._unattributed: dict[str, int] = {}
+        self._unattributed_ports: list[int] = []
+        self._line_shift = 5
+        self._bank_mask = 0
+        self._set_mask = 0
+        self._num_sets = 1
+        self._num_banks = 1
+        self._num_ports = 1
+        self.total_cycles = 0
+        self.instructions = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Core/LSQ/D-cache hooks (every call site is behind one `is None`)
+    # ------------------------------------------------------------------
+    def begin_run(self, cfg: "CoreConfig",
+                  dcache: "DataCacheSystem") -> None:
+        """Capture the cache geometry the address-stream analyzer keys
+        on (line size, banking, set count, port count); called once at
+        ``run()`` entry."""
+        if self._finalized:
+            raise ValueError("a HotspotRecorder serves exactly one run")
+        del cfg  # geometry is all the analyzer needs today
+        self._line_shift = dcache.line_shift
+        self._num_banks = dcache.config.banks
+        self._bank_mask = dcache.config.banks - 1
+        self._num_sets = dcache.config.geometry.num_sets
+        self._set_mask = self._num_sets - 1
+        self._num_ports = dcache.config.ports
+        self._unattributed_ports = [0] * self._num_ports
+
+    def _row(self, record: "TraceRecord") -> _Row:
+        key = (record.pc, record.kernel)
+        row = self._rows.get(key)
+        if row is None:
+            row = self._rows[key] = _Row(record, self._num_banks,
+                                         self._num_ports)
+        return row
+
+    def record_commit(self, uop: "Uop") -> None:
+        """One instruction retired: count the execution and feed the
+        address-stream analyzer for memory PCs."""
+        record = uop.record
+        row = self._row(record)
+        row.executions += 1
+        if record.mem_size <= 0:
+            return
+        addr = record.mem_addr
+        last = row.last_addr
+        if last is not None:
+            delta = addr - last
+            strides = row.strides
+            if delta in strides:
+                strides[delta] += 1
+            elif len(strides) < STRIDE_CAP:
+                strides[delta] = 1
+            else:
+                row.stride_other += 1
+        row.last_addr = addr
+        row.accesses += 1
+        line = addr >> self._line_shift
+        row.banks[line & self._bank_mask] += 1
+        index = line & self._set_mask
+        sets = row.sets
+        if index in sets:
+            sets[index] += 1
+        elif len(sets) < SET_CAP:
+            sets[index] = 1
+        else:
+            row.set_overflow += 1
+        lines = row.lines
+        if line in lines:
+            return
+        if len(lines) < WORKING_SET_CAP:
+            lines.add(line)
+        else:
+            row.lines_full = True
+
+    def note_stall(self, cause, lost: int, uop: "Uop | None") -> None:
+        """The ledger charged *lost* slots to *cause* this cycle; *uop*
+        is the commit head it blamed (``None``: empty window, the
+        frontend bucket takes the slots)."""
+        if uop is None:
+            value = cause.value
+            self._frontend[value] = self._frontend.get(value, 0) + lost
+            return
+        row = self._row(uop.record)
+        value = cause.value
+        row.stall[value] = row.stall.get(value, 0) + lost
+
+    def note_lsq_wait(self, uop: "Uop", counter: str) -> None:
+        """The LSQ skipped this load for a cycle (``order_stalls`` /
+        ``sq_waits`` / ``wb_conflicts``, mirroring ``lsq.*``)."""
+        lsq = self._row(uop.record).lsq
+        lsq[counter] = lsq.get(counter, 0) + 1
+
+    def note_lsq_service(self, uop: "Uop", source: str) -> None:
+        """The LSQ serviced this load from *source* (the
+        ``Uop.mem_source`` vocabulary)."""
+        counter = _SOURCE_COUNTER.get(source)
+        if counter is None:
+            return
+        lsq = self._row(uop.record).lsq
+        lsq[counter] = lsq.get(counter, 0) + 1
+
+    def note_lsq_combined(self, uop: "Uop") -> None:
+        """This load rode another load's port access (combining win)."""
+        lsq = self._row(uop.record).lsq
+        lsq["combined_loads"] = lsq.get("combined_loads", 0) + 1
+
+    def note_dcache(self, record: "TraceRecord | None",
+                    counter: str) -> None:
+        """One D-cache event attributed to the access context *record*
+        (``None``: a write-buffer drain, the unattributed bucket)."""
+        if record is None:
+            bucket = self._unattributed
+            bucket[counter] = bucket.get(counter, 0) + 1
+            return
+        dcache = self._row(record).dcache
+        dcache[counter] = dcache.get(counter, 0) + 1
+
+    def note_dcache_port(self, record: "TraceRecord | None",
+                         port: int) -> None:
+        """One real port access went through physical port *port*."""
+        if record is None:
+            bucket = self._unattributed
+            bucket["port_uses"] = bucket.get("port_uses", 0) + 1
+            self._unattributed_ports[port] += 1
+            return
+        row = self._row(record)
+        row.dcache["port_uses"] = row.dcache.get("port_uses", 0) + 1
+        row.ports[port] += 1
+
+    def finalize(self, cycles: int, instructions: int) -> None:
+        """Close the recorder; called by the core after its loop drains."""
+        if self._finalized:
+            return
+        self.total_cycles = cycles
+        self.instructions = instructions
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise ValueError("hotspot results are available only after "
+                             "the run finalizes the recorder")
+
+    def _row_dict(self, row: _Row) -> dict[str, object]:
+        entry: dict[str, object] = {
+            "pc": row.pc,
+            "pc_hex": f"0x{row.pc:x}",
+            "kernel": row.kernel,
+            "kind": row.kind,
+            "disasm": row.disasm,
+            "executions": row.executions,
+            "stall": {value: row.stall[value] for value in _CAUSE_VALUES
+                      if row.stall.get(value)},
+            "stall_total": sum(row.stall.values()),
+            "lsq": {name: row.lsq[name] for name in LSQ_COUNTERS
+                    if row.lsq.get(name)},
+            "dcache": {name: row.dcache[name] for name in DCACHE_COUNTERS
+                       if row.dcache.get(name)},
+        }
+        if any(row.ports):
+            entry["ports"] = list(row.ports)
+        if row.accesses:
+            entry["stream"] = self._stream_dict(row)
+        return entry
+
+    def _stream_dict(self, row: _Row) -> dict[str, object]:
+        dominant = None
+        coverage = 0.0
+        deltas = sum(row.strides.values()) + row.stride_other
+        if row.strides:
+            dominant = max(row.strides,
+                           key=lambda delta: (row.strides[delta], -delta))
+            coverage = row.strides[dominant] / deltas if deltas else 0.0
+        top_strides = sorted(row.strides.items(),
+                             key=lambda item: (-item[1], item[0]))[:8]
+        return {
+            "accesses": row.accesses,
+            "dominant_stride": dominant,
+            "stride_coverage": coverage,
+            "strides": {str(delta): count for delta, count in top_strides},
+            "stride_other": row.stride_other,
+            "banks": list(row.banks),
+            "sets": {str(index): count
+                     for index, count in sorted(row.sets.items())},
+            "set_overflow": row.set_overflow,
+            "working_set_lines": len(row.lines),
+            "working_set_saturated": row.lines_full,
+        }
+
+    @staticmethod
+    def _sort_key(sort: str):
+        if sort == "port":
+            return lambda r: (-r.stall.get("dcache_port", 0),
+                              -r.dcache.get("port_uses", 0), r.pc)
+        if sort == "stall":
+            return lambda r: (-sum(r.stall.values()), r.pc)
+        if sort == "executions":
+            return lambda r: (-r.executions, r.pc)
+        if sort == "misses":
+            return lambda r: (-(r.dcache.get("load_misses", 0) +
+                                r.dcache.get("store_misses", 0)), r.pc)
+        raise ValueError(f"unknown hotspot sort {sort!r} "
+                         f"(choose from {', '.join(HOTSPOT_SORTS)})")
+
+    def rows(self, sort: str = "port") -> list[dict[str, object]]:
+        """Every (PC, privilege) row as a JSON-ready dict, ranked."""
+        self._require_finalized()
+        ranked = sorted(self._rows.values(), key=self._sort_key(sort))
+        return [self._row_dict(row) for row in ranked]
+
+    def top_rows(self, k: int = 10,
+                 sort: str = "port") -> list[dict[str, object]]:
+        """The *k* hottest rows under *sort*."""
+        return self.rows(sort)[:k]
+
+    def split(self) -> dict[str, dict[str, int]]:
+        """Kernel-vs-user aggregate (sums over the matching rows)."""
+        self._require_finalized()
+        out = {"kernel": {"executions": 0, "stall_total": 0,
+                          "port_conflict_slots": 0, "port_uses": 0,
+                          "rows": 0},
+               "user": {"executions": 0, "stall_total": 0,
+                        "port_conflict_slots": 0, "port_uses": 0,
+                        "rows": 0}}
+        for row in self._rows.values():
+            side = out["kernel" if row.kernel else "user"]
+            side["rows"] += 1
+            side["executions"] += row.executions
+            side["stall_total"] += sum(row.stall.values())
+            side["port_conflict_slots"] += row.stall.get("dcache_port", 0)
+            side["port_uses"] += row.dcache.get("port_uses", 0)
+        return out
+
+    def as_dict(self) -> dict[str, object]:
+        """The analysis payload embedded in ``repro.hotspots/1``."""
+        self._require_finalized()
+        unattributed = {name: self._unattributed[name]
+                        for name in DCACHE_COUNTERS
+                        if self._unattributed.get(name)}
+        if any(self._unattributed_ports):
+            unattributed["ports"] = list(self._unattributed_ports)
+        return {
+            "cycles": self.total_cycles,
+            "instructions": self.instructions,
+            "geometry": {
+                "num_sets": self._num_sets,
+                "banks": self._num_banks,
+                "ports": self._num_ports,
+                "line_shift": self._line_shift,
+            },
+            "rows": self.rows(),
+            "frontend_stall": {value: self._frontend[value]
+                               for value in _CAUSE_VALUES
+                               if self._frontend.get(value)},
+            "unattributed": unattributed,
+            "split": self.split(),
+        }
+
+    def check_conservation(self, result: "CoreResult") -> None:
+        """Raise unless every per-PC sum reconciles exactly with the
+        run's global counters (see the module docstring contract)."""
+        self._require_finalized()
+        if result.ledger is None:
+            raise ValueError("hotspot conservation needs the run's "
+                             "stall ledger")
+        problems = _conservation_problems(
+            self.rows(), self._frontend,
+            dict(self._unattributed,
+                 **({"ports": self._unattributed_ports}
+                    if any(self._unattributed_ports) else {})),
+            _globals_block(result), result.instructions, "hotspots")
+        if problems:
+            raise AssertionError("; ".join(problems))
+
+    def summary(self) -> str:
+        """One human line: the heaviest port-conflict PC."""
+        self._require_finalized()
+        ranked = sorted(self._rows.values(), key=self._sort_key("port"))
+        if not ranked or not ranked[0].stall.get("dcache_port"):
+            return f"{len(self._rows)} static PCs, " \
+                   f"no port-conflict stalls"
+        top = ranked[0]
+        slots = top.stall["dcache_port"]
+        total = sum(r.stall.get("dcache_port", 0)
+                    for r in self._rows.values()) or 1
+        side = "kernel" if top.kernel else "user"
+        return (f"top port-conflict PC 0x{top.pc:x} "
+                f"({top.kind}, {side}) — {slots} slots "
+                f"({slots / total:.1%} of dcache_port)")
+
+
+# ----------------------------------------------------------------------
+# Manifest (repro.hotspots/1)
+# ----------------------------------------------------------------------
+def _globals_block(result: "CoreResult") -> dict[str, object]:
+    """The global counters the rows must reconcile with, as exact ints."""
+    counters = result.stats.as_dict()
+    ledger = result.ledger
+    stall = {cause.value: ledger.lost[cause] for cause in CAUSE_ORDER
+             if ledger.lost[cause]} if ledger is not None else {}
+    return {
+        "stall": stall,
+        "lsq": {name: int(counters.get(f"lsq.{name}", 0))
+                for name in LSQ_COUNTERS},
+        "dcache": {name: int(counters.get(_DCACHE_STAT_NAMES[name], 0))
+                   for name in DCACHE_COUNTERS},
+    }
+
+
+def build_hotspots_report(recorder: HotspotRecorder,
+                          result: "CoreResult",
+                          machine, *,
+                          workload: str | None = None,
+                          scale: str | None = None,
+                          seed: int | None = None,
+                          trace_file: str | None = None,
+                          wall_time: float | None = None,
+                          disasm: "dict[int, str] | None" = None
+                          ) -> dict[str, object]:
+    """Assemble the versioned ``repro.hotspots/1`` document.
+
+    ``disasm`` optionally maps PC -> disassembly text for traces that
+    do not carry instruction objects (the workload suite's saved
+    traces); it only fills rows whose disassembly is unknown.
+    """
+    if workload is not None and trace_file is not None:
+        raise ValueError("a hotspots report names a workload or a "
+                         "trace_file, not both")
+    if recorder.total_cycles != result.cycles:
+        raise ValueError(
+            f"recorder saw {recorder.total_cycles} cycles but the "
+            f"result reports {result.cycles}; the recorder must come "
+            f"from this run")
+    document: dict[str, object] = {
+        "schema": HOTSPOTS_SCHEMA,
+        "schema_version": HOTSPOTS_SCHEMA_VERSION,
+        "code_version": code_version(),
+        "config": {
+            "name": machine.name,
+            "issue_width": machine.core.issue_width,
+            "dcache": _dcache_dict(machine),
+        },
+        "workload": workload,
+        "scale": scale,
+        "seed": seed,
+        "trace_file": trace_file,
+        "ipc": result.ipc,
+    }
+    document.update(recorder.as_dict())
+    if disasm:
+        for row in document["rows"]:
+            if row.get("disasm") is None:
+                row["disasm"] = disasm.get(row["pc"])
+    document["global"] = _globals_block(result)
+    document["host"] = {"wall_time_s": wall_time}
+    return document
+
+
+def _conservation_problems(rows, frontend: dict, unattributed: dict,
+                           global_block: dict, instructions: int,
+                           context: str) -> list[str]:
+    """Recompute every per-PC sum against the global counters."""
+    problems: list[str] = []
+    executions = sum(row.get("executions", 0) for row in rows)
+    if executions != instructions:
+        problems.append(f"{context}: row executions sum to {executions}, "
+                        f"run committed {instructions}")
+    global_stall = global_block.get("stall") or {}
+    for value in _CAUSE_VALUES:
+        total = sum((row.get("stall") or {}).get(value, 0) for row in rows)
+        total += frontend.get(value, 0)
+        expect = global_stall.get(value, 0)
+        if total != expect:
+            problems.append(
+                f"{context}: stall[{value}] rows+frontend sum to {total}, "
+                f"ledger lost {expect}")
+    global_lsq = global_block.get("lsq") or {}
+    for name in LSQ_COUNTERS:
+        total = sum((row.get("lsq") or {}).get(name, 0) for row in rows)
+        expect = global_lsq.get(name, 0)
+        if total != expect:
+            problems.append(f"{context}: lsq[{name}] rows sum to {total}, "
+                            f"global is {expect}")
+    global_dcache = global_block.get("dcache") or {}
+    for name in DCACHE_COUNTERS:
+        total = sum((row.get("dcache") or {}).get(name, 0) for row in rows)
+        total += unattributed.get(name, 0)
+        expect = global_dcache.get(name, 0)
+        if total != expect:
+            problems.append(
+                f"{context}: dcache[{name}] rows+unattributed sum to "
+                f"{total}, global is {expect}")
+    port_total = sum(sum(row.get("ports") or ()) for row in rows)
+    port_total += sum(unattributed.get("ports") or ())
+    if port_total != global_dcache.get("port_uses", 0):
+        problems.append(
+            f"{context}: per-port histograms sum to {port_total}, "
+            f"global port_uses is {global_dcache.get('port_uses', 0)}")
+    return problems
+
+
+def validate_hotspots_report(report: dict) -> None:
+    """Raise :class:`SchemaError` unless *report* is a valid
+    ``repro.hotspots/1`` document — including exact conservation."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        raise SchemaError(["hotspots report must be an object"])
+    _require(report, {
+        "schema": str,
+        "schema_version": int,
+        "config": dict,
+        "cycles": int,
+        "instructions": int,
+        "ipc": (int, float),
+        "geometry": dict,
+        "rows": list,
+        "frontend_stall": dict,
+        "unattributed": dict,
+        "split": dict,
+        "global": dict,
+        "host": dict,
+    }, problems, "hotspots")
+    if report.get("schema") not in (None, HOTSPOTS_SCHEMA):
+        problems.append(f"hotspots: schema is {report.get('schema')!r}, "
+                        f"expected {HOTSPOTS_SCHEMA!r}")
+    _check_code_version(report, problems, "hotspots")
+    config = report.get("config")
+    if isinstance(config, dict):
+        _require(config, {"name": str, "issue_width": int, "dcache": dict},
+                 problems, "hotspots.config")
+    for key in ("workload", "scale", "trace_file"):
+        if key in report and report[key] is not None and \
+                not isinstance(report[key], str):
+            problems.append(f"hotspots: {key} must be a string or null")
+    if isinstance(report.get("workload"), str) and \
+            isinstance(report.get("trace_file"), str):
+        problems.append("hotspots: workload and trace_file are mutually "
+                        "exclusive")
+    geometry = report.get("geometry")
+    if isinstance(geometry, dict):
+        _require(geometry, {"num_sets": int, "banks": int, "ports": int,
+                            "line_shift": int}, problems,
+                 "hotspots.geometry")
+    rows = report.get("rows")
+    if isinstance(rows, list):
+        for idx, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"hotspots.rows[{idx}]: must be an object")
+                continue
+            _require(row, {"pc": int, "kernel": bool, "kind": str,
+                           "executions": int, "stall": dict,
+                           "stall_total": int, "lsq": dict,
+                           "dcache": dict}, problems,
+                     f"hotspots.rows[{idx}]")
+            for value in (row.get("stall") or {}):
+                if value not in _CAUSE_SET:
+                    problems.append(f"hotspots.rows[{idx}].stall: unknown "
+                                    f"cause {value!r}")
+            stream = row.get("stream")
+            if stream is not None:
+                if not isinstance(stream, dict):
+                    problems.append(f"hotspots.rows[{idx}]: stream must "
+                                    f"be an object or null")
+                else:
+                    _require(stream, {
+                        "accesses": int,
+                        "strides": dict,
+                        "banks": list,
+                        "sets": dict,
+                        "working_set_lines": int,
+                        "working_set_saturated": bool,
+                    }, problems, f"hotspots.rows[{idx}].stream")
+    frontend = report.get("frontend_stall")
+    if isinstance(frontend, dict):
+        for value in frontend:
+            if value not in _CAUSE_SET:
+                problems.append(f"hotspots.frontend_stall: unknown cause "
+                                f"{value!r}")
+    split = report.get("split")
+    if isinstance(split, dict):
+        for side in ("kernel", "user"):
+            if not isinstance(split.get(side), dict):
+                problems.append(f"hotspots.split: missing side {side!r}")
+    if not problems and isinstance(rows, list):
+        problems.extend(_conservation_problems(
+            rows, report.get("frontend_stall") or {},
+            report.get("unattributed") or {},
+            report.get("global") or {}, report.get("instructions", 0),
+            "hotspots"))
+    if not problems and isinstance(split, dict):
+        split_exec = sum(side.get("executions", 0)
+                         for side in split.values()
+                         if isinstance(side, dict))
+        if split_exec != report.get("instructions", 0):
+            problems.append(
+                f"hotspots.split: kernel+user executions sum to "
+                f"{split_exec}, run committed {report.get('instructions')}")
+    host = report.get("host")
+    if isinstance(host, dict) and "wall_time_s" not in host:
+        problems.append("hotspots.host: missing key 'wall_time_s'")
+    if problems:
+        raise SchemaError(problems)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _set_heatmap(sets: dict, num_sets: int, cols: int = 64) -> str:
+    """Fold the touched-set histogram into an ASCII intensity strip."""
+    if num_sets <= 0 or not sets:
+        return ""
+    cols = min(cols, num_sets)
+    buckets = [0] * cols
+    for key, count in sets.items():
+        index = int(key)
+        buckets[index * cols // num_sets] += count
+    peak = max(buckets)
+    if not peak:
+        return " " * cols
+    top = len(_HEAT_CHARS) - 1
+    return "".join(
+        _HEAT_CHARS[0] if not value else
+        _HEAT_CHARS[max(1, value * top // peak)]
+        for value in buckets)
+
+
+def _stream_lines(row: dict, geometry: dict,
+                  indent: str = "    ") -> list[str]:
+    """The stride / bank / set-heatmap detail block for one memory PC."""
+    stream = row.get("stream")
+    if not stream:
+        return []
+    lines: list[str] = []
+    dominant = stream.get("dominant_stride")
+    if dominant is not None:
+        lines.append(f"{indent}stride: dominant {dominant:+d} "
+                     f"({stream.get('stride_coverage', 0.0):.1%} of "
+                     f"{stream['accesses'] - 1} deltas)")
+    banks = stream.get("banks") or []
+    if len(banks) > 1:
+        rendered = " ".join(f"[{i}]{count}"
+                            for i, count in enumerate(banks) if count)
+        lines.append(f"{indent}banks: {rendered}")
+    num_sets = int(geometry.get("num_sets", 0) or 0)
+    heat = _set_heatmap(stream.get("sets") or {}, num_sets)
+    if heat:
+        lines.append(f"{indent}sets[{num_sets}]: |{heat}|")
+    suffix = "+" if stream.get("working_set_saturated") else ""
+    lines.append(f"{indent}working set: "
+                 f"{stream.get('working_set_lines', 0)}{suffix} lines")
+    return lines
+
+
+def _row_sort_key(sort: str):
+    """Manifest-level counterpart of :meth:`HotspotRecorder._sort_key`
+    (the manifest stores rows ranked by ``port``; other orders are
+    recovered at render time)."""
+    def misses(row):
+        dcache = row.get("dcache") or {}
+        return dcache.get("load_misses", 0) + dcache.get("store_misses", 0)
+    keys = {
+        "port": lambda r: (-(r.get("stall") or {}).get("dcache_port", 0),
+                           -(r.get("dcache") or {}).get("port_uses", 0),
+                           r["pc"]),
+        "stall": lambda r: (-r.get("stall_total", 0), r["pc"]),
+        "executions": lambda r: (-r["executions"], r["pc"]),
+        "misses": lambda r: (-misses(r), r["pc"]),
+    }
+    if sort not in keys:
+        raise ValueError(f"unknown hotspot sort {sort!r} "
+                         f"(choose from {', '.join(HOTSPOT_SORTS)})")
+    return keys[sort]
+
+
+def render_hotspots_report(report: dict, top: int = 10,
+                           annotate: bool = False,
+                           sort: str = "port") -> str:
+    """ASCII rendering of a hotspots manifest: the top rows with their
+    port/stall attribution and (``annotate``) the disassembly-merged
+    view plus the top port-conflict PC's address-stream block."""
+    lines: list[str] = []
+    name = (report.get("config") or {}).get("name", "?")
+    workload = report.get("workload") or report.get("trace_file") or "?"
+    rows = sorted(report.get("rows") or [], key=_row_sort_key(sort))
+    geometry = report.get("geometry") or {}
+    lines.append(f"Per-PC hotspots — {workload} on {name} "
+                 f"({report['cycles']} cycles, "
+                 f"{report['instructions']} instructions, "
+                 f"{len(rows)} static PCs)")
+    split = report.get("split") or {}
+    parts = []
+    for side in ("kernel", "user"):
+        block = split.get(side) or {}
+        parts.append(f"{side}: {block.get('executions', 0)} instrs, "
+                     f"{block.get('port_conflict_slots', 0)} port-conflict "
+                     f"slots")
+    lines.append("  " + " | ".join(parts))
+    if annotate:
+        lines.extend(_render_annotated(rows, geometry, top))
+        return "\n".join(lines)
+    lines.append(f"  {'pc':>10} {'K':1} {'kind':<8} {'execs':>8} "
+                 f"{'port-slots':>10} {'stalls':>8} {'ports':>7} "
+                 f"{'misses':>7}")
+    for row in rows[:top]:
+        dcache = row.get("dcache") or {}
+        misses = dcache.get("load_misses", 0) + dcache.get("store_misses", 0)
+        lines.append(
+            f"  {row.get('pc_hex', hex(row['pc'])):>10} "
+            f"{'K' if row.get('kernel') else 'U':1} "
+            f"{row.get('kind', '?'):<8} {row['executions']:>8} "
+            f"{(row.get('stall') or {}).get('dcache_port', 0):>10} "
+            f"{row.get('stall_total', 0):>8} "
+            f"{dcache.get('port_uses', 0):>7} {misses:>7}")
+        for line in _stream_lines(row, geometry, indent="      "):
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def _render_annotated(rows: list, geometry: dict, top: int) -> list[str]:
+    """Disassembly-merged view: every PC in address order with its
+    counters, then the detail block for the heaviest port-conflict PC."""
+    lines: list[str] = [""]
+    by_pc = sorted(rows, key=lambda row: (row["pc"], row.get("kernel")))
+    for row in by_pc:
+        stall = row.get("stall") or {}
+        dcache = row.get("dcache") or {}
+        disasm = row.get("disasm") or f"<{row.get('kind', '?').lower()}>"
+        tags = []
+        if stall.get("dcache_port"):
+            tags.append(f"port-slots {stall['dcache_port']}")
+        if dcache.get("port_uses"):
+            tags.append(f"ports {dcache['port_uses']}")
+        misses = dcache.get("load_misses", 0) + dcache.get("store_misses", 0)
+        if misses:
+            tags.append(f"misses {misses}")
+        if row.get("stall_total"):
+            tags.append(f"stalls {row['stall_total']}")
+        lines.append(
+            f"  {row.get('pc_hex', hex(row['pc'])):>10}  "
+            f"{'K' if row.get('kernel') else 'U'}  "
+            f"{disasm:<32} x{row['executions']:<8}"
+            + ("  " + ", ".join(tags) if tags else ""))
+    hot = max(rows, default=None,
+              key=lambda row: ((row.get("stall") or {})
+                               .get("dcache_port", 0), -row["pc"]))
+    if hot is not None and (hot.get("stall") or {}).get("dcache_port"):
+        lines.append("")
+        disasm = hot.get("disasm") or hot.get("kind", "?")
+        lines.append(
+            f"Top port-conflict PC {hot.get('pc_hex', hex(hot['pc']))} "
+            f"({'kernel' if hot.get('kernel') else 'user'}, {disasm}): "
+            f"{hot['stall']['dcache_port']} slots lost to dcache_port")
+        lines.extend(_stream_lines(hot, geometry))
+    del top
+    return lines

@@ -2,9 +2,10 @@
 
 Every ``--json`` document the toolkit emits is a one-shot file; the
 ledger gives them memory.  It is a **dependency-free SQLite store**
-(stdlib ``sqlite3`` only) that ingests all four manifest schemas —
-``repro.run/1``, ``repro.experiment/1``, ``repro.bench/1`` and
-``repro.compare/1`` — into normalized tables keyed by
+(stdlib ``sqlite3`` only) that ingests every manifest schema —
+``repro.run/1``, ``repro.experiment/1``, ``repro.bench/1``,
+``repro.compare/1``, ``repro.critpath/1`` and ``repro.hotspots/1`` —
+into normalized tables keyed by
 
     (trace_digest, config_digest, code_version)
 
@@ -57,7 +58,7 @@ __all__ = [
 ]
 
 #: Current on-disk schema version (see :data:`MIGRATIONS`).
-LEDGER_DB_VERSION = 3
+LEDGER_DB_VERSION = 4
 
 #: Environment variable naming the default ledger database.
 LEDGER_ENV = "REPRO_LEDGER"
@@ -69,6 +70,7 @@ _KINDS = {
     "repro.bench/1": "bench",
     "repro.compare/1": "compare",
     "repro.critpath/1": "critpath",
+    "repro.hotspots/1": "hotspots",
 }
 
 #: Stamp recorded when a manifest predates code-version stamping.
@@ -261,8 +263,53 @@ CREATE TABLE critpath_stack (
                  "(trace_digest, config_digest)")
 
 
+def _migrate_3_to_4(conn: sqlite3.Connection) -> None:
+    """v4 ingests ``repro.hotspots/1`` manifests (per-PC hotspot
+    attribution from :mod:`repro.obs.hotspots`): one ``hotspots`` row
+    per manifest plus its top per-PC rows in ``hotspot_rows``."""
+    conn.execute("""
+CREATE TABLE hotspots (
+    id INTEGER PRIMARY KEY,
+    manifest_id INTEGER NOT NULL REFERENCES manifests (id),
+    trace_digest TEXT NOT NULL,
+    config_digest TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    workload TEXT,
+    scale TEXT,
+    seed INTEGER,
+    trace_file TEXT,
+    config_name TEXT NOT NULL,
+    cycles INTEGER NOT NULL,
+    instructions INTEGER NOT NULL,
+    ipc REAL NOT NULL,
+    static_pcs INTEGER NOT NULL,
+    kernel_instructions INTEGER NOT NULL,
+    user_instructions INTEGER NOT NULL,
+    kernel_port_conflict INTEGER NOT NULL,
+    user_port_conflict INTEGER NOT NULL
+)""")
+    conn.execute("""
+CREATE TABLE hotspot_rows (
+    id INTEGER PRIMARY KEY,
+    hotspot_id INTEGER NOT NULL REFERENCES hotspots (id),
+    rank INTEGER NOT NULL,
+    pc INTEGER NOT NULL,
+    kernel INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    disasm TEXT,
+    executions INTEGER NOT NULL,
+    port_conflict_slots INTEGER NOT NULL,
+    stall_total INTEGER NOT NULL,
+    port_uses INTEGER NOT NULL,
+    misses INTEGER NOT NULL
+)""")
+    conn.execute("CREATE INDEX idx_hotspots_key ON hotspots "
+                 "(trace_digest, config_digest)")
+
+
 #: old version -> upgrade function (applied in order on open).
-MIGRATIONS = {1: _migrate_1_to_2, 2: _migrate_2_to_3}
+MIGRATIONS = {1: _migrate_1_to_2, 2: _migrate_2_to_3,
+              3: _migrate_3_to_4}
 
 
 def _db_version(conn: sqlite3.Connection) -> int:
@@ -380,6 +427,8 @@ class Ledger:
                     self._ingest_bench(manifest_id, document, version)
                 elif kind == "critpath":
                     self._ingest_critpath(manifest_id, document, version)
+                elif kind == "hotspots":
+                    self._ingest_hotspots(manifest_id, document, version)
                 else:
                     self._ingest_compare(manifest_id, document, version)
         except sqlite3.IntegrityError:
@@ -532,6 +581,72 @@ class Ledger:
                 (critpath_id, edge_class, int(charged),
                  int(charged) / total))
 
+    #: per-PC rows normalized per hotspots manifest (the full row set
+    #: stays in the stored document).
+    _HOTSPOT_ROW_LIMIT = 32
+
+    def _ingest_hotspots(self, manifest_id: int, report: dict,
+                         version: str) -> None:
+        config = report.get("config")
+        if not isinstance(config, dict):
+            raise LedgerError("hotspots report has no config block")
+        cycles = report.get("cycles")
+        instructions = report.get("instructions")
+        if not isinstance(cycles, int) or \
+                not isinstance(instructions, int):
+            raise LedgerError(
+                "hotspots report lacks integer cycles/instructions; "
+                "cannot ingest")
+        ipc = report.get("ipc")
+        if ipc is None:
+            ipc = instructions / cycles if cycles else 0.0
+        rows = report.get("rows")
+        if not isinstance(rows, list):
+            raise LedgerError("hotspots report has no rows block")
+        split = report.get("split") or {}
+        kernel = split.get("kernel") or {}
+        user = split.get("user") or {}
+        cursor = self._conn.execute(
+            "INSERT INTO hotspots (manifest_id, trace_digest, "
+            "config_digest, code_version, workload, scale, seed, "
+            "trace_file, config_name, cycles, instructions, ipc, "
+            "static_pcs, kernel_instructions, user_instructions, "
+            "kernel_port_conflict, user_port_conflict) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (manifest_id,
+             trace_digest_of(report.get("workload"), report.get("scale"),
+                             report.get("seed"),
+                             report.get("trace_file")),
+             config_digest_of(config),
+             _document_code_version(report) or version,
+             report.get("workload"), report.get("scale"),
+             report.get("seed"), report.get("trace_file"),
+             config.get("name", "?"), cycles, instructions, ipc,
+             len(rows),
+             int(kernel.get("executions") or 0),
+             int(user.get("executions") or 0),
+             int(kernel.get("port_conflict_slots") or 0),
+             int(user.get("port_conflict_slots") or 0)))
+        hotspot_id = cursor.lastrowid
+        # Manifest rows arrive ranked by port-conflict slots already.
+        for rank, row in enumerate(rows[:self._HOTSPOT_ROW_LIMIT]):
+            dcache = row.get("dcache") or {}
+            stall = row.get("stall") or {}
+            self._conn.execute(
+                "INSERT INTO hotspot_rows (hotspot_id, rank, pc, "
+                "kernel, kind, disasm, executions, "
+                "port_conflict_slots, stall_total, port_uses, misses) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (hotspot_id, rank, int(row["pc"]),
+                 1 if row.get("kernel") else 0,
+                 str(row.get("kind", "?")), row.get("disasm"),
+                 int(row["executions"]),
+                 int(stall.get("dcache_port") or 0),
+                 int(row.get("stall_total") or 0),
+                 int(dcache.get("port_uses") or 0),
+                 int(dcache.get("load_misses") or 0)
+                 + int(dcache.get("store_misses") or 0)))
+
     def _ingest_compare(self, manifest_id: int, report: dict,
                         version: str) -> None:
         self._conn.execute(
@@ -547,7 +662,8 @@ class Ledger:
         out: dict[str, int] = {}
         for table in ("manifests", "runs", "experiments",
                       "experiment_cells", "bench", "bench_cells",
-                      "compares", "critpaths", "critpath_stack"):
+                      "compares", "critpaths", "critpath_stack",
+                      "hotspots", "hotspot_rows"):
             out[table] = self._conn.execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()[0]
         for kind in sorted(set(_KINDS.values())):
@@ -678,6 +794,35 @@ class Ledger:
             for stack_row in self._conn.execute(
                 "SELECT edge_class, cycles, share FROM critpath_stack "
                 "WHERE critpath_id = ? ORDER BY id", (entry["id"],))}
+        return entry
+
+    def hotspot_keys(self) -> list[dict]:
+        """Distinct (trace_digest, config_digest) hotspot keys with
+        their human identity and entry count, most-recorded first."""
+        return [dict(row) for row in self._conn.execute(
+            "SELECT trace_digest, config_digest, workload, scale, "
+            "seed, trace_file, config_name, COUNT(*) AS entries "
+            "FROM hotspots GROUP BY trace_digest, config_digest "
+            "ORDER BY entries DESC, config_name, workload")]
+
+    def latest_hotspots(self, trace_digest: str,
+                        config_digest: str) -> dict | None:
+        """The newest hotspots entry for one key, with its normalized
+        top per-PC rows attached as ``rows`` (rank order)."""
+        row = self._conn.execute(
+            "SELECT m.digest AS manifest_digest, m.ingested_at, h.* "
+            "FROM hotspots h JOIN manifests m ON h.manifest_id = m.id "
+            "WHERE h.trace_digest = ? AND h.config_digest = ? "
+            "ORDER BY h.id DESC LIMIT 1",
+            (trace_digest, config_digest)).fetchone()
+        if row is None:
+            return None
+        entry = dict(row)
+        entry["rows"] = [dict(pc_row) for pc_row in self._conn.execute(
+            "SELECT rank, pc, kernel, kind, disasm, executions, "
+            "port_conflict_slots, stall_total, port_uses, misses "
+            "FROM hotspot_rows WHERE hotspot_id = ? ORDER BY rank",
+            (entry["id"],))]
         return entry
 
     def experiment_names(self) -> list[str]:

@@ -124,9 +124,15 @@ def _open_stream(path: str):
 
 def iter_events(path: str, events: Collection[str] | None = None,
                 since: int | None = None,
-                until: int | None = None) -> Iterator[dict]:
+                until: int | None = None,
+                pc: int | None = None,
+                pc_range: tuple[int | None, int | None] | None = None) \
+        -> Iterator[dict]:
     """Yield event dicts from a JSONL capture, optionally filtered by
-    event name and ``since <= cycle <= until``."""
+    event name, ``since <= cycle <= until``, and the event's ``pc``
+    field — ``pc`` matches exactly, ``pc_range`` is an inclusive
+    ``(low, high)`` pair with either side open as ``None``.  Events
+    without a ``pc`` field are dropped while a PC filter is active."""
     wanted = frozenset(events) if events else None
     with _open_stream(path) as handle:
         for line in handle:
@@ -141,6 +147,18 @@ def iter_events(path: str, events: Collection[str] | None = None,
                 continue
             if until is not None and cycle > until:
                 continue
+            if pc is not None or pc_range is not None:
+                record_pc = record.get("pc")
+                if record_pc is None:
+                    continue
+                if pc is not None and record_pc != pc:
+                    continue
+                if pc_range is not None:
+                    low, high = pc_range
+                    if low is not None and record_pc < low:
+                        continue
+                    if high is not None and record_pc > high:
+                        continue
             yield record
 
 
@@ -167,10 +185,14 @@ class EventSummary:
 
 def summarize_events(path: str, events: Collection[str] | None = None,
                      since: int | None = None,
-                     until: int | None = None) -> EventSummary:
+                     until: int | None = None,
+                     pc: int | None = None,
+                     pc_range: tuple[int | None, int | None] | None = None) \
+        -> EventSummary:
     """Per-event-type counts and the covered cycle span."""
     summary = EventSummary()
-    for record in iter_events(path, events, since, until):
+    for record in iter_events(path, events, since, until,
+                              pc=pc, pc_range=pc_range):
         summary.total += 1
         name = record.get("event", "?")
         summary.counts[name] = summary.counts.get(name, 0) + 1

@@ -169,6 +169,37 @@ class TestCompare:
         close["results"][0]["kips"]["median"] *= 1.01
         assert compare_bench(quick_manifest, close, tolerance=0.1)["ok"]
 
+    def test_new_cells_are_noted_not_failed(self, quick_manifest):
+        # The pinned matrix grows over time: a baseline captured before
+        # a cell was added must still compare clean, with the addition
+        # surfaced as a note.
+        baseline = copy.deepcopy(quick_manifest)
+        dropped = baseline["results"].pop()
+        baseline["matrix"] = [cell for cell in baseline["matrix"]
+                              if f"{cell['workload']}@{cell['scale']}"
+                              f"/{cell['config']}" != dropped["label"]]
+        report = compare_bench(baseline, quick_manifest, tolerance=1e9)
+        assert report["ok"]
+        assert report["deterministic_ok"]
+        assert report["new_cells"] == [dropped["label"]]
+        assert report["removed_cells"] == []
+        text = render_bench_comparison(report, "base", "cand")
+        assert f"note: {dropped['label']} is a new cell" in text
+        # And the mirror image: a cell only the baseline ran.
+        reverse = compare_bench(quick_manifest, baseline, tolerance=1e9)
+        assert reverse["ok"]
+        assert reverse["removed_cells"] == [dropped["label"]]
+
+    def test_quick_matrix_covers_a_scenario_cell(self, quick_manifest):
+        from repro.scenarios import SCENARIOS
+        scenario_cells = [cell for cell in QUICK_MATRIX
+                          if cell.workload in SCENARIOS]
+        assert scenario_cells, "quick matrix lost its scenario cell"
+        by_label = {result["label"]: result
+                    for result in quick_manifest["results"]}
+        for cell in scenario_cells:
+            assert by_label[cell.label]["instructions"] > 0
+
     def test_simulated_result_drift_is_never_tolerated(self,
                                                        quick_manifest):
         drifted = copy.deepcopy(quick_manifest)

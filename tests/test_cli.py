@@ -257,6 +257,92 @@ class TestCritPathCli:
             assert counts["manifests.critpath"] == 1
 
 
+class TestHotspotsCli:
+    def test_report_renders(self, capsys):
+        assert main(["hotspots", "--workload", "qsort", "--scale",
+                     "tiny", "--config", "2P"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-PC hotspots" in out
+        assert "port-slots" in out
+        assert "kernel: " in out and "user: " in out
+
+    def test_annotate_names_top_port_conflict_pc(self, capsys):
+        assert main(["hotspots", "--workload", "qsort", "--scale",
+                     "tiny", "--config", "2P", "--annotate"]) == 0
+        out = capsys.readouterr().out
+        assert "Top port-conflict PC 0x" in out
+        assert "stride:" in out
+        assert "working set:" in out
+
+    def test_json_manifest_validates(self, capsys):
+        import json
+        from repro.obs import validate_hotspots_report
+        assert main(["hotspots", "--workload", "stream", "--scale",
+                     "tiny", "--config", "1P", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        validate_hotspots_report(report)
+        assert report["workload"] == "stream"
+        assert sum(row["executions"] for row in report["rows"]) \
+            == report["instructions"]
+
+    def test_scenario_workload_splits_kernel(self, capsys):
+        import json
+        assert main(["hotspots", "--workload", "iostorm", "--scale",
+                     "tiny", "--config", "2P+SC", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        split = report["split"]
+        assert split["kernel"]["executions"] > 0
+        assert split["kernel"]["executions"] \
+            + split["user"]["executions"] == report["instructions"]
+
+    def test_output_and_ledger_ingest(self, tmp_path, capsys):
+        import json
+        from repro.obs.ledger import Ledger
+        out_path = str(tmp_path / "hs.json")
+        db = str(tmp_path / "led.sqlite")
+        assert main(["hotspots", "--workload", "qsort", "--scale",
+                     "tiny", "--config", "2P", "--output", out_path,
+                     "--ledger", db]) == 0
+        capsys.readouterr()
+        with open(out_path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["config"]["name"] == "2P"
+        with Ledger(db) as ledger:
+            assert ledger.counts()["hotspots"] == 1
+
+    def test_bad_sort_is_a_clean_error(self):
+        with pytest.raises(SystemExit):
+            main(["hotspots", "--workload", "stream", "--scale",
+                  "tiny", "--sort", "warp_drive"])
+
+    def test_simulate_hotspots_writes_manifest(self, tmp_path, capsys):
+        import json
+        from repro.obs import validate_hotspots_report
+        path = str(tmp_path / "hs.json")
+        assert main(["simulate", "--workload", "qsort", "--scale",
+                     "tiny", "--config", "2P", "--hotspots", path]) == 0
+        out = capsys.readouterr().out
+        assert "hotspots: " in out and "port-conflict" in out
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        validate_hotspots_report(report)
+        assert report["workload"] == "qsort"
+        # Workload sources re-assemble for disassembly annotation.
+        assert any(row["disasm"] for row in report["rows"])
+
+    def test_simulate_hotspots_coingests(self, tmp_path, capsys):
+        from repro.obs.ledger import Ledger
+        path = str(tmp_path / "hs.json")
+        db = str(tmp_path / "led.sqlite")
+        assert main(["simulate", "--workload", "stream", "--scale",
+                     "tiny", "--hotspots", path, "--ledger", db]) == 0
+        capsys.readouterr()
+        with Ledger(db) as ledger:
+            counts = ledger.counts()
+            assert counts["manifests.run"] == 1
+            assert counts["manifests.hotspots"] == 1
+
+
 class TestEvents:
     def test_capture_then_summarize(self, tmp_path, capsys):
         path = str(tmp_path / "run.jsonl")
@@ -289,6 +375,55 @@ class TestEvents:
         fake_gz.write_text("also not gzip\n")
         assert main(["events", str(fake_gz)]) == 1
         assert "not a JSONL event capture" in capsys.readouterr().err
+
+    def test_pc_filter(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "run.jsonl")
+        assert main(["simulate", "--workload", "qsort", "--scale", "tiny",
+                     "--events", path]) == 0
+        capsys.readouterr()
+        assert main(["events", path, "--limit", "1000"]) == 0
+        carrying = [json.loads(line) for line in
+                    capsys.readouterr().out.strip().splitlines()
+                    if "pc" in json.loads(line)]
+        assert carrying, "no PC-carrying events in a branchy run"
+        target = carrying[0]["pc"]
+        # Hex and decimal spellings select the same records.
+        assert main(["events", path, "--pc", hex(target),
+                     "--limit", "1000"]) == 0
+        hex_lines = capsys.readouterr().out.strip().splitlines()
+        assert main(["events", path, "--pc", str(target),
+                     "--limit", "1000"]) == 0
+        dec_lines = capsys.readouterr().out.strip().splitlines()
+        assert hex_lines == dec_lines and hex_lines
+        for line in hex_lines:
+            assert json.loads(line)["pc"] == target
+
+    def test_pc_range_filter(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "run.jsonl")
+        assert main(["simulate", "--workload", "qsort", "--scale", "tiny",
+                     "--events", path]) == 0
+        capsys.readouterr()
+        assert main(["events", path, "--pc-range", "0x0:0x1100",
+                     "--limit", "1000"]) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            record = json.loads(line)
+            assert "pc" in record and record["pc"] <= 0x1100
+        # Summary mode honours the filter too (no --limit).
+        assert main(["events", path, "--pc-range", "0x0:"]) == 0
+        assert "events over cycles" in capsys.readouterr().out
+
+    def test_pc_flags_are_mutually_exclusive(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        path.write_text('{"cycle":0,"event":"e","pc":4096}\n')
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["events", str(path), "--pc", "0x1000",
+                  "--pc-range", "0x1000:0x2000"])
+        with pytest.raises(SystemExit, match="decimal or 0x-hex"):
+            main(["events", str(path), "--pc", "zap"])
+        with pytest.raises(SystemExit, match="empty"):
+            main(["events", str(path), "--pc-range", "0x2000:0x1000"])
 
     def test_cycle_window(self, tmp_path, capsys):
         import json

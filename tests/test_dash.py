@@ -17,7 +17,7 @@ BASELINE_CI = os.path.join(os.path.dirname(__file__), os.pardir,
 
 #: Every dashboard carries these section anchors, populated or not.
 SECTION_IDS = ("kips-trend", "f2-headline", "ipc-trend", "port-util",
-               "bottleneck")
+               "bottleneck", "hotspots")
 
 
 class _Structure(HTMLParser):
@@ -62,7 +62,7 @@ class TestEmptyLedger:
             assert section_id in structure.ids
         # empty states instead of charts, but never a broken page
         assert structure.tags.get("svg", 0) == 0
-        assert document.count('class="empty"') == 5
+        assert document.count('class="empty"') == 6
 
 
 class TestSparseLedger:
@@ -84,9 +84,9 @@ class TestSparseLedger:
         structure = _parse(document)
         for section_id in SECTION_IDS:
             assert section_id in structure.ids
-        # kIPS + F2 + IPC (single entry) + bottleneck are empty;
-        # port-util renders from the stored interval metrics.
-        assert document.count('class="empty"') == 4
+        # kIPS + F2 + IPC (single entry) + bottleneck + hotspots are
+        # empty; port-util renders from the stored interval metrics.
+        assert document.count('class="empty"') == 5
         assert structure.tags.get("svg", 0) >= 1
 
     def test_single_code_version_bench_only(self, tmp_path):
@@ -101,8 +101,8 @@ class TestSparseLedger:
         # single-point sparklines still render (one circle per cell)
         assert structure.tags.get("circle", 0) >= 1
         assert "only-one" in document
-        # F2 / IPC / port-util / bottleneck have no data
-        assert document.count('class="empty"') == 4
+        # F2 / IPC / port-util / bottleneck / hotspots have no data
+        assert document.count('class="empty"') == 5
 
 
 class TestSeededLedger:
@@ -177,6 +177,40 @@ class TestBottleneckSection:
         assert "No critical-path manifests" in document
         assert "--critpath" in document
         assert "repro critpath" in document
+
+
+class TestHotspotsSection:
+    @pytest.fixture
+    def hotspots_ledger(self, tmp_path):
+        from repro.core import OoOCore
+        from repro.obs.hotspots import (HotspotRecorder,
+                                        build_hotspots_report)
+        from repro.presets import machine
+        from repro.workloads import build_trace
+        trace = build_trace("qsort", "tiny")
+        config = machine("2P")
+        recorder = HotspotRecorder()
+        result = OoOCore(config, hotspots=recorder).run(trace)
+        report = build_hotspots_report(recorder, result, config,
+                                       workload="qsort", scale="tiny",
+                                       wall_time=0.1)
+        ledger = Ledger(tmp_path / "led.sqlite")
+        ledger.ingest(report)
+        return ledger
+
+    def test_panel_renders_top_pcs(self, hotspots_ledger):
+        document = build_dashboard(hotspots_ledger)
+        structure = _parse(document)
+        assert "hotspots" in structure.ids
+        assert "top PCs by port-conflict slots" in document
+        assert "0x" in document
+        assert "No hotspot manifests" not in document
+
+    def test_empty_state_names_the_commands(self, tmp_path):
+        document = build_dashboard(Ledger(tmp_path / "led.sqlite"))
+        assert "No hotspot manifests" in document
+        assert "--hotspots" in document
+        assert "repro hotspots" in document
 
 
 class TestDashCli:

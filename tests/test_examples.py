@@ -67,6 +67,15 @@ def test_bottleneck_report(monkeypatch, capsys):
     assert "#" in out  # the bar chart rendered
 
 
+def test_hotspot_report(monkeypatch, capsys):
+    run_example("hotspot_report.py", ["--scale", "tiny"], monkeypatch)
+    out = capsys.readouterr().out
+    assert "top 5 PCs by port-conflict slots" in out
+    assert "privilege split:" in out
+    assert "repro.hotspots/1" in out
+    assert "conservation-checked" in out
+
+
 def test_port_utilization_timeline(monkeypatch, capsys):
     run_example("port_utilization_timeline.py", ["--scale", "tiny"],
                 monkeypatch)

@@ -125,6 +125,25 @@ def test_fastpath_true_with_critpath_raises(stream_trace, monkeypatch):
         core.run(stream_trace)
 
 
+def test_hotspots_recorder_rejects_fastpath(stream_trace, monkeypatch):
+    from repro.obs.hotspots import HotspotRecorder
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    core = OoOCore(machine("1P"), hotspots=HotspotRecorder())
+    result = core.run(stream_trace)
+    assert not core.used_fastpath
+    assert not result.used_fastpath
+    assert result.fastpath_reason == "hotspots recorder attached"
+
+
+def test_fastpath_true_with_hotspots_raises(stream_trace, monkeypatch):
+    from repro.obs.hotspots import HotspotRecorder
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
+    core = OoOCore(machine("1P"), hotspots=HotspotRecorder(),
+                   fastpath=True)
+    with pytest.raises(ValueError, match="hotspots"):
+        core.run(stream_trace)
+
+
 def test_result_surfaces_fastpath_use(stream_trace, monkeypatch):
     monkeypatch.setattr(pipeline, "_ENV_VALIDATE", False)
     result = OoOCore(machine("1P")).run(stream_trace)

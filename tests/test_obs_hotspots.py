@@ -1,0 +1,269 @@
+"""The per-PC hotspot profiler and address-stream analytics.
+
+The anchoring property is **conservation**: every per-PC sum (row
+executions, stall slots by cause, LSQ counters, D-cache counters,
+per-port histograms) must reconcile with the run's global counters
+*integer-exactly* across the full F2 configuration grid, both
+reference workloads, and a full-system OS-activity scenario — with
+the kernel/user split summing to the total by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import pipeline
+from repro.core.pipeline import OoOCore
+from repro.obs.hotspots import (
+    HOTSPOT_SORTS,
+    HOTSPOTS_SCHEMA,
+    HotspotRecorder,
+    build_hotspots_report,
+    render_hotspots_report,
+    validate_hotspots_report,
+)
+from repro.obs.report import SchemaError
+from repro.presets import CONFIG_NAMES, machine
+from repro.workloads import build_trace
+from repro.workloads.suite import build_scenario_trace
+
+GRID_WORKLOADS = ("stream", "qsort")
+
+
+def _record(trace, config_name):
+    recorder = HotspotRecorder()
+    config = machine(config_name)
+    result = OoOCore(config, hotspots=recorder).run(trace)
+    return recorder, result, config
+
+
+# ----------------------------------------------------------------------
+# Conservation: exact reconciliation, everywhere
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", GRID_WORKLOADS)
+@pytest.mark.parametrize("config_name", CONFIG_NAMES)
+def test_conservation_across_f2_grid(workload, config_name):
+    trace = build_trace(workload, "tiny")
+    recorder, result, config = _record(trace, config_name)
+    recorder.check_conservation(result)
+    report = build_hotspots_report(recorder, result, config,
+                                   workload=workload, scale="tiny")
+    validate_hotspots_report(report)
+    assert report["schema"] == HOTSPOTS_SCHEMA
+    assert sum(row["executions"] for row in report["rows"]) \
+        == result.instructions
+
+
+def test_conservation_under_validate_mode(stream_trace, monkeypatch):
+    # REPRO_VALIDATE=1: the invariant-checking reference loop must see
+    # the same attribution as the plain one.
+    monkeypatch.setattr(pipeline, "_ENV_VALIDATE", True)
+    recorder, result, config = _record(stream_trace, "2P")
+    assert not result.used_fastpath
+    recorder.check_conservation(result)
+    validate_hotspots_report(build_hotspots_report(
+        recorder, result, config, workload="stream", scale="tiny"))
+
+
+def test_scenario_kernel_user_split_sums_to_total():
+    # Full-system trace: kernel instructions present, and the
+    # kernel/user split partitions the committed-instruction count.
+    trace = build_scenario_trace("iostorm", "tiny")
+    recorder, result, config = _record(trace, "2P+SC")
+    recorder.check_conservation(result)
+    split = recorder.split()
+    assert split["kernel"]["executions"] > 0
+    assert split["user"]["executions"] > 0
+    assert split["kernel"]["executions"] + split["user"]["executions"] \
+        == result.instructions
+    report = build_hotspots_report(recorder, result, config,
+                                   workload="iostorm", scale="tiny")
+    validate_hotspots_report(report)
+    # A PC shared by both privilege levels gets two rows, keyed apart.
+    keys = {(row["pc"], row["kernel"]) for row in report["rows"]}
+    assert len(keys) == len(report["rows"])
+
+
+# ----------------------------------------------------------------------
+# Address-stream analytics
+# ----------------------------------------------------------------------
+def test_stream_workload_has_dominant_stride(stream_trace):
+    recorder, result, config = _record(stream_trace, "1P")
+    report = build_hotspots_report(recorder, result, config,
+                                   workload="stream", scale="tiny")
+    streams = [row["stream"] for row in report["rows"]
+               if row.get("stream")]
+    assert streams, "stream workload produced no memory PCs"
+    dominant = [s for s in streams if s.get("dominant_stride") is not None]
+    assert dominant, "no PC exposed a dominant stride"
+    # Sequential array sweeps: at least one PC strides by the element
+    # size with high coverage.
+    assert any(s["stride_coverage"] > 0.5 for s in dominant)
+    for stream in streams:
+        assert sum(stream["banks"]) == stream["accesses"]
+        assert sum(stream["sets"].values()) == stream["accesses"]
+        assert stream["working_set_lines"] > 0
+
+
+# ----------------------------------------------------------------------
+# Recorder contract
+# ----------------------------------------------------------------------
+def test_recorder_serves_exactly_one_run(stream_trace):
+    recorder, _, _ = _record(stream_trace, "1P")
+    with pytest.raises(ValueError, match="one run"):
+        OoOCore(machine("1P"), hotspots=recorder).run(stream_trace)
+
+
+def test_results_require_finalize():
+    recorder = HotspotRecorder()
+    with pytest.raises(ValueError, match="finalize"):
+        recorder.rows()
+
+
+def test_unknown_sort_rejected(stream_trace):
+    recorder, _, _ = _record(stream_trace, "1P")
+    with pytest.raises(ValueError, match="unknown hotspot sort"):
+        recorder.rows(sort="warp_drive")
+
+
+def test_sorts_rank_by_their_counter(stream_trace):
+    recorder, _, _ = _record(stream_trace, "2P")
+    for sort in HOTSPOT_SORTS:
+        rows = recorder.rows(sort=sort)
+        assert rows, "no rows recorded"
+    by_exec = recorder.rows(sort="executions")
+    execs = [row["executions"] for row in by_exec]
+    assert execs == sorted(execs, reverse=True)
+    by_stall = recorder.rows(sort="stall")
+    stalls = [row["stall_total"] for row in by_stall]
+    assert stalls == sorted(stalls, reverse=True)
+
+
+def test_summary_names_top_port_conflict_pc(qsort_trace):
+    recorder, _, _ = _record(qsort_trace, "1P")
+    text = recorder.summary()
+    assert "top port-conflict PC 0x" in text
+    assert "slots" in text
+
+
+# ----------------------------------------------------------------------
+# Manifest: build / validate / render
+# ----------------------------------------------------------------------
+def _report(trace, config_name="1P", **kwargs):
+    recorder, result, config = _record(trace, config_name)
+    kwargs.setdefault("workload", "stream")
+    kwargs.setdefault("scale", "tiny")
+    return build_hotspots_report(recorder, result, config,
+                                 wall_time=0.25, **kwargs)
+
+
+def test_report_workload_and_trace_file_exclusive(stream_trace):
+    recorder, result, config = _record(stream_trace, "1P")
+    with pytest.raises(ValueError, match="not both"):
+        build_hotspots_report(recorder, result, config,
+                              workload="stream", trace_file="x.npz")
+
+
+def test_report_requires_matching_run(stream_trace, qsort_trace):
+    recorder, _, config = _record(stream_trace, "1P")
+    other = OoOCore(machine("1P")).run(qsort_trace)
+    with pytest.raises(ValueError, match="recorder must come from"):
+        build_hotspots_report(recorder, other, config, workload="qsort")
+
+
+def test_validator_rejects_execution_drift(stream_trace):
+    report = _report(stream_trace)
+    report["rows"][0]["executions"] += 1
+    with pytest.raises(SchemaError, match="executions"):
+        validate_hotspots_report(report)
+
+
+def test_validator_rejects_stall_drift(qsort_trace):
+    report = _report(qsort_trace, workload="qsort")
+    target = next(row for row in report["rows"]
+                  if row["stall"].get("dcache_port"))
+    target["stall"]["dcache_port"] -= 1
+    target["stall_total"] -= 1
+    with pytest.raises(SchemaError, match="dcache_port"):
+        validate_hotspots_report(report)
+
+
+def test_validator_rejects_unknown_stall_cause(stream_trace):
+    report = _report(stream_trace)
+    report["rows"][0]["stall"]["warp_drive"] = 0
+    with pytest.raises(SchemaError, match="warp_drive"):
+        validate_hotspots_report(report)
+
+
+def test_validator_rejects_split_drift(stream_trace):
+    report = _report(stream_trace)
+    report["split"]["user"]["executions"] += 1
+    with pytest.raises(SchemaError, match="split"):
+        validate_hotspots_report(report)
+
+
+def test_disasm_map_fills_only_unannotated_rows():
+    # Whether a suite trace carries instruction objects depends on the
+    # trace-cache tier it came from, so build both variants explicitly:
+    # an instruction-bearing trace from a fresh assembly run, and its
+    # cache-shaped twin with the back-references stripped.
+    import dataclasses
+
+    from tests.conftest import run_asm
+    source = """
+    .text
+    main:
+        li t0, 64
+        la t1, buf
+    loop:
+        ld t2, 0(t1)
+        sd t2, 128(t1)
+        addi t1, t1, 8
+        addi t0, t0, -1
+        bnez t0, loop
+        li a0, 0
+        li a7, 1
+        syscall 0
+    .data
+    buf:
+        .space 1024
+    """
+    trace = run_asm(source, collect_trace=True).trace
+    assert any(record.instr is not None for record in trace)
+    stripped = [dataclasses.replace(record, instr=None)
+                for record in trace]
+    recorder, result, config = _record(stripped, "1P")
+    bare = build_hotspots_report(recorder, result, config,
+                                 workload="stream", scale="tiny")
+    assert all(row["disasm"] is None for row in bare["rows"])
+    pc = bare["rows"][0]["pc"]
+    recorder2, result2, _ = _record(stripped, "1P")
+    annotated = build_hotspots_report(recorder2, result2, config,
+                                      workload="stream", scale="tiny",
+                                      disasm={pc: "ld x1, 0(x2)"})
+    merged = {row["pc"]: row["disasm"] for row in annotated["rows"]}
+    assert merged[pc] == "ld x1, 0(x2)"
+    # Rows whose trace already carried instructions are never clobbered.
+    recorder3, result3, _ = _record(trace, "1P")
+    kept = build_hotspots_report(recorder3, result3, config,
+                                 workload="stream", scale="tiny",
+                                 disasm={pc: "OVERWRITTEN"})
+    originals = {row["pc"]: row["disasm"] for row in kept["rows"]}
+    assert originals[pc] is not None
+    assert originals[pc] != "OVERWRITTEN"
+
+
+def test_render_plain_and_annotated(qsort_trace):
+    report = _report(qsort_trace, config_name="2P", workload="qsort")
+    validate_hotspots_report(report)
+    text = render_hotspots_report(report, top=5)
+    assert "Per-PC hotspots" in text
+    assert "kernel: " in text and "user: " in text
+    for sort in HOTSPOT_SORTS:
+        assert render_hotspots_report(report, top=3, sort=sort)
+    with pytest.raises(ValueError, match="unknown hotspot sort"):
+        render_hotspots_report(report, sort="warp_drive")
+    annotated = render_hotspots_report(report, top=5, annotate=True)
+    assert "Top port-conflict PC 0x" in annotated
+    assert "working set:" in annotated
+    assert "sets[" in annotated

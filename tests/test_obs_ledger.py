@@ -59,6 +59,20 @@ def critpath_manifest():
                                  wall_time=0.1)
 
 
+@pytest.fixture(scope="module")
+def hotspots_manifest():
+    """A real tiny hotspots manifest for ingestion tests."""
+    from repro.obs.hotspots import HotspotRecorder, build_hotspots_report
+    from repro.core import OoOCore
+    trace = build_trace("qsort", "tiny")
+    config = machine("2P")
+    recorder = HotspotRecorder()
+    result = OoOCore(config, hotspots=recorder).run(trace)
+    return build_hotspots_report(recorder, result, config,
+                                 workload="qsort", scale="tiny",
+                                 wall_time=0.1)
+
+
 class TestDigests:
     def test_trace_digest_covers_identity(self):
         a = trace_digest_of("stream", "tiny", None, None)
@@ -230,6 +244,50 @@ class TestIngest:
             assert ledger.counts()["critpaths"] == 0
 
 
+class TestHotspotsLedger:
+    def test_hotspots_ingest(self, tmp_path, hotspots_manifest):
+        assert detect_kind(hotspots_manifest) == "hotspots"
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            assert ledger.ingest(hotspots_manifest) is True
+            counts = ledger.counts()
+            assert counts["hotspots"] == 1
+            assert counts["manifests.hotspots"] == 1
+            assert 0 < counts["hotspot_rows"] <= Ledger._HOTSPOT_ROW_LIMIT
+            assert ledger.ingest(hotspots_manifest) is False
+
+    def test_hotspots_queries(self, tmp_path, hotspots_manifest):
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            ledger.ingest(hotspots_manifest)
+            keys = ledger.hotspot_keys()
+            assert len(keys) == 1
+            key = keys[0]
+            assert key["workload"] == "qsort"
+            assert key["config_name"] == "2P"
+            latest = ledger.latest_hotspots(key["trace_digest"],
+                                            key["config_digest"])
+            assert latest["cycles"] == hotspots_manifest["cycles"]
+            assert latest["static_pcs"] == len(hotspots_manifest["rows"])
+            split = hotspots_manifest["split"]
+            assert latest["kernel_instructions"] \
+                == split["kernel"]["executions"]
+            assert latest["user_instructions"] \
+                == split["user"]["executions"]
+            rows = latest["rows"]
+            assert rows and rows[0]["rank"] == 0
+            # Rows persist in manifest (port-conflict) rank order.
+            assert rows[0]["pc"] == hotspots_manifest["rows"][0]["pc"]
+            assert ledger.latest_hotspots("nope", "nope") is None
+
+    def test_hotspots_without_rows_rejected(self, tmp_path,
+                                            hotspots_manifest):
+        broken = copy.deepcopy(hotspots_manifest)
+        del broken["rows"]
+        with Ledger(tmp_path / "led.sqlite") as ledger:
+            with pytest.raises(LedgerError):
+                ledger.ingest(broken)
+            assert ledger.counts()["hotspots"] == 0
+
+
 class TestMigration:
     @staticmethod
     def _build_v1(path):
@@ -290,6 +348,49 @@ class TestMigration:
                     "cycles"} <= set(tables)
             assert ledger.ingest(critpath_manifest) is True
             assert ledger.counts()["critpaths"] == 1
+
+    def test_v1_chain_migration_gains_hotspot_tables(
+            self, tmp_path, hotspots_manifest):
+        # v1 -> ... -> v4 runs in one open; the v4 tables must exist
+        # and accept a real hotspots manifest afterwards.
+        path = tmp_path / "old.sqlite"
+        self._build_v1(path)
+        with Ledger(path) as ledger:
+            assert ledger.db_version == LEDGER_DB_VERSION
+            columns = [row[1] for row in ledger._conn.execute(
+                "PRAGMA table_info(hotspot_rows)")]
+            assert {"pc", "rank", "port_conflict_slots"} <= set(columns)
+            assert ledger.ingest(hotspots_manifest) is True
+            assert ledger.counts()["hotspots"] == 1
+
+    def test_committed_ledger_migrates_in_place(self, tmp_path,
+                                                hotspots_manifest):
+        # The repo's seeded ledger (v3 at the time this landed) must
+        # migrate on open without disturbing existing rows.
+        import shutil
+        seed = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "benchmarks", "ledger.sqlite")
+        path = tmp_path / "seeded.sqlite"
+        shutil.copyfile(seed, path)
+        before_conn = sqlite3.connect(seed)
+        before = {
+            "manifests": before_conn.execute(
+                "SELECT digest, kind FROM manifests ORDER BY digest"
+            ).fetchall(),
+            "runs": before_conn.execute(
+                "SELECT COUNT(*) FROM runs").fetchone(),
+        }
+        before_conn.close()
+        with Ledger(path) as ledger:
+            assert ledger.db_version == LEDGER_DB_VERSION
+            after = ledger._conn.execute(
+                "SELECT digest, kind FROM manifests ORDER BY digest"
+            ).fetchall()
+            assert [tuple(row) for row in after] == before["manifests"]
+            assert ledger._conn.execute(
+                "SELECT COUNT(*) FROM runs").fetchone()[0] \
+                == before["runs"][0]
+            assert ledger.ingest(hotspots_manifest) is True
 
     def test_newer_db_rejected(self, tmp_path):
         path = tmp_path / "future.sqlite"
@@ -526,8 +627,9 @@ class TestLedgerCli:
             capsys.readouterr().out
         assert main(["ledger", "--ledger", db, "info"]) == 0
         out = capsys.readouterr().out
-        assert "2 run" in out and "ledger schema v3" in out
+        assert "2 run" in out and "ledger schema v4" in out
         assert "0 critpath stacks" in out
+        assert "0 hotspot profiles" in out
 
     def test_env_default(self, tmp_path, monkeypatch, capsys):
         db = str(tmp_path / "led.sqlite")

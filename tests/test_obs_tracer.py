@@ -68,6 +68,27 @@ class TestReaders:
         assert [r["cycle"] for r in iter_events(path, since=1)] == [5, 9]
         assert [r["cycle"] for r in iter_events(path, until=5)] == [0, 5]
 
+    def test_pc_filters(self, tmp_path):
+        path = str(tmp_path / "pc.jsonl")
+        with JsonlTracer(path) as tracer:
+            tracer.emit(0, "fetch.mispredict", pc=0x1000)
+            tracer.emit(1, "branch.resolve", pc=0x2000)
+            tracer.emit(2, "commit")  # no pc field: dropped by PC filters
+            tracer.emit(3, "fetch.mispredict", pc=0x3000)
+        assert [r["pc"] for r in iter_events(path, pc=0x2000)] \
+            == [0x2000]
+        assert [r["pc"] for r in
+                iter_events(path, pc_range=(0x1000, 0x2000))] \
+            == [0x1000, 0x2000]
+        assert [r["pc"] for r in
+                iter_events(path, pc_range=(None, 0x2000))] \
+            == [0x1000, 0x2000]
+        assert [r["pc"] for r in
+                iter_events(path, pc_range=(0x2000, None))] \
+            == [0x2000, 0x3000]
+        summary = summarize_events(path, pc=0x3000)
+        assert summary.total == 1
+
     def test_summary(self, tmp_path):
         summary = summarize_events(self._capture(tmp_path))
         assert summary.total == 3
